@@ -1,0 +1,152 @@
+//! Accelerator device and PCIe link models.
+//!
+//! A device executes offloaded compute at a fixed rate (the paper shows
+//! accelerator phases are insensitive to host memory contention) and moves
+//! data over PCIe, which appears to the host memory system as DMA traffic
+//! into the host-attached socket's memory.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of an accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorSpec {
+    /// Marketing-level peak throughput in TFLOPS (TOPS for the int8 TPU).
+    pub peak_tflops: f64,
+    /// Device-local memory bandwidth in GB/s (the roofline that actually
+    /// bounds production workloads, per the TPU paper's analysis).
+    pub local_mem_gbps: f64,
+    /// Device-local memory capacity in GiB.
+    pub local_mem_gib: f64,
+}
+
+/// PCIe link between host and device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PcieLink {
+    /// Usable bandwidth per direction in GB/s.
+    pub gbps: f64,
+    /// One-way transfer setup latency in microseconds.
+    pub setup_us: f64,
+}
+
+impl PcieLink {
+    /// Time in nanoseconds to move `bytes` over the link.
+    pub fn transfer_ns(&self, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        self.setup_us * 1_000.0 + bytes / self.gbps.max(1e-9)
+    }
+}
+
+/// A device instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorDevice {
+    /// The spec.
+    pub spec: AcceleratorSpec,
+    /// Host link.
+    pub pcie: PcieLink,
+}
+
+impl AcceleratorDevice {
+    /// Time in nanoseconds for a compute phase of `flop` floating-point
+    /// operations at `efficiency` of peak (production workloads typically
+    /// achieve a modest fraction of peak, bounded by device memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `efficiency` is not in `(0, 1]`.
+    pub fn compute_ns(&self, flop: f64, efficiency: f64) -> f64 {
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
+        let flops = self.spec.peak_tflops * 1e12 * efficiency;
+        flop / flops * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> AcceleratorDevice {
+        AcceleratorDevice {
+            spec: AcceleratorSpec {
+                peak_tflops: 92.0,
+                local_mem_gbps: 34.0,
+                local_mem_gib: 8.0,
+            },
+            pcie: PcieLink {
+                gbps: 12.0,
+                setup_us: 5.0,
+            },
+        }
+    }
+
+    #[test]
+    fn pcie_transfer_time_scales_with_bytes() {
+        let l = PcieLink {
+            gbps: 10.0,
+            setup_us: 2.0,
+        };
+        // 10 GB/s = 10 bytes/ns; 1 MB -> 100_000 ns + 2000 ns setup.
+        let t = l.transfer_ns(1e6);
+        assert!((t - 102_000.0).abs() < 1.0, "{t}");
+        assert_eq!(l.transfer_ns(0.0), 0.0);
+    }
+
+    #[test]
+    fn compute_time_from_roofline() {
+        let d = device();
+        // 92 TOPS at 25% efficiency = 23e12 op/s; 23e9 ops -> 1 ms.
+        let t = d.compute_ns(23e9, 0.25);
+        assert!((t - 1e6).abs() < 1.0, "{t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn compute_rejects_bad_efficiency() {
+        device().compute_ns(1e9, 0.0);
+    }
+
+    #[test]
+    fn transfer_time_is_monotone_in_bytes() {
+        let l = PcieLink {
+            gbps: 12.0,
+            setup_us: 5.0,
+        };
+        let mut prev = 0.0;
+        for exp in 0..8 {
+            let t = l.transfer_ns(10f64.powi(exp));
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn setup_latency_dominates_small_transfers() {
+        let l = PcieLink {
+            gbps: 12.0,
+            setup_us: 5.0,
+        };
+        // 64 bytes: ~5.3 ns of wire time vs 5000 ns of setup.
+        let t = l.transfer_ns(64.0);
+        assert!((t - 5_005.3).abs() < 1.0, "{t}");
+    }
+
+    #[test]
+    fn higher_efficiency_means_shorter_compute() {
+        let d = device();
+        assert!(d.compute_ns(1e12, 0.5) < d.compute_ns(1e12, 0.25));
+        assert!((d.compute_ns(1e12, 0.25) - 2.0 * d.compute_ns(1e12, 0.5)).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_bandwidth_link_is_guarded() {
+        let l = PcieLink {
+            gbps: 0.0,
+            setup_us: 1.0,
+        };
+        assert!(l.transfer_ns(1e6).is_finite());
+    }
+}

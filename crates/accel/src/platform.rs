@@ -1,0 +1,163 @@
+//! The three evaluation platforms.
+//!
+//! Table I of the paper maps workloads to platforms; §VI-A additionally
+//! observes that the Cloud TPU platform's host is far more sensitive to
+//! cross-socket (remote DRAM) traffic than the TPU and GPU hosts. Platform
+//! tuning captures those host-side differences; the device specs follow the
+//! public numbers for each accelerator generation.
+
+use crate::device::{AcceleratorDevice, AcceleratorSpec, PcieLink};
+use kelp_mem::topology::MachineSpec;
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's accelerator platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// First-generation inference TPU host (runs RNN1).
+    Tpu,
+    /// Cloud TPU (v2) training host (runs CNN1 and CNN2).
+    CloudTpu,
+    /// GPU training host with parameter server (runs CNN3).
+    Gpu,
+}
+
+impl Platform {
+    /// All platforms, in Table I order.
+    pub fn all() -> [Platform; 3] {
+        [Platform::Tpu, Platform::CloudTpu, Platform::Gpu]
+    }
+
+    /// A short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Tpu => "TPU",
+            Platform::CloudTpu => "Cloud TPU",
+            Platform::Gpu => "GPU",
+        }
+    }
+
+    /// The accelerator device attached to this platform's host.
+    pub fn device(self) -> AcceleratorDevice {
+        match self {
+            Platform::Tpu => AcceleratorDevice {
+                spec: AcceleratorSpec {
+                    peak_tflops: 92.0, // TOPS (int8)
+                    local_mem_gbps: 34.0,
+                    local_mem_gib: 8.0,
+                },
+                pcie: PcieLink {
+                    gbps: 12.0,
+                    setup_us: 5.0,
+                },
+            },
+            Platform::CloudTpu => AcceleratorDevice {
+                spec: AcceleratorSpec {
+                    peak_tflops: 180.0,
+                    local_mem_gbps: 600.0,
+                    local_mem_gib: 64.0,
+                },
+                pcie: PcieLink {
+                    gbps: 14.0,
+                    setup_us: 4.0,
+                },
+            },
+            Platform::Gpu => AcceleratorDevice {
+                spec: AcceleratorSpec {
+                    peak_tflops: 125.0,
+                    local_mem_gbps: 900.0,
+                    local_mem_gib: 16.0,
+                },
+                pcie: PcieLink {
+                    gbps: 13.0,
+                    setup_us: 4.0,
+                },
+            },
+        }
+    }
+
+    /// Host tuning for this platform.
+    pub fn tuning(self) -> PlatformTuning {
+        match self {
+            // TPU & GPU hosts: ordinary coherence cost.
+            Platform::Tpu => PlatformTuning {
+                coherence_tax_ns_per_gbps: 1.0,
+                remote_snoop_overhead: 0.12,
+                remote_inbound_core_penalty_per_gbps: 0.003,
+            },
+            // The Cloud TPU platform host shows outsized remote-traffic
+            // sensitivity (Fig 15: an extra 16-27% loss; Fig 16: remote
+            // slowdowns up to ~2.5-3x).
+            Platform::CloudTpu => PlatformTuning {
+                coherence_tax_ns_per_gbps: 6.5,
+                remote_snoop_overhead: 0.45,
+                remote_inbound_core_penalty_per_gbps: 0.025,
+            },
+            Platform::Gpu => PlatformTuning {
+                coherence_tax_ns_per_gbps: 1.2,
+                remote_snoop_overhead: 0.15,
+                remote_inbound_core_penalty_per_gbps: 0.004,
+            },
+        }
+    }
+
+    /// A dual-socket host machine spec with this platform's tuning applied.
+    pub fn host_machine(self) -> MachineSpec {
+        let t = self.tuning();
+        MachineSpec {
+            coherence_tax_ns_per_gbps: t.coherence_tax_ns_per_gbps,
+            remote_snoop_overhead: t.remote_snoop_overhead,
+            remote_inbound_core_penalty_per_gbps: t.remote_inbound_core_penalty_per_gbps,
+            ..MachineSpec::dual_socket()
+        }
+    }
+}
+
+/// Host-side tuning parameters that differ across platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformTuning {
+    /// Extra victim-socket latency per GB/s of inbound cross-socket traffic.
+    pub coherence_tax_ns_per_gbps: f64,
+    /// Extra fractional channel usage charged to remote flows.
+    pub remote_snoop_overhead: f64,
+    /// Victim-socket core slowdown per GB/s of inbound cross-socket traffic.
+    pub remote_inbound_core_penalty_per_gbps: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_platforms_build_valid_hosts() {
+        for p in Platform::all() {
+            assert_eq!(p.host_machine().validate(), Ok(()), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn cloud_tpu_is_remote_sensitive() {
+        let ct = Platform::CloudTpu.tuning();
+        for other in [Platform::Tpu, Platform::Gpu] {
+            let t = other.tuning();
+            assert!(ct.coherence_tax_ns_per_gbps > 3.0 * t.coherence_tax_ns_per_gbps);
+            assert!(ct.remote_snoop_overhead > t.remote_snoop_overhead);
+            assert!(
+                ct.remote_inbound_core_penalty_per_gbps
+                    > 3.0 * t.remote_inbound_core_penalty_per_gbps
+            );
+        }
+    }
+
+    #[test]
+    fn device_specs_follow_generations() {
+        assert!(Platform::CloudTpu.device().spec.peak_tflops > Platform::Tpu.device().spec.peak_tflops);
+        assert!(Platform::CloudTpu.device().spec.local_mem_gib > Platform::Gpu.device().spec.local_mem_gib);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Platform::Tpu.name(), "TPU");
+        assert_eq!(Platform::CloudTpu.name(), "Cloud TPU");
+        assert_eq!(Platform::Gpu.name(), "GPU");
+    }
+}

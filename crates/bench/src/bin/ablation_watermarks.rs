@@ -1,0 +1,11 @@
+//! Ablation: sensitivity of Kelp to the saturation watermark — the signal
+//! prior-work controllers did not have.
+
+use kelp::experiments::ablation;
+
+fn main() {
+    let config = kelp_bench::config_from_args();
+    let points =
+        ablation::saturation_watermark_sweep(&[0.02, 0.05, 0.15, 0.4, f64::MAX], &config);
+    ablation::watermark_table(&points).print();
+}

@@ -1,0 +1,12 @@
+//! Figure 7: backpressure management by prefetcher toggling.
+
+fn main() {
+    let config = kelp_bench::config_from_args();
+    let r = kelp::experiments::backpressure::figure7(&config);
+    for w in ["RNN1", "CNN1", "CNN2"] {
+        if let Some(t) = r.table(w) {
+            t.print();
+        }
+    }
+    let _ = kelp::report::write_json(kelp_bench::results_dir(), "fig07_backpressure", &r);
+}

@@ -1,0 +1,9 @@
+//! Figure 9: CNN1 + Stitch memory-pressure sweep.
+
+fn main() {
+    let config = kelp_bench::config_from_args();
+    let r = kelp::experiments::mix::figure9(&config);
+    r.ml_table().print();
+    r.cpu_table().print();
+    let _ = kelp::report::write_json(kelp_bench::results_dir(), "fig09_cnn1_stitch", &r);
+}

@@ -1,0 +1,10 @@
+//! Figure 10: RNN1 + CPUML memory-pressure sweep.
+
+fn main() {
+    let config = kelp_bench::config_from_args();
+    let r = kelp::experiments::mix::figure10(&config);
+    r.ml_table().print();
+    r.tail_table().print();
+    r.cpu_table().print();
+    let _ = kelp::report::write_json(kelp_bench::results_dir(), "fig10_rnn1_cpuml", &r);
+}

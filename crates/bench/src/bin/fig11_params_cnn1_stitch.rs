@@ -1,0 +1,8 @@
+//! Figure 11: runtime actuator parameters for CNN1 + Stitch.
+
+fn main() {
+    let config = kelp_bench::config_from_args();
+    let r = kelp::experiments::mix::figure9(&config);
+    r.actuator_table().print();
+    let _ = kelp::report::write_json(kelp_bench::results_dir(), "fig11_params_cnn1_stitch", &r);
+}

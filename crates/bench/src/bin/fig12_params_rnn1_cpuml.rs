@@ -1,0 +1,8 @@
+//! Figure 12: runtime actuator parameters for RNN1 + CPUML.
+
+fn main() {
+    let config = kelp_bench::config_from_args();
+    let r = kelp::experiments::mix::figure10(&config);
+    r.actuator_table().print();
+    let _ = kelp::report::write_json(kelp_bench::results_dir(), "fig12_params_rnn1_cpuml", &r);
+}

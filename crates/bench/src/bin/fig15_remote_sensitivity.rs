@@ -1,0 +1,9 @@
+//! Figure 15: sensitivity including the Remote DRAM aggressor.
+
+fn main() {
+    let config = kelp_bench::config_from_args();
+    let r = kelp::experiments::sensitivity::figure15(&config);
+    r.table("Figure 15 — sensitivity incl. remote memory interference (normalized perf)")
+        .print();
+    let _ = kelp::report::write_json(kelp_bench::results_dir(), "fig15_remote_sensitivity", &r);
+}

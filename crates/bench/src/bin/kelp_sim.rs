@@ -1,0 +1,120 @@
+//! `kelp-sim`: drive the Kelp reproduction from the command line.
+//!
+//! See `kelp-sim help` for usage.
+
+use kelp::driver::{Experiment, ExperimentConfig};
+use kelp::profile::ProfileLibrary;
+use kelp::report::Table;
+use kelp_bench::cli::{self, Command, RunArgs};
+use kelp_mem::topology::{MachineSpec, SncMode, SocketId};
+use kelp_workloads::{BatchWorkload, MlWorkloadKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args) {
+        Ok(Command::Help) => print!("{}", cli::HELP),
+        Ok(Command::List) => list(),
+        Ok(Command::Run(run)) => execute(run, false),
+        Ok(Command::Counters(run)) => execute(run, true),
+        Ok(Command::Profiles { save }) => profiles(save),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", cli::HELP);
+            std::process::exit(2);
+        }
+    }
+}
+
+fn list() {
+    let mut t = Table::new(
+        "ML workloads (Table I)",
+        &["Name", "Platform", "Interaction"],
+    );
+    for ml in MlWorkloadKind::all() {
+        let row = ml.table1_row();
+        t.row(vec![
+            ml.name().to_string(),
+            row.platform.to_string(),
+            row.interaction.to_string(),
+        ]);
+    }
+    t.print();
+    println!("CPU workloads: stream, stitch, cpuml, llc, dram, remote-dram (spec: KIND[:THREADS])");
+    println!("Policies: BL (baseline), CT (core throttle), KP-SD (subdomains), KP (Kelp), FG (fine-grained), MCP (channel partitioning)");
+}
+
+fn execute(run: RunArgs, counters_only: bool) {
+    let config = if run.quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
+    let mut builder = match run.ml {
+        Some(ml) => Experiment::builder(ml, run.policy),
+        None => Experiment::builder_cpu_only(run.policy),
+    };
+    for (i, &(kind, threads)) in run.cpu.iter().enumerate() {
+        builder = builder.add_cpu_workload(
+            BatchWorkload::new(kind, threads).with_label(format!("{}#{i}", kind.name())),
+        );
+    }
+    let result = builder.config(config).run();
+
+    if counters_only {
+        let m = result.avg_measurements;
+        let mut t = Table::new("Kelp runtime measurements (window average)", &["metric", "value"]);
+        t.row(vec!["socket bandwidth (GB/s)".into(), Table::num(m.socket_bw_gbps)]);
+        t.row(vec!["socket latency (ns)".into(), Table::num(m.socket_latency_ns)]);
+        t.row(vec!["saturation duty (FAST_ASSERTED)".into(), Table::num(m.socket_saturation)]);
+        t.row(vec!["HP-subdomain bandwidth (GB/s)".into(), Table::num(m.hp_domain_bw_gbps)]);
+        t.print();
+        return;
+    }
+
+    let mut t = Table::new(
+        format!("Run outcome under {}", result.policy.label()),
+        &["workload", "throughput", "p95 (ms)"],
+    );
+    if let Some(name) = &result.ml_name {
+        t.row(vec![
+            name.clone(),
+            format!("{:.2}", result.ml_performance.throughput),
+            result
+                .ml_performance
+                .tail_latency_ms
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    for (name, perf) in &result.cpu_performance {
+        t.row(vec![
+            name.clone(),
+            format!("{:.3e}", perf.throughput),
+            "-".into(),
+        ]);
+    }
+    t.print();
+    let snap = result.final_policy_snapshot();
+    println!(
+        "final actuators: {} LP cores, {} prefetchers, {} backfilled cores",
+        snap.lp_cores, snap.lp_prefetchers, snap.hp_backfill_cores
+    );
+}
+
+fn profiles(save: Option<String>) {
+    let lib = ProfileLibrary::default_for_machine(
+        &MachineSpec::dual_socket(),
+        SncMode::Enabled,
+        SocketId(0),
+    );
+    match save {
+        Some(path) => {
+            lib.save(&path).expect("write profile library");
+            println!("wrote {path}");
+        }
+        None => {
+            let json = serde_json::to_string_pretty(&lib).expect("serialize");
+            println!("{json}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Reproduces every table and figure in one run and writes `results/*.json`.
+//!
+//! The sweeps in Figures 9-14 are computed once and shared between the
+//! figures that consume them.
+
+use kelp::policy::PolicyKind;
+use kelp::report::write_json;
+
+fn main() {
+    let config = kelp_bench::config_from_args();
+    let dir = kelp_bench::results_dir();
+
+    println!("=== Table I ===");
+    kelp::experiments::table1::table1().print();
+
+    println!("=== Figure 2 ===");
+    let fig2 = kelp::experiments::fleet::figure2(2019);
+    fig2.table().print();
+    println!(
+        "fraction above 70% peak: {:.3} (paper ~0.16)\n",
+        fig2.fraction_above_70pct
+    );
+    let _ = write_json(&dir, "fig02_fleet_bw", &fig2);
+
+    println!("=== Figure 3 ===");
+    let fig3 = kelp::experiments::timeline::figure3(&config);
+    fig3.table().print();
+    let _ = write_json(&dir, "fig03_timeline", &fig3);
+
+    println!("=== Figure 5 ===");
+    let fig5 = kelp::experiments::sensitivity::figure5(&config);
+    fig5.table("Figure 5").print();
+    let _ = write_json(&dir, "fig05_sensitivity", &fig5);
+    let _ = kelp::report::write_csv(&dir, "fig05_sensitivity", &fig5.table("Figure 5"));
+
+    println!("=== Figure 7 ===");
+    let fig7 = kelp::experiments::backpressure::figure7(&config);
+    for w in ["RNN1", "CNN1", "CNN2"] {
+        if let Some(t) = fig7.table(w) {
+            t.print();
+        }
+    }
+    let _ = write_json(&dir, "fig07_backpressure", &fig7);
+
+    println!("=== Figures 9 & 11 ===");
+    let fig9 = kelp::experiments::mix::figure9(&config);
+    fig9.ml_table().print();
+    fig9.cpu_table().print();
+    fig9.actuator_table().print();
+    let _ = write_json(&dir, "fig09_cnn1_stitch", &fig9);
+    let _ = write_json(&dir, "fig11_params_cnn1_stitch", &fig9);
+
+    println!("=== Figures 10 & 12 ===");
+    let fig10 = kelp::experiments::mix::figure10(&config);
+    fig10.ml_table().print();
+    fig10.tail_table().print();
+    fig10.cpu_table().print();
+    fig10.actuator_table().print();
+    let _ = write_json(&dir, "fig10_rnn1_cpuml", &fig10);
+    let _ = write_json(&dir, "fig12_params_rnn1_cpuml", &fig10);
+
+    println!("=== Figures 13 & 14 ===");
+    let overall = kelp::experiments::overall::run_overall(&config);
+    overall.figure13_table().print();
+    overall.figure14_table().print();
+    for p in PolicyKind::paper_set() {
+        println!(
+            "{:<6} avg ML slowdown {:.3}  avg CPU throughput {:.3}",
+            p.label(),
+            overall.avg_ml_slowdown(p),
+            overall.avg_cpu_norm(p)
+        );
+    }
+    println!(
+        "efficiency: CT {:.3} KP-SD {:.3} KP {:.3}\n",
+        overall.avg_efficiency(PolicyKind::CoreThrottle),
+        overall.avg_efficiency(PolicyKind::KelpSubdomain),
+        overall.avg_efficiency(PolicyKind::Kelp)
+    );
+    let _ = write_json(&dir, "fig13_overall", &overall);
+    let _ = kelp::report::write_csv(&dir, "fig13_overall", &overall.figure13_table());
+    let _ = kelp::report::write_csv(&dir, "fig14_efficiency", &overall.figure14_table());
+
+    println!("=== Knee sweep (the paper's omitted SIII-A plot) ===");
+    let knee = kelp::experiments::knee::default_sweep(&config);
+    knee.table().print();
+    let _ = write_json(&dir, "knee_sweep", &knee);
+
+    println!("=== Figure 15 ===");
+    let fig15 = kelp::experiments::sensitivity::figure15(&config);
+    fig15.table("Figure 15").print();
+    let _ = write_json(&dir, "fig15_remote_sensitivity", &fig15);
+
+    println!("=== Figure 16 ===");
+    let fig16 = kelp::experiments::remote::figure16(&config);
+    for w in ["CNN1", "CNN2"] {
+        if let Some(t) = fig16.table(w) {
+            t.print();
+        }
+    }
+    let _ = write_json(&dir, "fig16_remote_sweep", &fig16);
+
+    println!("All results written to {}/", dir.display());
+}

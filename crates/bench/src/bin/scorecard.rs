@@ -1,0 +1,11 @@
+//! Programmatic reproduction scorecard: every headline claim vs its band.
+
+fn main() {
+    let config = kelp_bench::config_from_args();
+    let s = kelp::experiments::scorecard::run_scorecard(&config);
+    s.table().print();
+    let _ = kelp::report::write_json(kelp_bench::results_dir(), "scorecard", &s);
+    if s.passed() < s.claims.len() {
+        println!("note: WARN rows are outside their band; see EXPERIMENTS.md for discussion");
+    }
+}

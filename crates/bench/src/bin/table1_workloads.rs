@@ -1,0 +1,5 @@
+//! Table I: accelerated ML platforms and production workloads.
+
+fn main() {
+    kelp::experiments::table1::table1().print();
+}

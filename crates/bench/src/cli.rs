@@ -1,0 +1,262 @@
+//! Argument parsing for the `kelp-sim` command-line interface.
+//!
+//! Kept dependency-free (plain `std::env`) and separated from the binary so
+//! the parser is unit-testable.
+
+use kelp::policy::PolicyKind;
+use kelp_workloads::{BatchKind, MlWorkloadKind};
+
+/// A parsed `kelp-sim` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `kelp-sim list` — show available workloads and policies.
+    List,
+    /// `kelp-sim run …` — run one colocation experiment.
+    Run(RunArgs),
+    /// `kelp-sim counters …` — run and print the four Kelp measurements.
+    Counters(RunArgs),
+    /// `kelp-sim profiles [--save PATH]` — print/save the profile library.
+    Profiles {
+        /// Destination path for the JSON dump (stdout when absent).
+        save: Option<String>,
+    },
+    /// `kelp-sim help`.
+    Help,
+}
+
+/// Arguments shared by `run` and `counters`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// The ML workload (None = CPU-only host).
+    pub ml: Option<MlWorkloadKind>,
+    /// The runtime policy.
+    pub policy: PolicyKind,
+    /// Colocated CPU workloads as `(kind, threads)`.
+    pub cpu: Vec<(BatchKind, usize)>,
+    /// Use the quick timing configuration.
+    pub quick: bool,
+}
+
+/// Parse errors, with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an ML workload name (case-insensitive).
+pub fn parse_ml(name: &str) -> Result<MlWorkloadKind, ParseError> {
+    match name.to_ascii_uppercase().as_str() {
+        "RNN1" => Ok(MlWorkloadKind::Rnn1),
+        "CNN1" => Ok(MlWorkloadKind::Cnn1),
+        "CNN2" => Ok(MlWorkloadKind::Cnn2),
+        "CNN3" => Ok(MlWorkloadKind::Cnn3),
+        other => Err(ParseError(format!(
+            "unknown ML workload '{other}' (expected RNN1|CNN1|CNN2|CNN3)"
+        ))),
+    }
+}
+
+/// Parses a policy label (paper abbreviation, case-insensitive).
+pub fn parse_policy(name: &str) -> Result<PolicyKind, ParseError> {
+    match name.to_ascii_uppercase().as_str() {
+        "BL" | "BASELINE" => Ok(PolicyKind::Baseline),
+        "CT" | "CORETHROTTLE" => Ok(PolicyKind::CoreThrottle),
+        "KP-SD" | "KPSD" | "SUBDOMAIN" => Ok(PolicyKind::KelpSubdomain),
+        "KP" | "KELP" => Ok(PolicyKind::Kelp),
+        "FG" | "FINEGRAINED" => Ok(PolicyKind::FineGrained),
+        "MCP" | "CHANNEL" => Ok(PolicyKind::Mcp),
+        other => Err(ParseError(format!(
+            "unknown policy '{other}' (expected BL|CT|KP-SD|KP|FG|MCP)"
+        ))),
+    }
+}
+
+/// Parses a CPU workload spec `KIND[:THREADS]` (default 8 threads).
+pub fn parse_cpu(spec: &str) -> Result<(BatchKind, usize), ParseError> {
+    let (name, threads) = match spec.split_once(':') {
+        Some((n, t)) => {
+            let threads: usize = t
+                .parse()
+                .map_err(|_| ParseError(format!("bad thread count in '{spec}'")))?;
+            if threads == 0 {
+                return Err(ParseError(format!("thread count must be > 0 in '{spec}'")));
+            }
+            (n, threads)
+        }
+        None => (spec, 8),
+    };
+    let kind = match name.to_ascii_lowercase().as_str() {
+        "stream" => BatchKind::Stream,
+        "stitch" => BatchKind::Stitch,
+        "cpuml" => BatchKind::CpuMl,
+        "llc" => BatchKind::LlcAggressor,
+        "dram" => BatchKind::DramAggressor,
+        "remote-dram" | "remotedram" => BatchKind::RemoteDramAggressor,
+        other => Err(ParseError(format!(
+            "unknown CPU workload '{other}' (expected stream|stitch|cpuml|llc|dram|remote-dram)"
+        )))?,
+    };
+    Ok((kind, threads))
+}
+
+/// Parses a full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "list" => Ok(Command::List),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "profiles" => {
+            let save = match args.get(1).map(String::as_str) {
+                Some("--save") => Some(
+                    args.get(2)
+                        .ok_or_else(|| ParseError("--save needs a path".into()))?
+                        .clone(),
+                ),
+                Some(other) => return Err(ParseError(format!("unknown flag '{other}'"))),
+                None => None,
+            };
+            Ok(Command::Profiles { save })
+        }
+        "run" | "counters" => {
+            let mut run = RunArgs {
+                ml: None,
+                policy: PolicyKind::Baseline,
+                cpu: Vec::new(),
+                quick: false,
+            };
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--ml" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--ml needs a value".into()))?;
+                        run.ml = Some(parse_ml(v)?);
+                    }
+                    "--policy" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--policy needs a value".into()))?;
+                        run.policy = parse_policy(v)?;
+                    }
+                    "--cpu" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--cpu needs a value".into()))?;
+                        run.cpu.push(parse_cpu(v)?);
+                    }
+                    "--quick" => run.quick = true,
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            if cmd == "run" {
+                Ok(Command::Run(run))
+            } else {
+                Ok(Command::Counters(run))
+            }
+        }
+        other => Err(ParseError(format!(
+            "unknown command '{other}' (expected list|run|counters|profiles|help)"
+        ))),
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+kelp-sim — drive the Kelp reproduction from the command line
+
+USAGE:
+  kelp-sim list
+      Show the available ML workloads, CPU workloads and policies.
+  kelp-sim run [--ml ML] [--policy P] [--cpu KIND[:THREADS]]... [--quick]
+      Run one colocation experiment and print the outcome.
+  kelp-sim counters [--ml ML] [--policy P] [--cpu ...] [--quick]
+      Run and print the four Kelp runtime measurements.
+  kelp-sim profiles [--save PATH]
+      Print (or save as JSON) the default per-application profile library.
+
+EXAMPLES:
+  kelp-sim run --ml CNN1 --policy KP --cpu stream:16
+  kelp-sim run --ml RNN1 --policy BL --cpu cpuml:8 --cpu stitch:4 --quick
+  kelp-sim counters --ml CNN2 --policy KP-SD --cpu dram:14
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_run_with_everything() {
+        let cmd = parse(&argv(&[
+            "run", "--ml", "cnn1", "--policy", "kp", "--cpu", "stream:16", "--cpu", "stitch",
+            "--quick",
+        ]))
+        .unwrap();
+        let Command::Run(r) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(r.ml, Some(MlWorkloadKind::Cnn1));
+        assert_eq!(r.policy, PolicyKind::Kelp);
+        assert_eq!(
+            r.cpu,
+            vec![(BatchKind::Stream, 16), (BatchKind::Stitch, 8)]
+        );
+        assert!(r.quick);
+    }
+
+    #[test]
+    fn parses_counters_and_defaults() {
+        let cmd = parse(&argv(&["counters"])).unwrap();
+        let Command::Counters(r) = cmd else {
+            panic!("expected counters");
+        };
+        assert_eq!(r.ml, None);
+        assert_eq!(r.policy, PolicyKind::Baseline);
+        assert!(r.cpu.is_empty());
+        assert!(!r.quick);
+    }
+
+    #[test]
+    fn policy_aliases() {
+        assert_eq!(parse_policy("kelp").unwrap(), PolicyKind::Kelp);
+        assert_eq!(parse_policy("KP-SD").unwrap(), PolicyKind::KelpSubdomain);
+        assert_eq!(parse_policy("fg").unwrap(), PolicyKind::FineGrained);
+        assert_eq!(parse_policy("mcp").unwrap(), PolicyKind::Mcp);
+        assert!(parse_policy("nope").is_err());
+    }
+
+    #[test]
+    fn cpu_spec_errors() {
+        assert!(parse_cpu("stream:abc").is_err());
+        assert!(parse_cpu("stream:0").is_err());
+        assert!(parse_cpu("bogus:4").is_err());
+        assert_eq!(parse_cpu("dram:14").unwrap(), (BatchKind::DramAggressor, 14));
+    }
+
+    #[test]
+    fn top_level_commands() {
+        assert_eq!(parse(&argv(&["list"])).unwrap(), Command::List);
+        assert_eq!(parse(&argv(&[])).unwrap(), Command::Help);
+        assert_eq!(parse(&argv(&["--help"])).unwrap(), Command::Help);
+        assert!(parse(&argv(&["frobnicate"])).is_err());
+        assert_eq!(
+            parse(&argv(&["profiles", "--save", "x.json"])).unwrap(),
+            Command::Profiles {
+                save: Some("x.json".into())
+            }
+        );
+        assert!(parse(&argv(&["profiles", "--save"])).is_err());
+    }
+}

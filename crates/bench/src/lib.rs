@@ -1,0 +1,79 @@
+//! # kelp-bench
+//!
+//! Shared plumbing for the figure-regeneration binaries (one per table and
+//! figure in the paper's evaluation) and the Criterion benchmarks.
+//!
+//! Run a single figure:
+//!
+//! ```text
+//! cargo run --release -p kelp-bench --bin fig05_sensitivity
+//! cargo run --release -p kelp-bench --bin fig13_overall -- --quick
+//! ```
+//!
+//! Regenerate everything (writes `results/*.json`):
+//!
+//! ```text
+//! cargo run --release -p kelp-bench --bin repro_all
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+use kelp::driver::ExperimentConfig;
+use kelp_simcore::time::SimDuration;
+
+/// Parses the common CLI flags shared by every figure binary.
+///
+/// `--quick` selects the fast test configuration; `--long` doubles the
+/// default measurement window for lower-variance numbers.
+pub fn config_from_args() -> ExperimentConfig {
+    let args: Vec<String> = std::env::args().collect();
+    config_from(&args)
+}
+
+/// Testable core of [`config_from_args`].
+pub fn config_from(args: &[String]) -> ExperimentConfig {
+    if args.iter().any(|a| a == "--quick") {
+        ExperimentConfig::quick()
+    } else if args.iter().any(|a| a == "--long") {
+        ExperimentConfig {
+            duration: SimDuration::from_millis(5000),
+            ..ExperimentConfig::default()
+        }
+    } else {
+        ExperimentConfig::default()
+    }
+}
+
+/// Directory where `repro_all` and the figure binaries drop JSON results.
+pub fn results_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(extra: &[&str]) -> Vec<String> {
+        std::iter::once("bin".to_string())
+            .chain(extra.iter().map(|s| s.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn quick_flag_selects_quick_config() {
+        assert_eq!(config_from(&argv(&["--quick"])), ExperimentConfig::quick());
+    }
+
+    #[test]
+    fn default_is_full_config() {
+        assert_eq!(config_from(&argv(&[])), ExperimentConfig::default());
+    }
+
+    #[test]
+    fn long_flag_extends_duration() {
+        let c = config_from(&argv(&["--long"]));
+        assert!(c.duration > ExperimentConfig::default().duration);
+    }
+}

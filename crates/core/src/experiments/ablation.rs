@@ -1,0 +1,251 @@
+//! Ablations of Kelp's design choices.
+//!
+//! * [`sampling_sweep`] — the §IV-D claim that "the effectiveness of Kelp is
+//!   not sensitive to the sampling frequency".
+//! * [`backfill_ablation`] — what §IV-C's backfilling buys over subdomains
+//!   alone, per CPU workload.
+//! * [`saturation_watermark_sweep`] — how sensitive Kelp is to the one
+//!   watermark the paper's prior work did not have: the `FAST_ASSERTED`
+//!   saturation threshold.
+
+use crate::driver::{Experiment, ExperimentConfig};
+use crate::policy::{KelpPolicy, PolicyKind};
+use crate::profile::{ApplicationProfile, ProfileLibrary, Watermark, WatermarkProfile};
+use crate::report::Table;
+use kelp_mem::topology::{SncMode, SocketId};
+use kelp_simcore::time::SimDuration;
+use kelp_workloads::{BatchKind, BatchWorkload, MlWorkloadKind};
+use serde::{Deserialize, Serialize};
+
+/// One sampling-period ablation point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingPoint {
+    /// Kelp sampling period in milliseconds.
+    pub period_ms: u64,
+    /// ML performance normalized to standalone.
+    pub ml_norm: f64,
+    /// Total CPU throughput in units/s.
+    pub cpu_throughput: f64,
+}
+
+/// Sweeps Kelp's sampling period on the CNN1 + 4x Stitch mix.
+pub fn sampling_sweep(periods_ms: &[u64], base: &ExperimentConfig) -> Vec<SamplingPoint> {
+    let ml = MlWorkloadKind::Cnn1;
+    let standalone = super::standalone_reference(ml, base);
+    periods_ms
+        .iter()
+        .map(|&ms| {
+            let config = ExperimentConfig {
+                sample_period: SimDuration::from_millis(ms),
+                ..base.clone()
+            };
+            let mut builder = Experiment::builder(ml, PolicyKind::Kelp).config(config);
+            for i in 0..4 {
+                builder = builder.add_cpu_workload(
+                    BatchWorkload::new(BatchKind::Stitch, 4).with_label(format!("Stitch#{i}")),
+                );
+            }
+            let r = builder.run();
+            SamplingPoint {
+                period_ms: ms,
+                ml_norm: r.ml_performance.throughput / standalone.throughput,
+                cpu_throughput: r.cpu_total_throughput(),
+            }
+        })
+        .collect()
+}
+
+/// Spread of the ML outcome across a sampling sweep (max - min of the
+/// normalized performance). The paper's claim implies this is small.
+pub fn sampling_spread(points: &[SamplingPoint]) -> f64 {
+    let max = points.iter().map(|p| p.ml_norm).fold(f64::MIN, f64::max);
+    let min = points.iter().map(|p| p.ml_norm).fold(f64::MAX, f64::min);
+    if points.is_empty() {
+        0.0
+    } else {
+        max - min
+    }
+}
+
+/// One backfill-ablation row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackfillRow {
+    /// The CPU workload.
+    pub cpu: String,
+    /// KP-SD ML normalized performance.
+    pub sd_ml: f64,
+    /// KP ML normalized performance.
+    pub kp_ml: f64,
+    /// KP-SD total CPU throughput.
+    pub sd_cpu: f64,
+    /// KP total CPU throughput.
+    pub kp_cpu: f64,
+}
+
+impl BackfillRow {
+    /// Relative CPU throughput recovered by backfilling.
+    pub fn cpu_recovered(&self) -> f64 {
+        if self.sd_cpu <= 0.0 {
+            0.0
+        } else {
+            self.kp_cpu / self.sd_cpu - 1.0
+        }
+    }
+}
+
+/// Runs the KP vs KP-SD ablation on the CNN1 host for each CPU workload.
+pub fn backfill_ablation(config: &ExperimentConfig) -> Vec<BackfillRow> {
+    let ml = MlWorkloadKind::Cnn1;
+    let standalone = super::standalone_reference(ml, config);
+    [BatchKind::Stream, BatchKind::Stitch, BatchKind::CpuMl]
+        .iter()
+        .map(|&kind| {
+            let run = |policy: PolicyKind| {
+                Experiment::builder(ml, policy)
+                    .add_cpu_workload(BatchWorkload::new(kind, 16))
+                    .config(config.clone())
+                    .run()
+            };
+            let sd = run(PolicyKind::KelpSubdomain);
+            let kp = run(PolicyKind::Kelp);
+            BackfillRow {
+                cpu: kind.name().to_string(),
+                sd_ml: sd.ml_performance.throughput / standalone.throughput,
+                kp_ml: kp.ml_performance.throughput / standalone.throughput,
+                sd_cpu: sd.cpu_total_throughput(),
+                kp_cpu: kp.cpu_total_throughput(),
+            }
+        })
+        .collect()
+}
+
+/// One watermark-sensitivity point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WatermarkPoint {
+    /// High saturation watermark used by the Kelp controller.
+    pub sat_high: f64,
+    /// ML performance normalized to standalone.
+    pub ml_norm: f64,
+    /// Total CPU throughput in units/s.
+    pub cpu_throughput: f64,
+}
+
+/// Sweeps Kelp's saturation high-watermark on the CNN1 + DRAM-aggressor mix.
+///
+/// Low values throttle batch prefetchers at the slightest pressure (max ML
+/// protection, min CPU throughput); high values tolerate saturation.
+pub fn saturation_watermark_sweep(
+    sat_highs: &[f64],
+    config: &ExperimentConfig,
+) -> Vec<WatermarkPoint> {
+    let ml = MlWorkloadKind::Cnn1;
+    let standalone = super::standalone_reference(ml, config);
+    let machine = ml.platform().host_machine();
+    sat_highs
+        .iter()
+        .map(|&sat_high| {
+            let base = WatermarkProfile::for_machine(&machine, SncMode::Enabled, SocketId(0));
+            let mut lib = ProfileLibrary::new();
+            lib.insert(ApplicationProfile {
+                workload: ml.name().to_string(),
+                // Neutralize the bandwidth/latency signals so the sweep
+                // isolates the saturation watermark (otherwise hi_lat_s
+                // triggers the same throttle path and masks it).
+                watermarks: WatermarkProfile {
+                    socket_saturation: Watermark::new((sat_high / 5.0).min(0.9), sat_high),
+                    socket_bw: Watermark::new(0.0, f64::MAX),
+                    socket_latency: Watermark::new(0.0, f64::MAX),
+                    ..base
+                },
+                notes: format!("ablation point sat_high={sat_high}"),
+            });
+            let r = Experiment::builder(ml, PolicyKind::Kelp)
+                .custom_policy(Box::new(KelpPolicy::full().with_profile_library(lib)))
+                .add_cpu_workload(BatchWorkload::new(BatchKind::DramAggressor, 14))
+                .config(config.clone())
+                .run();
+            WatermarkPoint {
+                sat_high,
+                ml_norm: r.ml_performance.throughput / standalone.throughput,
+                cpu_throughput: r.cpu_total_throughput(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the watermark sweep.
+pub fn watermark_table(points: &[WatermarkPoint]) -> Table {
+    let mut t = Table::new(
+        "Ablation — Kelp saturation watermark (CNN1 + DRAM aggressor)",
+        &["sat high watermark", "ML perf (norm)", "CPU units/s"],
+    );
+    for p in points {
+        t.row(vec![
+            Table::num(p.sat_high),
+            Table::num(p.ml_norm),
+            format!("{:.3e}", p.cpu_throughput),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_period_is_not_load_bearing() {
+        // The paper's §IV-D insensitivity claim, at quick scale.
+        let points = sampling_sweep(&[20, 80], &ExperimentConfig::quick());
+        assert_eq!(points.len(), 2);
+        assert!(
+            sampling_spread(&points) < 0.08,
+            "sampling period should not matter: {points:?}"
+        );
+        assert!(points.iter().all(|p| p.ml_norm > 0.8));
+    }
+
+    #[test]
+    fn backfill_recovers_cpu_without_hurting_ml() {
+        let rows = backfill_ablation(&ExperimentConfig::quick());
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(
+                row.cpu_recovered() > 0.0,
+                "{}: backfill must recover throughput ({:+.1}%)",
+                row.cpu,
+                row.cpu_recovered() * 100.0
+            );
+            assert!(
+                row.kp_ml > row.sd_ml - 0.08,
+                "{}: backfill must not crater ML perf ({} vs {})",
+                row.cpu,
+                row.kp_ml,
+                row.sd_ml
+            );
+        }
+    }
+
+    #[test]
+    fn tight_saturation_watermark_protects_loose_one_does_not() {
+        // The loose end must be unreachable (duty caps at 1.0).
+        let points =
+            saturation_watermark_sweep(&[0.05, f64::MAX], &ExperimentConfig::quick());
+        assert_eq!(points.len(), 2);
+        let tight = points[0];
+        let loose = points[1];
+        assert!(
+            tight.ml_norm > loose.ml_norm + 0.05,
+            "tight watermark must protect more: {} vs {}",
+            tight.ml_norm,
+            loose.ml_norm
+        );
+        // Counter-intuitive but real: in the fully saturated regime the
+        // loose watermark does NOT buy CPU throughput — the aggressor's
+        // prefetch waste burns its own bandwidth share (congestion
+        // collapse), so Kelp's throttling is win-win there. Assert only
+        // that both configurations keep the batch work running.
+        assert!(loose.cpu_throughput > 0.5 * tight.cpu_throughput);
+        assert!(tight.cpu_throughput > 0.0 && loose.cpu_throughput > 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! The RNN1 throughput–latency knee sweep.
+//!
+//! §III-A: "we sweep the query throughput (measured in queries-per-second or
+//! QPS) and analyze the tail latency. The target throughput we use in the
+//! paper is at the knee of the tail latency curve. The sweep plot is omitted
+//! for brevity." This harness regenerates that omitted plot and verifies the
+//! calibrated target sits at the knee.
+
+use crate::driver::{Experiment, ExperimentConfig};
+use crate::policy::PolicyKind;
+use crate::report::Table;
+use kelp_workloads::calib;
+use kelp_workloads::{InferenceParams, InferenceServer, MlWorkloadKind};
+use serde::{Deserialize, Serialize};
+
+/// One point of the load sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KneePoint {
+    /// Offered load, QPS.
+    pub offered_qps: f64,
+    /// Achieved throughput, QPS.
+    pub achieved_qps: f64,
+    /// 95 %-ile latency in ms.
+    pub tail_ms: f64,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KneeResult {
+    /// Sweep points in offered-load order.
+    pub points: Vec<KneePoint>,
+    /// The calibrated production target (from [`calib::rnn1_params`]).
+    pub target_qps: f64,
+}
+
+impl KneeResult {
+    /// The knee: the highest offered load whose tail stays within
+    /// `tolerance` times the lightest point's tail.
+    pub fn knee_qps(&self, tolerance: f64) -> f64 {
+        let Some(base) = self.points.first().map(|p| p.tail_ms) else {
+            return 0.0;
+        };
+        self.points
+            .iter()
+            .filter(|p| p.tail_ms <= base * tolerance)
+            .map(|p| p.offered_qps)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the sweep.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "RNN1 throughput-latency sweep (the paper's omitted knee plot)",
+            &["offered QPS", "achieved QPS", "p95 (ms)"],
+        );
+        for p in &self.points {
+            t.row(vec![
+                format!("{:.0}", p.offered_qps),
+                format!("{:.1}", p.achieved_qps),
+                format!("{:.2}", p.tail_ms),
+            ]);
+        }
+        t
+    }
+}
+
+/// Sweeps the offered load across the given QPS values.
+pub fn knee_sweep(offered: &[f64], config: &ExperimentConfig) -> KneeResult {
+    let mut points = Vec::new();
+    for &qps in offered {
+        let params = InferenceParams {
+            target_qps: qps,
+            ..calib::rnn1_params()
+        };
+        let machine = MlWorkloadKind::Rnn1.platform().host_machine();
+        let r = Experiment::builder_with_ml(
+            Box::new(InferenceServer::new(params)),
+            machine,
+            PolicyKind::Baseline,
+        )
+        .config(config.clone())
+        .run();
+        points.push(KneePoint {
+            offered_qps: qps,
+            achieved_qps: r.ml_performance.throughput,
+            tail_ms: r.ml_performance.tail_latency_ms.unwrap_or(0.0),
+        });
+    }
+    KneeResult {
+        points,
+        target_qps: calib::rnn1_params().target_qps,
+    }
+}
+
+/// The default sweep: 100–460 QPS in 40-QPS steps.
+pub fn default_sweep(config: &ExperimentConfig) -> KneeResult {
+    let offered: Vec<f64> = (0..10).map(|i| 100.0 + 40.0 * i as f64).collect();
+    knee_sweep(&offered, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_grows_past_the_knee_and_target_sits_before_it() {
+        let cfg = ExperimentConfig::quick();
+        let r = knee_sweep(&[150.0, 300.0, 440.0], &cfg);
+        assert_eq!(r.points.len(), 3);
+        // Light load: achieved == offered, low tail.
+        assert!((r.points[0].achieved_qps - 150.0).abs() < 25.0);
+        // Past the knee the tail blows up.
+        assert!(
+            r.points[2].tail_ms > 2.0 * r.points[0].tail_ms,
+            "overload tail {} vs light tail {}",
+            r.points[2].tail_ms,
+            r.points[0].tail_ms
+        );
+        // The calibrated target sits below the overload point.
+        assert!(r.target_qps < 440.0);
+        assert!(r.knee_qps(3.0) >= 150.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! One harness per table and figure of the paper's evaluation.
+//!
+//! | Harness | Paper artefact |
+//! |---|---|
+//! | [`fleet`] | Figure 2 — fleet 99 %-ile bandwidth CCDF |
+//! | [`timeline`] | Figure 3 — RNN1 execution timeline, standalone vs colocated |
+//! | [`table1`] | Table I — workload/platform matrix |
+//! | [`sensitivity`] | Figure 5 — LLC vs DRAM aggressor sensitivity |
+//! | [`backpressure`] | Figure 7 — prefetcher-toggling sweep under subdomains |
+//! | [`mix`] | Figures 9–12 — CNN1+Stitch and RNN1+CPUML case-study sweeps |
+//! | [`overall`] | Figures 13 & 14 — all mixes, slowdowns and efficiency |
+//! | [`remote`] | Figures 15 & 16 — remote-memory interference |
+//! | [`knee`] | the §III-A throughput–latency sweep the paper omits |
+//! | [`ablation`] | sampling-period / backfill / watermark ablations |
+//! | [`cluster`] | §II-D tail amplification at cluster scale |
+//! | [`scorecard`] | programmatic check of every headline claim |
+//!
+//! Each harness returns a serializable result struct and can render itself
+//! as a text table; the `kelp-bench` binaries are thin wrappers.
+
+pub mod ablation;
+pub mod backpressure;
+pub mod cluster;
+pub mod fleet;
+pub mod knee;
+pub mod mix;
+pub mod overall;
+pub mod remote;
+pub mod scorecard;
+pub mod sensitivity;
+pub mod table1;
+pub mod timeline;
+
+use crate::driver::{Experiment, ExperimentConfig};
+use crate::policy::PolicyKind;
+use kelp_workloads::model::PerfSnapshot;
+use kelp_workloads::MlWorkloadKind;
+
+/// Runs an ML workload standalone (no colocation, unmanaged baseline) and
+/// returns its reference performance. Every figure normalizes against this.
+pub fn standalone_reference(ml: MlWorkloadKind, config: &ExperimentConfig) -> PerfSnapshot {
+    Experiment::builder(ml, PolicyKind::Baseline)
+        .config(config.clone())
+        .run()
+        .ml_performance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standalone_reference_is_positive() {
+        let p = standalone_reference(MlWorkloadKind::Cnn1, &ExperimentConfig::quick());
+        assert!(p.throughput > 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Figure 5 (and the sensitivity half of Figure 15).
+//!
+//! "On average, LLC resource contention causes a noticeable performance
+//! degradation of 14 %. However, colocation with the DRAM aggressor causes
+//! a dramatic 40 % performance loss on average." (§III-B). Figure 15 adds
+//! the `Remote DRAM` aggressor, which costs CNN1/CNN2 an extra 16 %/27 %.
+//!
+//! The harness runs every Table I workload standalone and against each
+//! aggressor under the unmanaged baseline, reporting performance normalized
+//! to standalone.
+
+use crate::driver::{Experiment, ExperimentConfig};
+use crate::metrics::normalized;
+use crate::policy::PolicyKind;
+use crate::report::Table;
+use kelp_workloads::{BatchKind, BatchWorkload, MlWorkloadKind};
+use serde::{Deserialize, Serialize};
+
+/// Threads used by an aggressor kind in the sensitivity study. The LLC
+/// aggressor oversubscribes the socket's SMT threads (it contends for
+/// "in-pipeline resources shared through SMT", §III-B); the bandwidth
+/// aggressors saturate the channels from one thread per core.
+pub fn aggressor_threads(kind: BatchKind) -> usize {
+    match kind {
+        BatchKind::LlcAggressor => 40,
+        _ => 16,
+    }
+}
+
+/// One workload's sensitivity row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityRow {
+    /// Workload name.
+    pub workload: String,
+    /// Normalized performance under each aggressor, in `aggressors` order.
+    pub normalized_perf: Vec<f64>,
+}
+
+/// Figure 5 / Figure 15 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityResult {
+    /// Aggressor names, column order.
+    pub aggressors: Vec<String>,
+    /// Per-workload rows.
+    pub rows: Vec<SensitivityRow>,
+}
+
+impl SensitivityResult {
+    /// Column average (the paper's headline numbers).
+    pub fn average(&self, column: usize) -> f64 {
+        let vals: Vec<f64> = self.rows.iter().map(|r| r.normalized_perf[column]).collect();
+        kelp_simcore::stats::arithmetic_mean(&vals)
+    }
+
+    /// Average for a named aggressor.
+    pub fn average_for(&self, aggressor: &str) -> Option<f64> {
+        let col = self.aggressors.iter().position(|a| a == aggressor)?;
+        Some(self.average(col))
+    }
+
+    /// Renders as a text table.
+    pub fn table(&self, title: &str) -> Table {
+        let mut header = vec!["Workload"];
+        for a in &self.aggressors {
+            header.push(a);
+        }
+        let mut t = Table::new(title, &header);
+        for row in &self.rows {
+            let mut cells = vec![row.workload.clone()];
+            cells.extend(row.normalized_perf.iter().map(|&x| Table::num(x)));
+            t.row(cells);
+        }
+        let mut avg = vec!["Average".to_string()];
+        for c in 0..self.aggressors.len() {
+            avg.push(Table::num(self.average(c)));
+        }
+        t.row(avg);
+        t
+    }
+}
+
+/// Runs the sensitivity study for the given aggressor kinds.
+pub fn run_sensitivity(aggressors: &[BatchKind], config: &ExperimentConfig) -> SensitivityResult {
+    let mut rows = Vec::new();
+    for ml in MlWorkloadKind::all() {
+        let standalone = super::standalone_reference(ml, config);
+        let mut per_aggr = Vec::new();
+        for &kind in aggressors {
+            let result = Experiment::builder(ml, PolicyKind::Baseline)
+                .add_cpu_workload(BatchWorkload::new(kind, aggressor_threads(kind)))
+                .config(config.clone())
+                .run();
+            per_aggr.push(normalized(
+                result.ml_performance.throughput,
+                standalone.throughput,
+            ));
+        }
+        rows.push(SensitivityRow {
+            workload: ml.name().to_string(),
+            normalized_perf: per_aggr,
+        });
+    }
+    SensitivityResult {
+        aggressors: aggressors.iter().map(|a| a.name().to_string()).collect(),
+        rows,
+    }
+}
+
+/// Figure 5: LLC and DRAM aggressors.
+pub fn figure5(config: &ExperimentConfig) -> SensitivityResult {
+    run_sensitivity(&[BatchKind::LlcAggressor, BatchKind::DramAggressor], config)
+}
+
+/// Figure 15: LLC, DRAM and Remote DRAM.
+pub fn figure15(config: &ExperimentConfig) -> SensitivityResult {
+    run_sensitivity(
+        &[
+            BatchKind::LlcAggressor,
+            BatchKind::DramAggressor,
+            BatchKind::RemoteDramAggressor,
+        ],
+        config,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_hurts_more_than_llc() {
+        let r = run_sensitivity(
+            &[BatchKind::LlcAggressor, BatchKind::DramAggressor],
+            &ExperimentConfig::quick(),
+        );
+        assert_eq!(r.rows.len(), 4);
+        let llc = r.average(0);
+        let dram = r.average(1);
+        assert!(dram < llc, "dram {dram} llc {llc}");
+        assert!(llc < 1.02, "llc aggressor should cost something: {llc}");
+        // Table renders with an Average row.
+        assert_eq!(r.table("Fig 5").row_count(), 5);
+    }
+}

@@ -1,0 +1,48 @@
+//! Table I: accelerated ML platforms and production workloads.
+
+use crate::report::Table;
+use kelp_workloads::registry::MlWorkloadKind;
+
+/// Renders Table I.
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table I — Accelerated ML platforms and production workloads",
+        &[
+            "Workload",
+            "Mode",
+            "Platform",
+            "Description",
+            "CPU-Accelerator Interaction",
+            "CPU Intensity",
+            "Host Memory Intensity",
+        ],
+    );
+    for kind in MlWorkloadKind::all() {
+        let row = kind.table1_row();
+        t.row(vec![
+            row.workload,
+            row.mode.to_string(),
+            row.platform.to_string(),
+            row.description.to_string(),
+            row.interaction.to_string(),
+            row.cpu_intensity.label().to_string(),
+            row.host_memory_intensity.label().to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_four_rows_matching_the_paper() {
+        let t = table1();
+        assert_eq!(t.row_count(), 4);
+        let rendered = t.render();
+        assert!(rendered.contains("Beam search"));
+        assert!(rendered.contains("Parameter server"));
+        assert!(rendered.contains("Cloud TPU"));
+    }
+}

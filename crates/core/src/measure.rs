@@ -1,0 +1,181 @@
+//! The four runtime measurements.
+//!
+//! Paper §IV-D: "At runtime, Kelp makes four types of measurements from the
+//! processor: socket-level memory bandwidth, memory latency, memory
+//! saturation, and high-priority subdomain bandwidth." [`Measurements`] is
+//! that sample, extracted from a [`MemCounters`] snapshot; [`MeasurementAvg`]
+//! averages the per-step snapshots between two runtime sampling points, the
+//! way hardware counters integrate over the sampling interval.
+
+use kelp_mem::topology::{DomainId, SocketId};
+use kelp_mem::MemCounters;
+use serde::{Deserialize, Serialize};
+
+/// One runtime sample of the four Kelp measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Measurements {
+    /// Socket-level memory bandwidth, GB/s (`bw_s`).
+    pub socket_bw_gbps: f64,
+    /// Socket average memory latency, ns (`lat_s`).
+    pub socket_latency_ns: f64,
+    /// Memory saturation duty cycle from `FAST_ASSERTED` (`sat_s`).
+    ///
+    /// Attributed to the *low-priority* domain's controller: the runtime
+    /// reads the uncore unit serving the low-priority subdomain, so it does
+    /// not throttle low-priority tasks for saturation the ML task itself
+    /// causes (e.g. CNN3's parameter server bursts).
+    pub socket_saturation: f64,
+    /// High-priority subdomain bandwidth, GB/s (`bw_h`).
+    pub hp_domain_bw_gbps: f64,
+}
+
+impl Measurements {
+    /// Extracts the four measurements for the given socket and HP/LP domains
+    /// from a counter snapshot.
+    pub fn from_counters(
+        counters: &MemCounters,
+        socket: SocketId,
+        hp_domain: DomainId,
+        lp_domain: DomainId,
+    ) -> Self {
+        Measurements {
+            socket_bw_gbps: counters.socket_bw(socket),
+            socket_latency_ns: counters.socket_latency(socket),
+            socket_saturation: counters.domain_saturation(lp_domain),
+            hp_domain_bw_gbps: counters.domain_bw(hp_domain),
+        }
+    }
+}
+
+/// Accumulates per-step measurements into an interval average.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MeasurementAvg {
+    sum: Measurements,
+    count: u64,
+}
+
+impl MeasurementAvg {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        MeasurementAvg::default()
+    }
+
+    /// Adds one step's sample.
+    pub fn add(&mut self, m: Measurements) {
+        self.sum.socket_bw_gbps += m.socket_bw_gbps;
+        self.sum.socket_latency_ns += m.socket_latency_ns;
+        self.sum.socket_saturation += m.socket_saturation;
+        self.sum.hp_domain_bw_gbps += m.hp_domain_bw_gbps;
+        self.count += 1;
+    }
+
+    /// Number of samples accumulated.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns the average and resets the accumulator.
+    pub fn take(&mut self) -> Measurements {
+        let n = self.count.max(1) as f64;
+        let avg = Measurements {
+            socket_bw_gbps: self.sum.socket_bw_gbps / n,
+            socket_latency_ns: self.sum.socket_latency_ns / n,
+            socket_saturation: self.sum.socket_saturation / n,
+            hp_domain_bw_gbps: self.sum.hp_domain_bw_gbps / n,
+        };
+        *self = MeasurementAvg::default();
+        avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kelp_mem::counters::{DomainCounters, SocketCounters};
+
+    fn counters() -> MemCounters {
+        MemCounters {
+            domains: vec![
+                DomainCounters {
+                    domain: DomainId::new(0, 0),
+                    bw_gbps: 20.0,
+                    utilization: 0.4,
+                    latency_ns: 90.0,
+                    distress_duty: 0.0,
+                },
+                DomainCounters {
+                    domain: DomainId::new(0, 1),
+                    bw_gbps: 40.0,
+                    utilization: 0.8,
+                    latency_ns: 140.0,
+                    distress_duty: 0.3,
+                },
+            ],
+            sockets: vec![SocketCounters {
+                socket: SocketId(0),
+                bw_gbps: 60.0,
+                avg_latency_ns: 123.0,
+                distress_duty: 0.3,
+                core_speed_factor: 0.85,
+            }],
+            upi_gbps: 0.0,
+            upi_utilization: 0.0,
+        }
+    }
+
+    #[test]
+    fn extracts_all_four_measurements() {
+        let m = Measurements::from_counters(
+            &counters(),
+            SocketId(0),
+            DomainId::new(0, 0),
+            DomainId::new(0, 1),
+        );
+        assert_eq!(m.socket_bw_gbps, 60.0);
+        assert_eq!(m.socket_latency_ns, 123.0);
+        assert_eq!(m.socket_saturation, 0.3, "lp-domain duty");
+        assert_eq!(m.hp_domain_bw_gbps, 20.0);
+    }
+
+    #[test]
+    fn saturation_is_attributed_to_the_lp_domain() {
+        // Swap hp/lp: saturation now reads the quiet domain.
+        let m = Measurements::from_counters(
+            &counters(),
+            SocketId(0),
+            DomainId::new(0, 1),
+            DomainId::new(0, 0),
+        );
+        assert_eq!(m.socket_saturation, 0.0);
+    }
+
+    #[test]
+    fn averaging_and_reset() {
+        let mut avg = MeasurementAvg::new();
+        avg.add(Measurements {
+            socket_bw_gbps: 10.0,
+            socket_latency_ns: 100.0,
+            socket_saturation: 0.0,
+            hp_domain_bw_gbps: 5.0,
+        });
+        avg.add(Measurements {
+            socket_bw_gbps: 30.0,
+            socket_latency_ns: 200.0,
+            socket_saturation: 0.4,
+            hp_domain_bw_gbps: 15.0,
+        });
+        assert_eq!(avg.count(), 2);
+        let m = avg.take();
+        assert_eq!(m.socket_bw_gbps, 20.0);
+        assert_eq!(m.socket_latency_ns, 150.0);
+        assert_eq!(m.socket_saturation, 0.2);
+        assert_eq!(m.hp_domain_bw_gbps, 10.0);
+        assert_eq!(avg.count(), 0);
+    }
+
+    #[test]
+    fn empty_take_is_zero() {
+        let mut avg = MeasurementAvg::new();
+        assert_eq!(avg.take(), Measurements::default());
+    }
+}

@@ -1,0 +1,78 @@
+//! Baseline (BL): unmanaged colocation.
+//!
+//! "Task priority is specified through the Borg interface; resource
+//! contention is unmanaged" (§V-A). No CAT, no SNC, no actuation — low
+//! priority tasks keep every core their cpuset came with.
+
+use super::{Policy, PolicyCtx, PolicyKind, PolicySnapshot};
+use crate::measure::Measurements;
+use kelp_host::HostMachine;
+use kelp_mem::topology::SncMode;
+
+/// The unmanaged baseline.
+#[derive(Debug, Default)]
+pub struct BaselinePolicy {
+    snapshot: PolicySnapshot,
+}
+
+impl BaselinePolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        BaselinePolicy::default()
+    }
+}
+
+impl Policy for BaselinePolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Baseline
+    }
+
+    fn snc_mode(&self) -> SncMode {
+        SncMode::Disabled
+    }
+
+    fn setup(&mut self, machine: &mut HostMachine, ctx: &PolicyCtx) {
+        // Record the static allocation for the parameter plots.
+        let cores = machine.domain_cores(ctx.lp_domain) as u32;
+        self.snapshot = PolicySnapshot {
+            lp_cores: cores,
+            lp_cores_max: cores,
+            lp_prefetchers: cores,
+            hp_backfill_cores: 0,
+            hp_backfill_max: 0,
+        };
+    }
+
+    fn on_sample(&mut self, _m: Measurements, _machine: &mut HostMachine, _ctx: &PolicyCtx) {}
+
+    fn snapshot(&self) -> PolicySnapshot {
+        self.snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kelp_mem::topology::{DomainId, MachineSpec, SocketId};
+
+    #[test]
+    fn baseline_takes_no_action() {
+        let mut machine = HostMachine::new(MachineSpec::dual_socket(), SncMode::Disabled);
+        let mut p = BaselinePolicy::new();
+        let ctx = PolicyCtx {
+            socket: SocketId(0),
+            ml_name: None,
+            hp_domain: DomainId::new(0, 0),
+            lp_domain: DomainId::new(0, 0),
+            hp_task: None,
+            lp_tasks: vec![],
+        };
+        p.setup(&mut machine, &ctx);
+        assert_eq!(p.snapshot().lp_cores, 24);
+        let cat_before = machine.mem().cat();
+        p.on_sample(Measurements::default(), &mut machine, &ctx);
+        assert_eq!(machine.mem().cat(), cat_before);
+        assert_eq!(p.kind(), PolicyKind::Baseline);
+        assert_eq!(p.snc_mode(), SncMode::Disabled);
+    }
+}

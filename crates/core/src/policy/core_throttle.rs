@@ -1,0 +1,194 @@
+//! CoreThrottle (CT): the previous-work baseline.
+//!
+//! "A competitive resource management configuration that closely mimics
+//! mechanisms from previous work [Heracles, Dirigent, CPI2]. Memory BW
+//! interference is managed by limiting the number of cores available to the
+//! low priority CPU tasks through CPU masks, while LLC interference is
+//! managed by dedicating LLC partitions to the accelerated tasks through
+//! Intel CAT" (§V-A).
+//!
+//! The controller is a simple reactive loop over socket bandwidth and
+//! latency: above the high watermark, shrink the low-priority cpuset by one
+//! core; below both low watermarks, grow it by one.
+
+use super::{apply_lp_allocations, apply_standard_cat, Policy, PolicyCtx, PolicyKind, PolicySnapshot};
+use crate::measure::Measurements;
+use crate::profile::WatermarkProfile;
+use kelp_host::HostMachine;
+use kelp_mem::topology::SncMode;
+
+/// Reactive core-throttling policy.
+#[derive(Debug, Default)]
+pub struct CoreThrottlePolicy {
+    profile: Option<WatermarkProfile>,
+    cores: u32,
+    max_cores: u32,
+    min_cores: u32,
+}
+
+impl CoreThrottlePolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        CoreThrottlePolicy::default()
+    }
+}
+
+impl Policy for CoreThrottlePolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::CoreThrottle
+    }
+
+    fn snc_mode(&self) -> SncMode {
+        SncMode::Disabled
+    }
+
+    fn setup(&mut self, machine: &mut HostMachine, ctx: &PolicyCtx) {
+        apply_standard_cat(machine, ctx.socket);
+        // Previous-work watermarks: CoreThrottle models Heracles/Dirigent/
+        // CPI2-class controllers, which manage *bandwidth and latency*
+        // targets oriented at keeping the machine utilized. They have no
+        // saturation (FAST_ASSERTED) signal — reading that counter is part
+        // of Kelp's contribution — so they settle at a higher-utilization
+        // operating point that leaves residual backpressure interference.
+        let spec = machine.mem().machine().socket(ctx.socket);
+        let peak = spec.peak_gbps();
+        let lat = spec.base_latency_ns;
+        self.profile = Some(WatermarkProfile {
+            socket_bw: crate::profile::Watermark::new(0.70 * peak, 0.88 * peak),
+            socket_latency: crate::profile::Watermark::new(1.4 * lat, 2.2 * lat),
+            socket_saturation: crate::profile::Watermark::new(f64::MAX, f64::MAX),
+            hp_domain_bw: crate::profile::Watermark::new(f64::MAX, f64::MAX),
+        });
+        // Reserve the ML task's cores; the rest are the low-priority pool.
+        let domain_cores = machine.domain_cores(ctx.lp_domain) as u32;
+        let reserved = ctx
+            .hp_task
+            .map(|t| machine.task_spec(t).desired_threads as u32)
+            .unwrap_or(0);
+        self.max_cores = domain_cores.saturating_sub(reserved).max(1);
+        self.min_cores = 1;
+        self.cores = self.max_cores;
+        apply_lp_allocations(machine, ctx, self.cores, 0);
+    }
+
+    fn on_sample(&mut self, m: Measurements, machine: &mut HostMachine, ctx: &PolicyCtx) {
+        let Some(profile) = &self.profile else {
+            return;
+        };
+        let before = self.cores;
+        if profile.hi_bw_s(&m) || profile.hi_lat_s(&m) {
+            if self.cores > self.min_cores {
+                self.cores -= 1;
+            }
+        } else if profile.lo_bw_s(&m) && profile.lo_lat_s(&m) && self.cores < self.max_cores {
+            self.cores += 1;
+        }
+        if self.cores != before {
+            apply_lp_allocations(machine, ctx, self.cores, 0);
+        }
+    }
+
+    fn snapshot(&self) -> PolicySnapshot {
+        PolicySnapshot {
+            lp_cores: self.cores,
+            lp_cores_max: self.max_cores,
+            lp_prefetchers: self.cores, // CT never touches prefetchers
+            hp_backfill_cores: 0,
+            hp_backfill_max: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kelp_host::placement::CpuAllocation;
+    use kelp_host::task::{Priority, TaskSpec, ThreadProfile};
+    use kelp_host::machine::Actuator;
+    use kelp_mem::topology::{DomainId, MachineSpec, SocketId};
+
+    fn setup() -> (HostMachine, CoreThrottlePolicy, PolicyCtx) {
+        let mut machine = HostMachine::new(MachineSpec::dual_socket(), SncMode::Disabled);
+        let d = DomainId::new(0, 0);
+        let ml = machine.add_task(
+            TaskSpec::new("ml", Priority::High, ThreadProfile::compute_bound(100.0), 4),
+            vec![CpuAllocation::local(d, 4)],
+        );
+        let lp = machine.add_task(
+            TaskSpec::new("batch", Priority::Low, ThreadProfile::streaming(1e9), 16),
+            vec![CpuAllocation::local(d, 24)],
+        );
+        let ctx = PolicyCtx {
+            socket: SocketId(0),
+            ml_name: None,
+            hp_domain: d,
+            lp_domain: d,
+            hp_task: Some(ml),
+            lp_tasks: vec![(lp, 16)],
+        };
+        let mut p = CoreThrottlePolicy::new();
+        p.setup(&mut machine, &ctx);
+        (machine, p, ctx)
+    }
+
+    fn hot() -> Measurements {
+        Measurements {
+            socket_bw_gbps: 1e3,
+            socket_latency_ns: 1e3,
+            socket_saturation: 0.5,
+            hp_domain_bw_gbps: 1e3,
+        }
+    }
+
+    #[test]
+    fn setup_reserves_ml_cores_and_applies_cat() {
+        let (machine, p, _ctx) = setup();
+        assert_eq!(p.snapshot().lp_cores_max, 20);
+        assert_eq!(p.snapshot().lp_cores, 20);
+        assert_eq!(machine.mem().cat().high_priority_ways, super::super::DEDICATED_HP_WAYS);
+    }
+
+    #[test]
+    fn hot_samples_shrink_the_pool_one_core_at_a_time() {
+        let (mut machine, mut p, ctx) = setup();
+        p.on_sample(hot(), &mut machine, &ctx);
+        assert_eq!(p.snapshot().lp_cores, 19);
+        let allocs = machine.allocations(ctx.lp_tasks[0].0);
+        assert_eq!(allocs[0].cores, 19);
+        for _ in 0..100 {
+            p.on_sample(hot(), &mut machine, &ctx);
+        }
+        assert_eq!(p.snapshot().lp_cores, 1, "clamped at the minimum");
+    }
+
+    #[test]
+    fn cool_samples_grow_back() {
+        let (mut machine, mut p, ctx) = setup();
+        for _ in 0..5 {
+            p.on_sample(hot(), &mut machine, &ctx);
+        }
+        let cool = Measurements::default();
+        p.on_sample(cool, &mut machine, &ctx);
+        assert_eq!(p.snapshot().lp_cores, 16);
+        for _ in 0..100 {
+            p.on_sample(cool, &mut machine, &ctx);
+        }
+        assert_eq!(p.snapshot().lp_cores, 20, "clamped at the maximum");
+    }
+
+    #[test]
+    fn hysteresis_band_is_stable() {
+        let (mut machine, mut p, ctx) = setup();
+        let mid = Measurements {
+            socket_bw_gbps: 90.0,  // between 0.55*127.8 and 0.78*127.8
+            socket_latency_ns: 120.0,
+            socket_saturation: 0.0,
+            hp_domain_bw_gbps: 0.0,
+        };
+        let before = p.snapshot().lp_cores;
+        for _ in 0..10 {
+            p.on_sample(mid, &mut machine, &ctx);
+        }
+        assert_eq!(p.snapshot().lp_cores, before);
+    }
+}

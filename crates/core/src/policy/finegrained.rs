@@ -1,0 +1,183 @@
+//! FineGrained (FG): the §VI-D hardware-QoS estimate.
+//!
+//! The paper argues that fine-grained memory performance isolation — an
+//! MBA-style per-task request-rate controller that differentiates requests
+//! by task — could beat Subdomain's ML performance *and* CoreThrottle's CPU
+//! throughput, because it throttles only the offending traffic without
+//! fragmenting channels. This policy approximates that upper bound: SNC
+//! stays off (full channel interleaving, no fragmentation), the ML task is
+//! CAT-protected, and the low-priority tasks share an adaptive bandwidth
+//! budget enforced by per-task caps, multiplicatively shrunk when socket
+//! latency crosses the high watermark and grown when it is low.
+
+use super::{apply_standard_cat, Policy, PolicyCtx, PolicyKind, PolicySnapshot};
+use crate::measure::Measurements;
+use crate::profile::WatermarkProfile;
+use kelp_host::machine::Actuator;
+use kelp_host::HostMachine;
+use kelp_mem::topology::SncMode;
+
+/// Adaptive per-task bandwidth-cap policy.
+#[derive(Debug, Default)]
+pub struct FineGrainedPolicy {
+    profile: Option<WatermarkProfile>,
+    /// Total low-priority bandwidth budget in GB/s.
+    budget_gbps: f64,
+    max_budget_gbps: f64,
+    min_budget_gbps: f64,
+    lp_cores: u32,
+}
+
+impl FineGrainedPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        FineGrainedPolicy::default()
+    }
+
+    /// The current low-priority bandwidth budget in GB/s.
+    pub fn budget_gbps(&self) -> f64 {
+        self.budget_gbps
+    }
+
+    fn apply(&self, machine: &mut HostMachine, ctx: &PolicyCtx) {
+        let weights: f64 = ctx.lp_tasks.iter().map(|&(_, w)| w as f64).sum();
+        for &(task, w) in &ctx.lp_tasks {
+            let share = if weights > 0.0 {
+                self.budget_gbps * w as f64 / weights
+            } else {
+                self.budget_gbps
+            };
+            machine.set_bw_cap(task, Some(share));
+        }
+    }
+}
+
+impl Policy for FineGrainedPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::FineGrained
+    }
+
+    fn snc_mode(&self) -> SncMode {
+        SncMode::Disabled
+    }
+
+    fn setup(&mut self, machine: &mut HostMachine, ctx: &PolicyCtx) {
+        apply_standard_cat(machine, ctx.socket);
+        self.profile = Some(WatermarkProfile::for_machine(
+            machine.mem().machine(),
+            SncMode::Disabled,
+            ctx.socket,
+        ));
+        let peak = machine.mem().machine().socket(ctx.socket).peak_gbps();
+        self.max_budget_gbps = peak;
+        self.min_budget_gbps = 0.02 * peak;
+        self.budget_gbps = 0.7 * peak;
+        self.lp_cores = machine.domain_cores(ctx.lp_domain) as u32;
+        self.apply(machine, ctx);
+    }
+
+    fn on_sample(&mut self, m: Measurements, machine: &mut HostMachine, ctx: &PolicyCtx) {
+        let Some(profile) = &self.profile else {
+            return;
+        };
+        let before = self.budget_gbps;
+        if profile.hi_lat_s(&m) || profile.hi_sat_s(&m) {
+            self.budget_gbps = (self.budget_gbps * 0.8).max(self.min_budget_gbps);
+        } else if profile.lo_lat_s(&m) && profile.lo_sat_s(&m) {
+            self.budget_gbps = (self.budget_gbps * 1.15).min(self.max_budget_gbps);
+        }
+        if (self.budget_gbps - before).abs() > 1e-9 {
+            self.apply(machine, ctx);
+        }
+    }
+
+    fn snapshot(&self) -> PolicySnapshot {
+        PolicySnapshot {
+            lp_cores: self.lp_cores,
+            lp_cores_max: self.lp_cores,
+            lp_prefetchers: self.lp_cores,
+            hp_backfill_cores: 0,
+            hp_backfill_max: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kelp_host::placement::CpuAllocation;
+    use kelp_host::task::{Priority, TaskSpec, ThreadProfile};
+    use kelp_mem::topology::{DomainId, MachineSpec, SocketId};
+
+    fn setup() -> (HostMachine, FineGrainedPolicy, PolicyCtx) {
+        let mut machine = HostMachine::new(MachineSpec::dual_socket(), SncMode::Disabled);
+        let d = DomainId::new(0, 0);
+        let lp = machine.add_task(
+            TaskSpec::new("batch", Priority::Low, ThreadProfile::streaming(1e9), 16),
+            vec![CpuAllocation::local(d, 24)],
+        );
+        let ctx = PolicyCtx {
+            socket: SocketId(0),
+            ml_name: None,
+            hp_domain: d,
+            lp_domain: d,
+            hp_task: None,
+            lp_tasks: vec![(lp, 16)],
+        };
+        let mut p = FineGrainedPolicy::new();
+        p.setup(&mut machine, &ctx);
+        (machine, p, ctx)
+    }
+
+    #[test]
+    fn budget_shrinks_under_latency_pressure() {
+        let (mut machine, mut p, ctx) = setup();
+        let start = p.budget_gbps();
+        let hot = Measurements {
+            socket_latency_ns: 1e3,
+            ..Measurements::default()
+        };
+        p.on_sample(hot, &mut machine, &ctx);
+        assert!((p.budget_gbps() - start * 0.8).abs() < 1e-9);
+        for _ in 0..100 {
+            p.on_sample(hot, &mut machine, &ctx);
+        }
+        assert!(p.budget_gbps() >= p.min_budget_gbps - 1e-12);
+    }
+
+    #[test]
+    fn budget_recovers_when_quiet() {
+        let (mut machine, mut p, ctx) = setup();
+        let hot = Measurements {
+            socket_latency_ns: 1e3,
+            ..Measurements::default()
+        };
+        for _ in 0..5 {
+            p.on_sample(hot, &mut machine, &ctx);
+        }
+        let low = Measurements::default();
+        for _ in 0..100 {
+            p.on_sample(low, &mut machine, &ctx);
+        }
+        assert!((p.budget_gbps() - p.max_budget_gbps).abs() < 1e-6);
+    }
+
+    #[test]
+    fn caps_are_actually_enforced() {
+        let (mut machine, mut p, ctx) = setup();
+        let hot = Measurements {
+            socket_latency_ns: 1e3,
+            ..Measurements::default()
+        };
+        for _ in 0..12 {
+            p.on_sample(hot, &mut machine, &ctx);
+        }
+        let report = machine.solve();
+        let bw = report.task(ctx.lp_tasks[0].0).bw_gbps;
+        assert!(
+            bw <= p.budget_gbps() * 1.1,
+            "bw {bw} exceeds budget {}",
+            p.budget_gbps()
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! Kelp (KP) and Kelp-Subdomain (KP-SD).
+//!
+//! Both boot the socket in SNC mode, pin the accelerated ML task to
+//! subdomain 0 and the low-priority tasks to subdomain 1, and dedicate an
+//! LLC partition with CAT. KP-SD manages only the backpressure leak —
+//! toggling low-priority L2 prefetchers when the `FAST_ASSERTED` duty cycle
+//! crosses the watermark. Full Kelp additionally backfills the
+//! high-priority subdomain with low-priority cores under Algorithm 1's
+//! `bw_h` watermark loop, recovering the throughput the partition fragments
+//! away (§IV-C).
+
+use super::{
+    apply_lp_allocations, apply_standard_cat, Policy, PolicyCtx, PolicyKind, PolicySnapshot,
+};
+use crate::algorithm::{KelpController, KelpControllerConfig};
+use crate::measure::Measurements;
+use crate::profile::{ProfileLibrary, WatermarkProfile};
+use kelp_host::machine::Actuator;
+use kelp_host::HostMachine;
+use kelp_mem::prefetch::PrefetchSetting;
+use kelp_mem::topology::SncMode;
+
+/// The Kelp runtime (full or subdomain-only).
+#[derive(Debug)]
+pub struct KelpPolicy {
+    backfill: bool,
+    mode: SncMode,
+    profile: Option<WatermarkProfile>,
+    library: Option<ProfileLibrary>,
+    controller: Option<KelpController>,
+}
+
+impl KelpPolicy {
+    /// Full Kelp (KP): subdomains + prefetcher management + backfilling.
+    pub fn full() -> Self {
+        KelpPolicy {
+            backfill: true,
+            mode: SncMode::Enabled,
+            profile: None,
+            library: None,
+            controller: None,
+        }
+    }
+
+    /// KP-SD: subdomains + prefetcher management only.
+    pub fn subdomain_only() -> Self {
+        KelpPolicy {
+            backfill: false,
+            mode: SncMode::Enabled,
+            profile: None,
+            library: None,
+            controller: None,
+        }
+    }
+
+    /// The full Kelp controller running on software *channel partitioning*
+    /// (the paper's reference \[32\]) instead of SNC: bandwidth is isolated
+    /// identically, but the LLC stays shared and the SNC latency effects
+    /// disappear. Isolates what the SNC hardware contributes.
+    pub fn channel_partitioned() -> Self {
+        KelpPolicy {
+            backfill: true,
+            mode: SncMode::ChannelPartition,
+            profile: None,
+            library: None,
+            controller: None,
+        }
+    }
+
+    /// Attaches a per-application profile library: at setup the policy looks
+    /// up the running ML workload's profile instead of using the machine
+    /// defaults (§IV-D's Borglet-shipped profiles).
+    pub fn with_profile_library(mut self, library: ProfileLibrary) -> Self {
+        self.library = Some(library);
+        self
+    }
+
+    fn apply(&self, machine: &mut HostMachine, ctx: &PolicyCtx) {
+        let Some(c) = &self.controller else {
+            return;
+        };
+        apply_lp_allocations(machine, ctx, c.cores_lp(), c.cores_hp());
+        let setting = PrefetchSetting::fraction(c.prefetcher_fraction());
+        for &(task, _) in &ctx.lp_tasks {
+            machine.set_prefetchers(task, setting);
+        }
+    }
+}
+
+impl Policy for KelpPolicy {
+    fn kind(&self) -> PolicyKind {
+        match (self.mode, self.backfill) {
+            (SncMode::ChannelPartition, _) => PolicyKind::Mcp,
+            (_, true) => PolicyKind::Kelp,
+            (_, false) => PolicyKind::KelpSubdomain,
+        }
+    }
+
+    fn snc_mode(&self) -> SncMode {
+        self.mode
+    }
+
+    fn setup(&mut self, machine: &mut HostMachine, ctx: &PolicyCtx) {
+        apply_standard_cat(machine, ctx.socket);
+        let watermarks = match (&self.library, &ctx.ml_name) {
+            (Some(lib), Some(name)) => {
+                lib.watermarks_for(name, machine.mem().machine(), self.mode, ctx.socket)
+            }
+            _ => WatermarkProfile::for_machine(machine.mem().machine(), self.mode, ctx.socket),
+        };
+        self.profile = Some(watermarks);
+        let lp_cores = machine.domain_cores(ctx.lp_domain) as u32;
+        let hp_cores = machine.domain_cores(ctx.hp_domain) as u32;
+        let reserved = ctx
+            .hp_task
+            .map(|t| machine.task_spec(t).desired_threads as u32)
+            .unwrap_or(0);
+        let max_backfill = if self.backfill {
+            hp_cores.saturating_sub(reserved)
+        } else {
+            0
+        };
+        self.controller = Some(KelpController::new(KelpControllerConfig {
+            min_cores_hp: 0,
+            max_cores_hp: max_backfill,
+            min_cores_lp: 1,
+            max_cores_lp: lp_cores,
+        }));
+        self.apply(machine, ctx);
+    }
+
+    fn on_sample(&mut self, m: Measurements, machine: &mut HostMachine, ctx: &PolicyCtx) {
+        let (Some(profile), Some(controller)) = (&self.profile, &mut self.controller) else {
+            return;
+        };
+        let before = *controller;
+        controller.tick(profile, &m);
+        if *controller != before {
+            self.apply(machine, ctx);
+        }
+    }
+
+    fn snapshot(&self) -> PolicySnapshot {
+        let Some(c) = &self.controller else {
+            return PolicySnapshot::default();
+        };
+        PolicySnapshot {
+            lp_cores: c.cores_lp(),
+            lp_cores_max: 12.max(c.cores_lp()),
+            lp_prefetchers: c.prefetchers_lp(),
+            hp_backfill_cores: c.cores_hp(),
+            hp_backfill_max: if self.backfill { 12 } else { 0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kelp_host::placement::CpuAllocation;
+    use kelp_host::task::{Priority, TaskSpec, ThreadProfile};
+    use kelp_mem::topology::{DomainId, MachineSpec, SocketId};
+
+    fn setup(full: bool) -> (HostMachine, KelpPolicy, PolicyCtx) {
+        let mut machine = HostMachine::new(MachineSpec::dual_socket(), SncMode::Enabled);
+        let hp = DomainId::new(0, 0);
+        let lp = DomainId::new(0, 1);
+        let ml = machine.add_task(
+            TaskSpec::new("ml", Priority::High, ThreadProfile::compute_bound(100.0), 4),
+            vec![CpuAllocation::local(hp, 4)],
+        );
+        let batch = machine.add_task(
+            TaskSpec::new("batch", Priority::Low, ThreadProfile::streaming(1e9), 16),
+            vec![CpuAllocation::local(lp, 12)],
+        );
+        let ctx = PolicyCtx {
+            socket: SocketId(0),
+            ml_name: None,
+            hp_domain: hp,
+            lp_domain: lp,
+            hp_task: Some(ml),
+            lp_tasks: vec![(batch, 16)],
+        };
+        let mut p = if full {
+            KelpPolicy::full()
+        } else {
+            KelpPolicy::subdomain_only()
+        };
+        p.setup(&mut machine, &ctx);
+        (machine, p, ctx)
+    }
+
+    fn saturated() -> Measurements {
+        Measurements {
+            socket_bw_gbps: 120.0,
+            socket_latency_ns: 200.0,
+            socket_saturation: 0.3,
+            hp_domain_bw_gbps: 50.0,
+        }
+    }
+
+    fn idle() -> Measurements {
+        Measurements::default()
+    }
+
+    #[test]
+    fn full_kelp_starts_with_backfill_granted() {
+        let (machine, p, ctx) = setup(true);
+        let s = p.snapshot();
+        assert_eq!(s.lp_cores, 12);
+        assert_eq!(s.hp_backfill_cores, 8, "12 hp cores minus 4 ml threads");
+        // The lp task holds cpusets in both subdomains.
+        let allocs = machine.allocations(ctx.lp_tasks[0].0);
+        assert_eq!(allocs.len(), 2);
+    }
+
+    #[test]
+    fn subdomain_only_never_backfills() {
+        let (machine, mut p, ctx) = setup(false);
+        assert_eq!(p.snapshot().hp_backfill_cores, 0);
+        let mut machine = machine;
+        for _ in 0..20 {
+            p.on_sample(idle(), &mut machine, &ctx);
+        }
+        assert_eq!(p.snapshot().hp_backfill_cores, 0);
+        assert_eq!(p.kind(), PolicyKind::KelpSubdomain);
+    }
+
+    #[test]
+    fn saturation_disables_prefetchers_before_cores() {
+        let (mut machine, mut p, ctx) = setup(false);
+        assert_eq!(p.snapshot().lp_prefetchers, 12);
+        p.on_sample(saturated(), &mut machine, &ctx);
+        assert_eq!(p.snapshot().lp_prefetchers, 6);
+        assert_eq!(p.snapshot().lp_cores, 12);
+        let setting = machine.prefetchers(ctx.lp_tasks[0].0);
+        assert!((setting.enabled_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_kelp_withdraws_backfill_under_hp_pressure() {
+        let (mut machine, mut p, ctx) = setup(true);
+        let hp_hot = Measurements {
+            hp_domain_bw_gbps: 60.0, // above the hp high watermark
+            ..idle()
+        };
+        p.on_sample(hp_hot, &mut machine, &ctx);
+        assert_eq!(p.snapshot().hp_backfill_cores, 7);
+        for _ in 0..20 {
+            p.on_sample(hp_hot, &mut machine, &ctx);
+        }
+        assert_eq!(p.snapshot().hp_backfill_cores, 0);
+    }
+
+    #[test]
+    fn recovery_restores_resources() {
+        let (mut machine, mut p, ctx) = setup(true);
+        for _ in 0..10 {
+            p.on_sample(saturated(), &mut machine, &ctx);
+        }
+        assert!(p.snapshot().lp_prefetchers < 12);
+        for _ in 0..40 {
+            p.on_sample(idle(), &mut machine, &ctx);
+        }
+        let s = p.snapshot();
+        assert_eq!(s.lp_prefetchers, 12);
+        assert_eq!(s.lp_cores, 12);
+        assert_eq!(s.hp_backfill_cores, 8);
+    }
+
+    #[test]
+    fn snc_is_required() {
+        assert_eq!(KelpPolicy::full().snc_mode(), SncMode::Enabled);
+        assert_eq!(KelpPolicy::subdomain_only().snc_mode(), SncMode::Enabled);
+        assert_eq!(
+            KelpPolicy::channel_partitioned().snc_mode(),
+            SncMode::ChannelPartition
+        );
+        assert_eq!(
+            KelpPolicy::channel_partitioned().kind(),
+            PolicyKind::Mcp
+        );
+    }
+}

@@ -1,0 +1,348 @@
+//! Runtime policies: the four evaluated configurations plus the §VI-D
+//! fine-grained extension.
+//!
+//! | Kind | Paper name | Mechanisms |
+//! |---|---|---|
+//! | [`PolicyKind::Baseline`] | BL | Borg priority only; contention unmanaged |
+//! | [`PolicyKind::CoreThrottle`] | CT | CAT + reactive core throttling (Heracles/Dirigent/CPI2-style) |
+//! | [`PolicyKind::KelpSubdomain`] | KP-SD | CAT + SNC subdomains + prefetcher toggling |
+//! | [`PolicyKind::Kelp`] | KP | KP-SD + subdomain backfilling (full Algorithms 1 & 2) |
+//! | [`PolicyKind::FineGrained`] | §VI-D estimate | CAT + per-task MBA-style bandwidth caps |
+//!
+//! A policy decides the SNC mode and task placement at setup, then reacts to
+//! the sampled [`Measurements`] by reprogramming the machine through the
+//! [`Actuator`] surface.
+
+mod baseline;
+mod core_throttle;
+mod finegrained;
+mod kelp_policy;
+
+pub use baseline::BaselinePolicy;
+pub use core_throttle::CoreThrottlePolicy;
+pub use finegrained::FineGrainedPolicy;
+pub use kelp_policy::KelpPolicy;
+
+use crate::measure::Measurements;
+use kelp_host::machine::Actuator;
+use kelp_host::placement::CpuAllocation;
+use kelp_host::{HostMachine, HostTaskId};
+use kelp_mem::llc::CatAllocation;
+use kelp_mem::topology::{DomainId, SncMode, SocketId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which runtime configuration to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Unmanaged colocation (BL).
+    Baseline,
+    /// Reactive core throttling with CAT (CT).
+    CoreThrottle,
+    /// NUMA subdomains + prefetcher toggling, no backfill (KP-SD).
+    KelpSubdomain,
+    /// Full Kelp with backfilling (KP).
+    Kelp,
+    /// MBA-style per-task bandwidth caps (§VI-D upper-bound estimate).
+    FineGrained,
+    /// The Kelp controller on software memory channel partitioning
+    /// (Muralidhara et al., paper reference \[32\]) instead of SNC.
+    Mcp,
+}
+
+impl PolicyKind {
+    /// The four configurations evaluated in the paper's Figures 9–14.
+    pub fn paper_set() -> [PolicyKind; 4] {
+        [
+            PolicyKind::Baseline,
+            PolicyKind::CoreThrottle,
+            PolicyKind::KelpSubdomain,
+            PolicyKind::Kelp,
+        ]
+    }
+
+    /// Paper abbreviation.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Baseline => "BL",
+            PolicyKind::CoreThrottle => "CT",
+            PolicyKind::KelpSubdomain => "KP-SD",
+            PolicyKind::Kelp => "KP",
+            PolicyKind::FineGrained => "FG",
+            PolicyKind::Mcp => "MCP",
+        }
+    }
+
+    /// Builds the policy.
+    pub fn build(self) -> Box<dyn Policy> {
+        match self {
+            PolicyKind::Baseline => Box::new(BaselinePolicy::new()),
+            PolicyKind::CoreThrottle => Box::new(CoreThrottlePolicy::new()),
+            PolicyKind::KelpSubdomain => Box::new(KelpPolicy::subdomain_only()),
+            PolicyKind::Kelp => Box::new(KelpPolicy::full()),
+            PolicyKind::FineGrained => Box::new(FineGrainedPolicy::new()),
+            PolicyKind::Mcp => Box::new(KelpPolicy::channel_partitioned()),
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Task topology the policy manages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyCtx {
+    /// Socket hosting the accelerator and all tasks.
+    pub socket: SocketId,
+    /// Name of the ML workload, for profile-library lookups.
+    pub ml_name: Option<String>,
+    /// High-priority domain (ML task threads and DMA).
+    pub hp_domain: DomainId,
+    /// Low-priority domain.
+    pub lp_domain: DomainId,
+    /// The ML task, when present.
+    pub hp_task: Option<HostTaskId>,
+    /// Low-priority tasks with their desired thread counts.
+    pub lp_tasks: Vec<(HostTaskId, usize)>,
+}
+
+/// Actuator readout for the Figure 11/12 parameter plots.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PolicySnapshot {
+    /// Cores currently granted to low-priority tasks (their own domain).
+    pub lp_cores: u32,
+    /// Upper bound on `lp_cores` for normalization.
+    pub lp_cores_max: u32,
+    /// Low-priority cores with prefetchers enabled.
+    pub lp_prefetchers: u32,
+    /// Cores backfilled into the high-priority subdomain.
+    pub hp_backfill_cores: u32,
+    /// Upper bound on backfill cores.
+    pub hp_backfill_max: u32,
+}
+
+impl PolicySnapshot {
+    /// Normalized low-priority core allocation (total across domains) in
+    /// `[0, 1]`, as plotted in Figures 11a/11c/12a/12c.
+    pub fn normalized_cores(&self) -> f64 {
+        let max = self.lp_cores_max + self.hp_backfill_max;
+        if max == 0 {
+            return 0.0;
+        }
+        f64::from(self.lp_cores + self.hp_backfill_cores) / f64::from(max)
+    }
+
+    /// Normalized enabled-prefetcher count in `[0, 1]` (Figures 11b/12b).
+    pub fn normalized_prefetchers(&self) -> f64 {
+        if self.lp_cores_max == 0 {
+            return 0.0;
+        }
+        f64::from(self.lp_prefetchers) / f64::from(self.lp_cores_max)
+    }
+}
+
+/// A runtime policy.
+pub trait Policy: fmt::Debug {
+    /// Which configuration this is.
+    fn kind(&self) -> PolicyKind;
+
+    /// SNC mode the machine must boot with.
+    fn snc_mode(&self) -> SncMode;
+
+    /// `(hp_domain, lp_domain)` placement on the given socket.
+    fn domains(&self, socket: SocketId) -> (DomainId, DomainId) {
+        match self.snc_mode() {
+            SncMode::Disabled => (
+                DomainId {
+                    socket,
+                    sub: 0,
+                },
+                DomainId {
+                    socket,
+                    sub: 0,
+                },
+            ),
+            SncMode::Enabled | SncMode::ChannelPartition => (
+                DomainId {
+                    socket,
+                    sub: 0,
+                },
+                DomainId {
+                    socket,
+                    sub: 1,
+                },
+            ),
+        }
+    }
+
+    /// Applies the initial configuration (CAT, cpusets) after tasks exist.
+    fn setup(&mut self, machine: &mut HostMachine, ctx: &PolicyCtx);
+
+    /// Reacts to one sampling period's averaged measurements.
+    fn on_sample(&mut self, m: Measurements, machine: &mut HostMachine, ctx: &PolicyCtx);
+
+    /// Current actuator state for the parameter plots.
+    fn snapshot(&self) -> PolicySnapshot;
+}
+
+/// CAT ways dedicated to the accelerated task by every managed
+/// configuration (4 of the default 11-way LLC).
+pub const DEDICATED_HP_WAYS: u32 = 4;
+
+/// Splits `total` cores among low-priority tasks proportionally to their
+/// desired thread counts, guaranteeing at least one core each when
+/// `total >= tasks`.
+pub fn split_cores(total: u32, weights: &[usize]) -> Vec<u32> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let weight_sum: usize = weights.iter().sum::<usize>().max(1);
+    let mut out: Vec<u32> = weights
+        .iter()
+        .map(|&w| ((total as f64) * w as f64 / weight_sum as f64).floor() as u32)
+        .collect();
+    // Distribute the remainder to the largest weights, then enforce min 1.
+    let mut assigned: u32 = out.iter().sum();
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+    let mut cursor = 0;
+    while assigned < total {
+        out[order[cursor % order.len()]] += 1;
+        assigned += 1;
+        cursor += 1;
+    }
+    if total as usize >= weights.len() {
+        while let Some(zero) = out.iter().position(|&c| c == 0) {
+            let donor = (0..out.len())
+                .max_by_key(|&i| out[i])
+                .expect("non-empty");
+            if out[donor] <= 1 {
+                break;
+            }
+            out[donor] -= 1;
+            out[zero] += 1;
+        }
+    }
+    out
+}
+
+/// Applies a low-priority core budget: every lp task's cpuset is resized to
+/// its share of `lp_cores` in `lp_domain`, plus (optionally) its share of
+/// `backfill_cores` in `hp_domain`.
+pub fn apply_lp_allocations(
+    machine: &mut HostMachine,
+    ctx: &PolicyCtx,
+    lp_cores: u32,
+    backfill_cores: u32,
+) {
+    let weights: Vec<usize> = ctx.lp_tasks.iter().map(|&(_, w)| w).collect();
+    let lp_split = split_cores(lp_cores, &weights);
+    let bf_split = split_cores(backfill_cores, &weights);
+    for (i, &(task, _)) in ctx.lp_tasks.iter().enumerate() {
+        let mut allocs = Vec::new();
+        if lp_split[i] > 0 {
+            allocs.push(CpuAllocation::local(ctx.lp_domain, lp_split[i] as usize));
+        }
+        if bf_split[i] > 0 {
+            allocs.push(CpuAllocation::local(ctx.hp_domain, bf_split[i] as usize));
+        }
+        machine.set_allocations(task, allocs);
+    }
+}
+
+/// Programs the standard managed-configuration CAT split.
+pub fn apply_standard_cat(machine: &mut HostMachine, socket: SocketId) {
+    let ways = machine.mem().machine().socket(socket).llc_ways;
+    let hp = DEDICATED_HP_WAYS.min(ways.saturating_sub(1));
+    machine.set_cat(CatAllocation::with_dedicated(ways, hp));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_cores_is_proportional_and_total_preserving() {
+        let split = split_cores(12, &[8, 4]);
+        assert_eq!(split, vec![8, 4]);
+        let split = split_cores(7, &[1, 1, 1]);
+        assert_eq!(split.iter().sum::<u32>(), 7);
+        assert!(split.iter().all(|&c| c >= 2));
+    }
+
+    #[test]
+    fn split_cores_minimum_one_when_possible() {
+        let split = split_cores(3, &[100, 1, 1]);
+        assert_eq!(split.iter().sum::<u32>(), 3);
+        assert!(split.iter().all(|&c| c >= 1), "{split:?}");
+    }
+
+    #[test]
+    fn split_cores_fewer_cores_than_tasks() {
+        let split = split_cores(1, &[5, 5]);
+        assert_eq!(split.iter().sum::<u32>(), 1);
+    }
+
+    #[test]
+    fn split_cores_empty() {
+        assert!(split_cores(4, &[]).is_empty());
+    }
+
+    #[test]
+    fn snapshot_normalization() {
+        let s = PolicySnapshot {
+            lp_cores: 6,
+            lp_cores_max: 12,
+            lp_prefetchers: 3,
+            hp_backfill_cores: 2,
+            hp_backfill_max: 4,
+        };
+        assert!((s.normalized_cores() - 0.5).abs() < 1e-12);
+        assert!((s.normalized_prefetchers() - 0.25).abs() < 1e-12);
+        assert_eq!(PolicySnapshot::default().normalized_cores(), 0.0);
+    }
+
+    #[test]
+    fn kind_labels_match_paper() {
+        assert_eq!(PolicyKind::Baseline.label(), "BL");
+        assert_eq!(PolicyKind::CoreThrottle.label(), "CT");
+        assert_eq!(PolicyKind::KelpSubdomain.label(), "KP-SD");
+        assert_eq!(PolicyKind::Kelp.label(), "KP");
+        assert_eq!(PolicyKind::Kelp.to_string(), "KP");
+    }
+
+    #[test]
+    fn paper_set_order() {
+        let set = PolicyKind::paper_set();
+        assert_eq!(set[0], PolicyKind::Baseline);
+        assert_eq!(set[3], PolicyKind::Kelp);
+    }
+
+    #[test]
+    fn build_round_trips_kind() {
+        for kind in [
+            PolicyKind::Baseline,
+            PolicyKind::CoreThrottle,
+            PolicyKind::KelpSubdomain,
+            PolicyKind::Kelp,
+            PolicyKind::FineGrained,
+            PolicyKind::Mcp,
+        ] {
+            assert_eq!(kind.build().kind(), kind);
+        }
+    }
+
+    #[test]
+    fn domains_follow_snc_mode() {
+        let bl = PolicyKind::Baseline.build();
+        let (hp, lp) = bl.domains(SocketId(0));
+        assert_eq!(hp, lp);
+        let kp = PolicyKind::Kelp.build();
+        let (hp, lp) = kp.domains(SocketId(0));
+        assert_ne!(hp, lp);
+        assert_eq!(hp.socket, lp.socket);
+    }
+}

@@ -1,0 +1,339 @@
+//! Application watermark profiles.
+//!
+//! Paper §IV-D: "When applications are first scheduled onto the server, the
+//! corresponding profile is loaded by Kelp, which includes high and low
+//! watermarks for each measurement." The profile compares each of the four
+//! measurements against `(low, high)` watermarks; the control algorithm
+//! throttles above high and boosts below low, with hysteresis in between.
+//!
+//! Watermarks are stored in absolute units but are most conveniently built
+//! relative to the machine (fractions of peak bandwidth, multiples of
+//! unloaded latency) via [`WatermarkProfile::for_machine`]. Profiles are
+//! serde-serializable — the production analogue ships them with the job.
+
+use crate::measure::Measurements;
+use kelp_mem::topology::{MachineSpec, SncMode, SocketId};
+use serde::{Deserialize, Serialize};
+
+/// A `(low, high)` watermark pair for one measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Watermark {
+    /// Below this: room to boost.
+    pub low: f64,
+    /// Above this: throttle.
+    pub high: f64,
+}
+
+impl Watermark {
+    /// Creates a pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(low <= high, "watermark low {low} must not exceed high {high}");
+        Watermark { low, high }
+    }
+
+    /// True when `x` exceeds the high watermark.
+    pub fn is_high(&self, x: f64) -> bool {
+        x > self.high
+    }
+
+    /// True when `x` is below the low watermark.
+    pub fn is_low(&self, x: f64) -> bool {
+        x < self.low
+    }
+}
+
+/// Watermarks for the four Kelp measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WatermarkProfile {
+    /// Socket bandwidth watermark, GB/s.
+    pub socket_bw: Watermark,
+    /// Socket latency watermark, ns.
+    pub socket_latency: Watermark,
+    /// Socket saturation (distress duty) watermark.
+    pub socket_saturation: Watermark,
+    /// High-priority subdomain bandwidth watermark, GB/s.
+    pub hp_domain_bw: Watermark,
+}
+
+impl WatermarkProfile {
+    /// Builds the default profile for a machine under the given SNC mode.
+    ///
+    /// Thresholds are configured conservatively to prioritise the
+    /// accelerated task (§IV-D): throttle at 78 % of socket peak bandwidth
+    /// or 1.6x unloaded latency or 5 % distress duty; the high-priority
+    /// subdomain backfill budget is capped at 55 % of the subdomain's peak.
+    pub fn for_machine(machine: &MachineSpec, snc: SncMode, socket: SocketId) -> Self {
+        let spec = machine.socket(socket);
+        let peak = spec.peak_gbps();
+        let hp_peak = peak / snc.domains_per_socket() as f64;
+        let lat = spec.base_latency_ns;
+        WatermarkProfile {
+            socket_bw: Watermark::new(0.55 * peak, 0.78 * peak),
+            socket_latency: Watermark::new(1.25 * lat, 1.6 * lat),
+            socket_saturation: Watermark::new(0.01, 0.05),
+            hp_domain_bw: Watermark::new(0.35 * hp_peak, 0.55 * hp_peak),
+        }
+    }
+
+    /// High-side checks of Algorithm 1, line 5 (`HiBW_h`).
+    pub fn hi_bw_h(&self, m: &Measurements) -> bool {
+        self.hp_domain_bw.is_high(m.hp_domain_bw_gbps)
+    }
+
+    /// `LoBW_h`.
+    pub fn lo_bw_h(&self, m: &Measurements) -> bool {
+        self.hp_domain_bw.is_low(m.hp_domain_bw_gbps)
+    }
+
+    /// `HiBW_s`.
+    pub fn hi_bw_s(&self, m: &Measurements) -> bool {
+        self.socket_bw.is_high(m.socket_bw_gbps)
+    }
+
+    /// `LoBW_s`.
+    pub fn lo_bw_s(&self, m: &Measurements) -> bool {
+        self.socket_bw.is_low(m.socket_bw_gbps)
+    }
+
+    /// `HiLat_s`.
+    pub fn hi_lat_s(&self, m: &Measurements) -> bool {
+        self.socket_latency.is_high(m.socket_latency_ns)
+    }
+
+    /// `LoLat_s`.
+    pub fn lo_lat_s(&self, m: &Measurements) -> bool {
+        self.socket_latency.is_low(m.socket_latency_ns)
+    }
+
+    /// `HiSat_s`.
+    pub fn hi_sat_s(&self, m: &Measurements) -> bool {
+        self.socket_saturation.is_high(m.socket_saturation)
+    }
+
+    /// `LoSat_s`.
+    pub fn lo_sat_s(&self, m: &Measurements) -> bool {
+        self.socket_saturation.is_low(m.socket_saturation)
+    }
+}
+
+
+/// A per-application profile, the unit the node runtime loads when a job is
+/// scheduled (§IV-D: "When applications are first scheduled onto the server,
+/// the corresponding profile is loaded by Kelp, which includes high and low
+/// watermarks for each measurement").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationProfile {
+    /// The ML workload this profile belongs to.
+    pub workload: String,
+    /// The watermark set.
+    pub watermarks: WatermarkProfile,
+    /// Operator notes (why the watermarks deviate from the defaults).
+    pub notes: String,
+}
+
+/// A library of application profiles keyed by workload name, as the
+/// node-level scheduler runtime (Borglet) would ship them.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProfileLibrary {
+    profiles: std::collections::BTreeMap<String, ApplicationProfile>,
+}
+
+impl ProfileLibrary {
+    /// An empty library.
+    pub fn new() -> Self {
+        ProfileLibrary::default()
+    }
+
+    /// Builds the default library for a machine: the generic watermarks for
+    /// every Table I workload, with per-application adjustments where the
+    /// workload's own host behaviour warrants them.
+    pub fn default_for_machine(machine: &MachineSpec, snc: SncMode, socket: SocketId) -> Self {
+        let base = WatermarkProfile::for_machine(machine, snc, socket);
+        let mut lib = ProfileLibrary::new();
+        lib.insert(ApplicationProfile {
+            workload: "RNN1".into(),
+            // Latency-critical inference: throttle earlier on latency.
+            watermarks: WatermarkProfile {
+                socket_latency: Watermark::new(
+                    base.socket_latency.low * 0.9,
+                    base.socket_latency.high * 0.85,
+                ),
+                ..base
+            },
+            notes: "tail-latency SLA; tighter latency watermark".into(),
+        });
+        lib.insert(ApplicationProfile {
+            workload: "CNN1".into(),
+            watermarks: base,
+            notes: "zero-headroom in-feed; defaults".into(),
+        });
+        lib.insert(ApplicationProfile {
+            workload: "CNN2".into(),
+            watermarks: base,
+            notes: "defaults".into(),
+        });
+        lib.insert(ApplicationProfile {
+            workload: "CNN3".into(),
+            // The parameter server itself consumes most of the HP
+            // subdomain's bandwidth; raise the backfill watermark so its own
+            // traffic does not permanently evict backfilled work.
+            watermarks: WatermarkProfile {
+                hp_domain_bw: Watermark::new(
+                    base.hp_domain_bw.low * 1.2,
+                    base.hp_domain_bw.high * 1.25,
+                ),
+                ..base
+            },
+            notes: "PS is bandwidth-heavy on its own subdomain".into(),
+        });
+        lib
+    }
+
+    /// Adds or replaces a profile.
+    pub fn insert(&mut self, profile: ApplicationProfile) {
+        self.profiles.insert(profile.workload.clone(), profile);
+    }
+
+    /// Looks up a profile by workload name.
+    pub fn get(&self, workload: &str) -> Option<&ApplicationProfile> {
+        self.profiles.get(workload)
+    }
+
+    /// The watermarks for a workload, falling back to machine defaults.
+    pub fn watermarks_for(
+        &self,
+        workload: &str,
+        machine: &MachineSpec,
+        snc: SncMode,
+        socket: SocketId,
+    ) -> WatermarkProfile {
+        self.get(workload)
+            .map(|p| p.watermarks)
+            .unwrap_or_else(|| WatermarkProfile::for_machine(machine, snc, socket))
+    }
+
+    /// Number of profiles.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when no profiles exist.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Saves the library as pretty JSON.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a library from a JSON file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_zones() {
+        let w = Watermark::new(10.0, 20.0);
+        assert!(w.is_low(5.0));
+        assert!(!w.is_low(10.0));
+        assert!(!w.is_high(20.0));
+        assert!(w.is_high(25.0));
+        // Hysteresis band.
+        assert!(!w.is_low(15.0));
+        assert!(!w.is_high(15.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn watermark_rejects_inverted_pair() {
+        Watermark::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn machine_profile_scales_with_snc() {
+        let m = MachineSpec::dual_socket();
+        let flat = WatermarkProfile::for_machine(&m, SncMode::Disabled, SocketId(0));
+        let snc = WatermarkProfile::for_machine(&m, SncMode::Enabled, SocketId(0));
+        assert_eq!(flat.socket_bw, snc.socket_bw);
+        assert!((flat.hp_domain_bw.high - 2.0 * snc.hp_domain_bw.high).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicate_helpers_read_the_right_fields() {
+        let m = MachineSpec::dual_socket();
+        let p = WatermarkProfile::for_machine(&m, SncMode::Enabled, SocketId(0));
+        let hot = Measurements {
+            socket_bw_gbps: 1e3,
+            socket_latency_ns: 1e3,
+            socket_saturation: 0.5,
+            hp_domain_bw_gbps: 1e3,
+        };
+        assert!(p.hi_bw_s(&hot) && p.hi_lat_s(&hot) && p.hi_sat_s(&hot) && p.hi_bw_h(&hot));
+        let cold = Measurements::default();
+        assert!(p.lo_bw_s(&cold) && p.lo_lat_s(&cold) && p.lo_sat_s(&cold) && p.lo_bw_h(&cold));
+    }
+
+    #[test]
+    fn profile_roundtrips_through_serde() {
+        let m = MachineSpec::dual_socket();
+        let p = WatermarkProfile::for_machine(&m, SncMode::Enabled, SocketId(0));
+        let json = serde_json::to_string(&p).unwrap();
+        let back: WatermarkProfile = serde_json::from_str(&json).unwrap();
+        // serde_json's default float parsing is approximate; compare fields
+        // within a relative tolerance.
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(1.0);
+        assert!(close(p.socket_bw.high, back.socket_bw.high));
+        assert!(close(p.socket_latency.low, back.socket_latency.low));
+        assert!(close(p.hp_domain_bw.high, back.hp_domain_bw.high));
+        assert!(close(p.socket_saturation.low, back.socket_saturation.low));
+    }
+
+    #[test]
+    fn default_library_covers_table1() {
+        let m = MachineSpec::dual_socket();
+        let lib = ProfileLibrary::default_for_machine(&m, SncMode::Enabled, SocketId(0));
+        assert_eq!(lib.len(), 4);
+        for w in ["RNN1", "CNN1", "CNN2", "CNN3"] {
+            assert!(lib.get(w).is_some(), "{w}");
+        }
+        // RNN1 is latency-tightened; CNN3's backfill watermark is relaxed.
+        let base = WatermarkProfile::for_machine(&m, SncMode::Enabled, SocketId(0));
+        assert!(lib.get("RNN1").unwrap().watermarks.socket_latency.high < base.socket_latency.high);
+        assert!(lib.get("CNN3").unwrap().watermarks.hp_domain_bw.high > base.hp_domain_bw.high);
+    }
+
+    #[test]
+    fn library_lookup_falls_back_to_defaults() {
+        let m = MachineSpec::dual_socket();
+        let lib = ProfileLibrary::new();
+        let w = lib.watermarks_for("UNKNOWN", &m, SncMode::Disabled, SocketId(0));
+        assert_eq!(w, WatermarkProfile::for_machine(&m, SncMode::Disabled, SocketId(0)));
+        assert!(lib.is_empty());
+    }
+
+    #[test]
+    fn library_roundtrips_through_disk() {
+        let m = MachineSpec::dual_socket();
+        let lib = ProfileLibrary::default_for_machine(&m, SncMode::Enabled, SocketId(0));
+        let path = std::env::temp_dir().join("kelp-profile-lib-test.json");
+        lib.save(&path).unwrap();
+        let back = ProfileLibrary::load(&path).unwrap();
+        assert_eq!(back.len(), lib.len());
+        assert_eq!(
+            back.get("CNN3").unwrap().notes,
+            lib.get("CNN3").unwrap().notes
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! # kelp-host
+//!
+//! The host-CPU side of the Kelp reproduction: tasks (thread groups with an
+//! execution profile), CPU placement (cores per NUMA subdomain, SMT
+//! co-residency), NUMA memory policy, and a cgroup/MSR-style actuation
+//! surface ([`Actuator`]) that runtime policies use exactly the way Kelp
+//! drives cpusets, prefetcher MSRs and CAT masks on real hardware.
+//!
+//! [`HostMachine`] owns a [`kelp_mem::MemSystem`] plus the task table, lowers
+//! every task into solver form each step, and reports achieved work rates
+//! and performance counters.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod machine;
+pub mod placement;
+pub mod task;
+
+pub use machine::{Actuator, HostMachine, MachineReport, TaskStepResult};
+pub use placement::{CpuAllocation, MemPolicy, SmtModel};
+pub use task::{HostTaskId, Priority, TaskSpec, ThreadProfile};

@@ -1,0 +1,657 @@
+//! The host machine: task table + memory system + actuation surface.
+//!
+//! [`HostMachine`] is the simulated analogue of one production server. The
+//! experiment driver registers tasks, accelerator DMA flows, and then calls
+//! [`HostMachine::solve`] once per simulation step to learn how fast every
+//! task progressed. Runtime policies manipulate the machine through the
+//! [`Actuator`] trait — the same four levers Kelp has on real hardware:
+//! cpusets (core allocations), L2 prefetcher MSRs, CAT masks, and (for the
+//! fine-grained extension) MBA-style bandwidth caps.
+
+use crate::placement::{CpuAllocation, SmtModel};
+use crate::task::{HostTaskId, TaskSpec};
+use kelp_mem::llc::CatAllocation;
+use kelp_mem::prefetch::PrefetchSetting;
+use kelp_mem::solver::{FixedFlow, MemSystem, SolverInput, SolverTask, TaskKey};
+use kelp_mem::topology::{DomainId, SncMode};
+use kelp_mem::MemCounters;
+use std::collections::BTreeMap;
+
+/// Identifier of a registered fixed flow (accelerator DMA / PCIe in-feed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub usize);
+
+/// Per-task result of one solved step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskStepResult {
+    /// Aggregate work rate across all the task's threads, in units/s.
+    pub units_per_sec: f64,
+    /// Consumed memory bandwidth in GB/s.
+    pub bw_gbps: f64,
+    /// Thread-weighted average memory latency in ns.
+    pub latency_ns: f64,
+    /// Worst distress speed factor over the task's allocations.
+    pub speed_factor: f64,
+    /// Thread-weighted LLC hit ratio.
+    pub llc_hit_ratio: f64,
+    /// Threads that actually ran (after core caps and intensity).
+    pub effective_threads: f64,
+}
+
+impl TaskStepResult {
+    fn zero() -> Self {
+        TaskStepResult {
+            units_per_sec: 0.0,
+            bw_gbps: 0.0,
+            latency_ns: 0.0,
+            speed_factor: 1.0,
+            llc_hit_ratio: 0.0,
+            effective_threads: 0.0,
+        }
+    }
+}
+
+/// Result of one solved step for the whole machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineReport {
+    /// Per-task results.
+    pub tasks: BTreeMap<HostTaskId, TaskStepResult>,
+    /// Achieved rate per registered fixed flow, GB/s.
+    pub flows: BTreeMap<usize, f64>,
+    /// Counter snapshot (what the runtime's PMU sampling sees).
+    pub counters: MemCounters,
+    /// Whether the memory solve converged.
+    pub converged: bool,
+}
+
+impl MachineReport {
+    /// The result for a task (zeros if unknown).
+    pub fn task(&self, id: HostTaskId) -> TaskStepResult {
+        self.tasks.get(&id).copied().unwrap_or(TaskStepResult::zero())
+    }
+}
+
+/// Runtime actuation surface (cpusets, prefetcher MSRs, CAT, MBA).
+pub trait Actuator {
+    /// Replaces a task's core allocations (its cpuset).
+    fn set_allocations(&mut self, task: HostTaskId, allocations: Vec<CpuAllocation>);
+    /// Sets the fraction of a task's L2 prefetchers that are enabled.
+    fn set_prefetchers(&mut self, task: HostTaskId, setting: PrefetchSetting);
+    /// Sets or clears an MBA-style memory bandwidth cap.
+    fn set_bw_cap(&mut self, task: HostTaskId, cap_gbps: Option<f64>);
+    /// Reprograms the LLC way partition.
+    fn set_cat(&mut self, cat: CatAllocation);
+    /// Reads back a task's current allocations.
+    fn allocations(&self, task: HostTaskId) -> &[CpuAllocation];
+    /// Reads back a task's current prefetcher setting.
+    fn prefetchers(&self, task: HostTaskId) -> PrefetchSetting;
+}
+
+#[derive(Debug, Clone)]
+struct TaskEntry {
+    spec: TaskSpec,
+    allocations: Vec<CpuAllocation>,
+    prefetch: PrefetchSetting,
+    bw_cap: Option<f64>,
+    intensity: f64,
+    alive: bool,
+}
+
+/// One simulated server.
+///
+/// # Example
+///
+/// ```
+/// use kelp_host::{HostMachine, TaskSpec, Priority, ThreadProfile, CpuAllocation};
+/// use kelp_mem::topology::{DomainId, MachineSpec, SncMode};
+///
+/// let mut m = HostMachine::new(MachineSpec::dual_socket(), SncMode::Disabled);
+/// let id = m.add_task(
+///     TaskSpec::new("batch", Priority::Low, ThreadProfile::streaming(1e9), 4),
+///     vec![CpuAllocation::local(DomainId::new(0, 0), 4)],
+/// );
+/// let report = m.solve();
+/// assert!(report.task(id).units_per_sec > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostMachine {
+    mem: MemSystem,
+    smt: SmtModel,
+    tasks: Vec<TaskEntry>,
+    flows: Vec<FixedFlow>,
+    /// Memoized solves: workload phases alternate among a small set of
+    /// configurations, so most steps hit this cache.
+    cache: std::cell::RefCell<Vec<(SolverInput, MachineReport)>>,
+}
+
+/// Capacity of the solve memoization cache.
+const SOLVE_CACHE_CAPACITY: usize = 24;
+
+impl HostMachine {
+    /// Creates a machine with the given topology and SNC mode.
+    pub fn new(machine: kelp_mem::topology::MachineSpec, snc: SncMode) -> Self {
+        HostMachine {
+            mem: MemSystem::new(machine, snc),
+            smt: SmtModel::default(),
+            tasks: Vec::new(),
+            flows: Vec::new(),
+            cache: std::cell::RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Mutable access to the memory system (calibration hooks, SNC, CAT).
+    ///
+    /// Invalidates the solve cache, since memory-system settings change
+    /// results without changing the solver input.
+    pub fn mem_mut(&mut self) -> &mut MemSystem {
+        self.cache.borrow_mut().clear();
+        &mut self.mem
+    }
+
+    /// The memory system.
+    pub fn mem(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// Overrides the SMT model.
+    pub fn set_smt(&mut self, smt: SmtModel) {
+        self.smt = smt;
+    }
+
+    /// Registers a task with initial core allocations; returns its id.
+    pub fn add_task(&mut self, spec: TaskSpec, allocations: Vec<CpuAllocation>) -> HostTaskId {
+        spec.profile.validate().expect("invalid thread profile");
+        for a in &allocations {
+            a.policy.validate().expect("invalid memory policy");
+        }
+        self.tasks.push(TaskEntry {
+            spec,
+            allocations,
+            prefetch: PrefetchSetting::all_on(),
+            bw_cap: None,
+            intensity: 1.0,
+            alive: true,
+        });
+        HostTaskId(self.tasks.len() - 1)
+    }
+
+    /// Removes a task (its id stays allocated but inert).
+    pub fn remove_task(&mut self, id: HostTaskId) {
+        if let Some(t) = self.tasks.get_mut(id.0) {
+            t.alive = false;
+        }
+    }
+
+    /// True if the task exists and is alive.
+    pub fn is_alive(&self, id: HostTaskId) -> bool {
+        self.tasks.get(id.0).is_some_and(|t| t.alive)
+    }
+
+    /// Sets a task's activity level in `[0, 1]` (workload phase duty).
+    ///
+    /// The ML workload models use this to reflect which fraction of the step
+    /// their host threads are actually runnable.
+    pub fn set_intensity(&mut self, id: HostTaskId, intensity: f64) {
+        if let Some(t) = self.tasks.get_mut(id.0) {
+            t.intensity = intensity.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Updates a task's desired thread count (e.g. a sweep parameter).
+    pub fn set_desired_threads(&mut self, id: HostTaskId, threads: usize) {
+        if let Some(t) = self.tasks.get_mut(id.0) {
+            t.spec.desired_threads = threads;
+        }
+    }
+
+    /// The task's spec (panics on unknown id).
+    pub fn task_spec(&self, id: HostTaskId) -> &TaskSpec {
+        &self.tasks[id.0].spec
+    }
+
+    /// Ids of all live tasks.
+    pub fn live_tasks(&self) -> Vec<HostTaskId> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.alive)
+            .map(|(i, _)| HostTaskId(i))
+            .collect()
+    }
+
+    /// Registers a fixed flow; returns its id.
+    pub fn add_flow(&mut self, flow: FixedFlow) -> FlowId {
+        self.flows.push(flow);
+        FlowId(self.flows.len() - 1)
+    }
+
+    /// Updates a fixed flow's demand in GB/s.
+    pub fn set_flow_gbps(&mut self, id: FlowId, gbps: f64) {
+        if let Some(f) = self.flows.get_mut(id.0) {
+            f.gbps = gbps.max(0.0);
+        }
+    }
+
+    /// Cores available in one domain under the current SNC mode.
+    pub fn domain_cores(&self, domain: DomainId) -> usize {
+        let spec = self.mem.machine().socket(domain.socket);
+        spec.cores / self.mem.snc().domains_per_socket() as usize
+    }
+
+    /// Solves the memory system for the current configuration.
+    pub fn solve(&self) -> MachineReport {
+        // 1. Distribute each task's desired threads over its allocations,
+        //    proportional to allocation capacity.
+        // Sub-task key: (task index, allocation index).
+        let mut sub: Vec<(usize, usize, f64)> = Vec::new(); // (task, alloc, threads)
+        let smt_ways = |d: DomainId| self.mem.machine().socket(d.socket).smt_ways;
+        for (ti, t) in self.tasks.iter().enumerate() {
+            if !t.alive || t.intensity <= 0.0 || t.spec.desired_threads == 0 {
+                continue;
+            }
+            let caps: Vec<f64> = t
+                .allocations
+                .iter()
+                .map(|a| (a.cores * smt_ways(a.domain)) as f64)
+                .collect();
+            let total_cap: f64 = caps.iter().sum();
+            if total_cap <= 0.0 {
+                continue;
+            }
+            let want = (t.spec.desired_threads as f64).min(total_cap);
+            for (ai, cap) in caps.iter().enumerate() {
+                let threads = want * cap / total_cap;
+                if threads > 0.0 {
+                    sub.push((ti, ai, threads));
+                }
+            }
+        }
+
+        // 2. Per-domain SMT fitting over the *sum* of threads in the domain.
+        let mut domain_threads: BTreeMap<DomainId, f64> = BTreeMap::new();
+        for &(ti, ai, threads) in &sub {
+            let d = self
+                .mem
+                .canonical_domain(self.tasks[ti].allocations[ai].domain);
+            *domain_threads.entry(d).or_default() += threads;
+        }
+        let mut domain_fit: BTreeMap<DomainId, (f64, f64)> = BTreeMap::new(); // (scale, multiplier)
+        for (&d, &threads) in &domain_threads {
+            let cores = self.domain_cores(d);
+            let out = self.smt.fit(threads, cores, smt_ways(d));
+            let scale = if threads > 0.0 {
+                out.effective_threads / threads
+            } else {
+                1.0
+            };
+            domain_fit.insert(d, (scale, out.compute_multiplier));
+        }
+
+        // 3. Lower to solver tasks.
+        let mut solver_tasks = Vec::with_capacity(sub.len());
+        let mut keys: Vec<(usize, usize)> = Vec::with_capacity(sub.len());
+        let mut sub_eff: Vec<f64> = Vec::with_capacity(sub.len());
+        for (k, &(ti, ai, threads)) in sub.iter().enumerate() {
+            let t = &self.tasks[ti];
+            let a = &t.allocations[ai];
+            let home = self.mem.canonical_domain(a.domain);
+            let (scale, domain_mult) = domain_fit[&home];
+            // A task oversubscribing its own cpuset SMT-pairs with itself
+            // even when the domain has idle cores elsewhere.
+            let alloc_mult = if a.cores > 0 {
+                self.smt
+                    .fit(threads, a.cores, smt_ways(a.domain))
+                    .compute_multiplier
+            } else {
+                1.0
+            };
+            let smt_mult = domain_mult.max(alloc_mult);
+            let p = &t.spec.profile;
+            let eff = threads * scale * t.intensity;
+            sub_eff.push(eff);
+            solver_tasks.push(SolverTask {
+                key: TaskKey(k),
+                threads: eff,
+                home,
+                data: a
+                    .policy
+                    .data_fractions(a.domain)
+                    .into_iter()
+                    .map(|(d, f)| (self.mem.canonical_domain(d), f))
+                    .collect(),
+                compute_ns_per_unit: p.compute_ns_per_unit * smt_mult,
+                accesses_per_unit: p.accesses_per_unit,
+                bytes_per_access: p.bytes_per_access,
+                mlp: p.mlp,
+                working_set_bytes: p.working_set_bytes,
+                hit_max: p.hit_max,
+                cache_class: t.spec.cache_class(),
+                prefetch_profile: p.prefetch,
+                prefetch_setting: t.prefetch,
+                weight: t.spec.mem_weight,
+                bw_cap_gbps: t.bw_cap,
+                distress_exempt: false,
+            });
+            keys.push((ti, ai));
+        }
+
+        let input = SolverInput {
+            tasks: solver_tasks,
+            fixed_flows: self.flows.clone(),
+        };
+        if let Some(report) = self
+            .cache
+            .borrow()
+            .iter()
+            .find(|(k, _)| *k == input)
+            .map(|(_, r)| r.clone())
+        {
+            return report;
+        }
+        let output = self.mem.solve(&input);
+
+        // 4. Aggregate sub-task results per task.
+        let mut results: BTreeMap<HostTaskId, TaskStepResult> = BTreeMap::new();
+        for (ti, t) in self.tasks.iter().enumerate() {
+            if t.alive {
+                results.insert(HostTaskId(ti), TaskStepResult::zero());
+            }
+        }
+        for (res, &(ti, _ai)) in output.tasks.iter().zip(&keys) {
+            let entry = results.entry(HostTaskId(ti)).or_insert(TaskStepResult::zero());
+            // Threads the solver actually ran for this sub-task (after SMT
+            // scaling and intensity).
+            let w = sub_eff[res.key.0];
+            entry.units_per_sec += res.rate_per_thread * w;
+            entry.bw_gbps += res.bw_gbps;
+            entry.latency_ns += res.latency_ns * w;
+            entry.llc_hit_ratio += res.llc_hit_ratio * w;
+            entry.effective_threads += w;
+            if res.speed_factor < entry.speed_factor {
+                entry.speed_factor = res.speed_factor;
+            }
+        }
+        for r in results.values_mut() {
+            if r.effective_threads > 0.0 {
+                r.latency_ns /= r.effective_threads;
+                r.llc_hit_ratio /= r.effective_threads;
+            }
+        }
+
+        let mut flows = BTreeMap::new();
+        for (i, &g) in output.fixed_flow_gbps.iter().enumerate() {
+            flows.insert(i, g);
+        }
+
+        let report = MachineReport {
+            tasks: results,
+            flows,
+            counters: output.counters,
+            converged: output.converged,
+        };
+        let mut cache = self.cache.borrow_mut();
+        if cache.len() >= SOLVE_CACHE_CAPACITY {
+            cache.remove(0);
+        }
+        cache.push((input, report.clone()));
+        report
+    }
+}
+
+impl Actuator for HostMachine {
+    fn set_allocations(&mut self, task: HostTaskId, allocations: Vec<CpuAllocation>) {
+        for a in &allocations {
+            a.policy.validate().expect("invalid memory policy");
+        }
+        if let Some(t) = self.tasks.get_mut(task.0) {
+            t.allocations = allocations;
+        }
+    }
+
+    fn set_prefetchers(&mut self, task: HostTaskId, setting: PrefetchSetting) {
+        if let Some(t) = self.tasks.get_mut(task.0) {
+            t.prefetch = setting;
+        }
+    }
+
+    fn set_bw_cap(&mut self, task: HostTaskId, cap_gbps: Option<f64>) {
+        if let Some(t) = self.tasks.get_mut(task.0) {
+            t.bw_cap = cap_gbps;
+        }
+    }
+
+    fn set_cat(&mut self, cat: CatAllocation) {
+        self.cache.borrow_mut().clear();
+        self.mem.set_cat(cat);
+    }
+
+    fn allocations(&self, task: HostTaskId) -> &[CpuAllocation] {
+        self.tasks
+            .get(task.0)
+            .map(|t| t.allocations.as_slice())
+            .unwrap_or(&[])
+    }
+
+    fn prefetchers(&self, task: HostTaskId) -> PrefetchSetting {
+        self.tasks
+            .get(task.0)
+            .map(|t| t.prefetch)
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Priority, ThreadProfile};
+    use kelp_mem::topology::{MachineSpec, SocketId};
+
+    fn machine(snc: SncMode) -> HostMachine {
+        HostMachine::new(MachineSpec::dual_socket(), snc)
+    }
+
+    fn stream_spec(threads: usize) -> TaskSpec {
+        TaskSpec::new(
+            "stream",
+            Priority::Low,
+            ThreadProfile::streaming(2e9),
+            threads,
+        )
+    }
+
+    #[test]
+    fn single_task_progresses() {
+        let mut m = machine(SncMode::Disabled);
+        let id = m.add_task(
+            stream_spec(4),
+            vec![CpuAllocation::local(DomainId::new(0, 0), 4)],
+        );
+        let rep = m.solve();
+        let r = rep.task(id);
+        assert!(r.units_per_sec > 0.0);
+        assert!(r.bw_gbps > 0.0);
+        assert!((r.effective_threads - 4.0).abs() < 1e-9);
+        assert!(rep.converged);
+    }
+
+    #[test]
+    fn removed_task_is_inert() {
+        let mut m = machine(SncMode::Disabled);
+        let id = m.add_task(
+            stream_spec(4),
+            vec![CpuAllocation::local(DomainId::new(0, 0), 4)],
+        );
+        m.remove_task(id);
+        assert!(!m.is_alive(id));
+        let rep = m.solve();
+        assert_eq!(rep.task(id).units_per_sec, 0.0);
+        assert!(rep.counters.socket_bw(SocketId(0)) < 1e-9);
+    }
+
+    #[test]
+    fn intensity_scales_demand() {
+        let mut m = machine(SncMode::Disabled);
+        let id = m.add_task(
+            stream_spec(8),
+            vec![CpuAllocation::local(DomainId::new(0, 0), 8)],
+        );
+        let full = m.solve().task(id).bw_gbps;
+        m.set_intensity(id, 0.25);
+        let quarter = m.solve().task(id).bw_gbps;
+        assert!(quarter < 0.5 * full, "{quarter} vs {full}");
+    }
+
+    #[test]
+    fn threads_capped_by_allocation() {
+        let mut m = machine(SncMode::Disabled);
+        // Wants 16 threads but only 2 cores (4 hw threads).
+        let id = m.add_task(
+            stream_spec(16),
+            vec![CpuAllocation::local(DomainId::new(0, 0), 2)],
+        );
+        let rep = m.solve();
+        assert!(rep.task(id).effective_threads <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn smt_oversubscription_slows_per_thread_rate() {
+        let mut m = machine(SncMode::Disabled);
+        let profile = ThreadProfile::compute_bound(100.0);
+        // 12 threads on a 12-core cpuset: no SMT sharing.
+        let a = m.add_task(
+            TaskSpec::new("c", Priority::Low, profile, 12),
+            vec![CpuAllocation::local(DomainId::new(0, 0), 12)],
+        );
+        let light = m.solve().task(a).units_per_sec;
+        // 24 threads on the same 12-core cpuset: everything pairs up even
+        // though the domain has idle cores.
+        m.set_desired_threads(a, 24);
+        let heavy = m.solve().task(a).units_per_sec;
+        assert!(heavy > light * 1.1, "SMT should still add throughput");
+        assert!(heavy < light * 1.6, "but far less than 2x: {heavy} vs {light}");
+    }
+
+    #[test]
+    fn backfill_allocation_spans_domains() {
+        let mut m = machine(SncMode::Enabled);
+        let id = m.add_task(
+            stream_spec(8),
+            vec![
+                CpuAllocation::local(DomainId::new(0, 1), 4),
+                CpuAllocation::local(DomainId::new(0, 0), 4),
+            ],
+        );
+        let rep = m.solve();
+        // Both subdomains see traffic.
+        assert!(rep.counters.domain_bw(DomainId::new(0, 0)) > 0.1);
+        assert!(rep.counters.domain_bw(DomainId::new(0, 1)) > 0.1);
+        assert!((rep.task(id).effective_threads - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn actuator_roundtrip() {
+        let mut m = machine(SncMode::Enabled);
+        let id = m.add_task(
+            stream_spec(4),
+            vec![CpuAllocation::local(DomainId::new(0, 1), 4)],
+        );
+        m.set_prefetchers(id, PrefetchSetting::fraction(0.5));
+        assert_eq!(m.prefetchers(id).enabled_fraction, 0.5);
+        m.set_allocations(id, vec![CpuAllocation::local(DomainId::new(0, 1), 2)]);
+        assert_eq!(m.allocations(id)[0].cores, 2);
+        m.set_bw_cap(id, Some(3.0));
+        let rep = m.solve();
+        assert!(rep.task(id).bw_gbps <= 3.3);
+    }
+
+    #[test]
+    fn prefetcher_toggle_lowers_task_bw() {
+        let mut m = machine(SncMode::Enabled);
+        let id = m.add_task(
+            stream_spec(8),
+            vec![CpuAllocation::local(DomainId::new(0, 1), 8)],
+        );
+        let on = m.solve().task(id).bw_gbps;
+        m.set_prefetchers(id, PrefetchSetting::all_off());
+        let off = m.solve().task(id).bw_gbps;
+        assert!(off < on, "off {off} on {on}");
+    }
+
+    #[test]
+    fn flow_registration_and_update() {
+        let mut m = machine(SncMode::Disabled);
+        let f = m.add_flow(FixedFlow {
+            target: DomainId::new(0, 0),
+            source_socket: None,
+            gbps: 5.0,
+            weight: 1.0,
+        });
+        let rep = m.solve();
+        assert!((rep.flows[&0] - 5.0).abs() < 1e-6);
+        m.set_flow_gbps(f, 9.0);
+        let rep = m.solve();
+        assert!((rep.flows[&0] - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_cache_returns_identical_reports() {
+        let mut m = machine(SncMode::Disabled);
+        let id = m.add_task(
+            stream_spec(4),
+            vec![CpuAllocation::local(DomainId::new(0, 0), 4)],
+        );
+        let a = m.solve();
+        let b = m.solve();
+        assert_eq!(a, b, "second solve must come from the cache unchanged");
+        assert!(a.task(id).units_per_sec > 0.0);
+    }
+
+    #[test]
+    fn mem_mut_invalidates_the_solve_cache() {
+        let mut m = machine(SncMode::Disabled);
+        let id = m.add_task(
+            stream_spec(8),
+            vec![CpuAllocation::local(DomainId::new(0, 0), 8)],
+        );
+        let before = m.solve().task(id).units_per_sec;
+        // A memory-system change that alters results without changing the
+        // solver input: a much slower latency curve.
+        m.mem_mut().set_latency_curve(kelp_mem::latency::LatencyCurve {
+            amplitude: 5.0,
+            exponent: 1.0,
+            rho_cap: 0.9,
+        });
+        let after = m.solve().task(id).units_per_sec;
+        assert!(
+            after < before,
+            "stale cache served after mem_mut: {after} vs {before}"
+        );
+    }
+
+    #[test]
+    fn remote_memory_policy_allocation() {
+        let mut m = machine(SncMode::Disabled);
+        let alloc = CpuAllocation {
+            domain: DomainId::new(0, 0),
+            cores: 8,
+            policy: crate::placement::MemPolicy::Split(vec![
+                (DomainId::new(0, 0), 0.25),
+                (DomainId::new(1, 0), 0.75),
+            ]),
+        };
+        let id = m.add_task(stream_spec(8), vec![alloc]);
+        let rep = m.solve();
+        // Most of the traffic crosses to socket 1 and rides UPI.
+        assert!(rep.counters.upi_gbps > 1.0, "upi {}", rep.counters.upi_gbps);
+        assert!(rep.counters.socket_bw(SocketId(1)) > rep.counters.socket_bw(SocketId(0)));
+        assert!(rep.task(id).units_per_sec > 0.0);
+    }
+
+    #[test]
+    fn domain_cores_halve_under_snc() {
+        let m = machine(SncMode::Disabled);
+        assert_eq!(m.domain_cores(DomainId::new(0, 0)), 24);
+        let m = machine(SncMode::Enabled);
+        assert_eq!(m.domain_cores(DomainId::new(0, 0)), 12);
+    }
+}

@@ -1,0 +1,202 @@
+//! CPU placement and NUMA memory policy.
+//!
+//! Runtime policies place tasks by assigning them *core allocations*: a
+//! number of cores in a specific NUMA (sub)domain, like a cpuset. A task may
+//! hold allocations in several domains (that is how Kelp backfills the
+//! high-priority subdomain with low-priority work). The memory policy
+//! controls where the allocation's data lives, mirroring `numactl`
+//! membind/interleave and the remote-split configurations of Figure 16.
+
+use kelp_mem::topology::DomainId;
+use serde::{Deserialize, Serialize};
+
+/// A block of cores granted to a task in one domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuAllocation {
+    /// Domain whose cores are used.
+    pub domain: DomainId,
+    /// Number of cores granted.
+    pub cores: usize,
+    /// Memory policy for threads running on this allocation.
+    pub policy: MemPolicy,
+}
+
+impl CpuAllocation {
+    /// Cores in `domain` with domain-local memory.
+    pub fn local(domain: DomainId, cores: usize) -> Self {
+        CpuAllocation {
+            domain,
+            cores,
+            policy: MemPolicy::Local,
+        }
+    }
+}
+
+/// NUMA memory policy for an allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MemPolicy {
+    /// All data in the allocation's own domain (`numactl --membind` local).
+    Local,
+    /// Explicit placement fractions over domains (must sum to ~1).
+    Split(Vec<(DomainId, f64)>),
+}
+
+impl MemPolicy {
+    /// Resolves to data placement fractions given the allocation's domain.
+    pub fn data_fractions(&self, home: DomainId) -> Vec<(DomainId, f64)> {
+        match self {
+            MemPolicy::Local => vec![(home, 1.0)],
+            MemPolicy::Split(parts) => parts.clone(),
+        }
+    }
+
+    /// Validates that split fractions are non-negative and sum to ~1.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            MemPolicy::Local => Ok(()),
+            MemPolicy::Split(parts) => {
+                if parts.iter().any(|&(_, f)| f < 0.0) {
+                    return Err("negative placement fraction".into());
+                }
+                let sum: f64 = parts.iter().map(|&(_, f)| f).sum();
+                if (sum - 1.0).abs() > 1e-6 {
+                    return Err(format!("placement fractions sum to {sum}, expected 1"));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// SMT co-residency model.
+///
+/// When a domain's runnable threads exceed its physical cores, pairs of
+/// threads share cores and each runs slower; beyond two threads per core the
+/// scheduler timeshares. The paper runs with SMT enabled everywhere and the
+/// `LLC` aggressor contends for in-pipeline resources through SMT.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmtModel {
+    /// Per-thread compute-time multiplier when a core runs two threads
+    /// (>= 1; e.g. 1.45 means each thread is 45 % slower, so a core still
+    /// gains ~38 % total throughput from SMT).
+    pub two_thread_penalty: f64,
+}
+
+impl Default for SmtModel {
+    fn default() -> Self {
+        SmtModel {
+            two_thread_penalty: 1.45,
+        }
+    }
+}
+
+/// Outcome of fitting a number of runnable threads onto a domain's cores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmtOutcome {
+    /// Effective concurrently-running thread count (<= hardware threads).
+    pub effective_threads: f64,
+    /// Per-thread compute-time multiplier from SMT sharing (>= 1).
+    pub compute_multiplier: f64,
+}
+
+impl SmtModel {
+    /// Fits `threads` runnable threads onto `cores` physical cores with
+    /// `smt_ways` hardware threads each.
+    ///
+    /// Occupancy up to 1 thread/core: full speed. Between 1 and `smt_ways`
+    /// threads/core: the excess fraction runs SMT-paired with the penalty
+    /// interpolated. Beyond the hardware thread count, the surplus
+    /// timeshares (effective threads cap at `cores * smt_ways`).
+    pub fn fit(&self, threads: f64, cores: usize, smt_ways: usize) -> SmtOutcome {
+        let hw = (cores * smt_ways) as f64;
+        if threads <= 0.0 || cores == 0 {
+            return SmtOutcome {
+                effective_threads: 0.0,
+                compute_multiplier: 1.0,
+            };
+        }
+        let running = threads.min(hw);
+        let per_core = running / cores as f64;
+        let compute_multiplier = if per_core <= 1.0 {
+            1.0
+        } else {
+            // Fraction of threads that are SMT-paired rises linearly from 0
+            // at 1 thread/core to 1 at 2 threads/core.
+            let paired = ((per_core - 1.0) * 2.0 / per_core).clamp(0.0, 1.0);
+            1.0 + paired * (self.two_thread_penalty - 1.0)
+        };
+        SmtOutcome {
+            effective_threads: running,
+            compute_multiplier,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_policy_points_home() {
+        let p = MemPolicy::Local;
+        let home = DomainId::new(0, 1);
+        assert_eq!(p.data_fractions(home), vec![(home, 1.0)]);
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn split_policy_validates_fractions() {
+        let good = MemPolicy::Split(vec![
+            (DomainId::new(0, 0), 0.25),
+            (DomainId::new(1, 0), 0.75),
+        ]);
+        assert_eq!(good.validate(), Ok(()));
+        let bad_sum = MemPolicy::Split(vec![(DomainId::new(0, 0), 0.5)]);
+        assert!(bad_sum.validate().is_err());
+        let negative = MemPolicy::Split(vec![
+            (DomainId::new(0, 0), -0.5),
+            (DomainId::new(1, 0), 1.5),
+        ]);
+        assert!(negative.validate().is_err());
+    }
+
+    #[test]
+    fn smt_no_penalty_under_one_thread_per_core() {
+        let m = SmtModel::default();
+        let out = m.fit(8.0, 12, 2);
+        assert_eq!(out.effective_threads, 8.0);
+        assert_eq!(out.compute_multiplier, 1.0);
+    }
+
+    #[test]
+    fn smt_full_pairing_at_two_threads_per_core() {
+        let m = SmtModel::default();
+        let out = m.fit(24.0, 12, 2);
+        assert_eq!(out.effective_threads, 24.0);
+        assert!((out.compute_multiplier - m.two_thread_penalty).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smt_partial_pairing_interpolates() {
+        let m = SmtModel::default();
+        let out = m.fit(18.0, 12, 2);
+        // 1.5 threads/core: 2/3 of threads paired.
+        let expected = 1.0 + (2.0 / 3.0) * (m.two_thread_penalty - 1.0);
+        assert!((out.compute_multiplier - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smt_oversubscription_caps_effective_threads() {
+        let m = SmtModel::default();
+        let out = m.fit(60.0, 12, 2);
+        assert_eq!(out.effective_threads, 24.0);
+        assert!((out.compute_multiplier - m.two_thread_penalty).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smt_degenerate_inputs() {
+        let m = SmtModel::default();
+        assert_eq!(m.fit(0.0, 12, 2).effective_threads, 0.0);
+        assert_eq!(m.fit(5.0, 0, 2).effective_threads, 0.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Generalized weighted max-min fair bandwidth allocation.
+//!
+//! Memory controllers arbitrate among requestors roughly fairly; a fluid
+//! model of that arbitration is *weighted max-min fairness* via progressive
+//! filling: every flow's rate rises proportionally to its weight until the
+//! flow is satisfied (hits its demand) or one of the resources it uses
+//! saturates, at which point every unfrozen flow through that resource
+//! freezes at its current rate.
+//!
+//! Flows may traverse several resources (a remote access consumes UPI *and*
+//! the target domain's channels) and may use a resource at a coefficient
+//! other than 1 (snoop overhead inflates a remote flow's usage of the target
+//! controller).
+
+/// One bandwidth consumer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flow {
+    /// Maximum rate this flow wants (GB/s). Must be `>= 0`.
+    pub demand: f64,
+    /// Arbitration weight. Must be `> 0`.
+    pub weight: f64,
+    /// `(resource index, usage coefficient)` pairs: running the flow at rate
+    /// `x` consumes `coeff * x` of each listed resource. Coefficients must be
+    /// `> 0`; a resource may appear at most once.
+    pub usage: Vec<(usize, f64)>,
+}
+
+impl Flow {
+    /// A flow using a single resource at coefficient 1.
+    pub fn simple(demand: f64, weight: f64, resource: usize) -> Self {
+        Flow {
+            demand,
+            weight,
+            usage: vec![(resource, 1.0)],
+        }
+    }
+}
+
+/// Result of an allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Per-flow allocated rate (GB/s), in input order.
+    pub rates: Vec<f64>,
+    /// Per-resource consumed capacity (GB/s), in input order.
+    pub used: Vec<f64>,
+}
+
+impl Allocation {
+    /// Utilization of resource `r` given its capacity.
+    pub fn utilization(&self, r: usize, capacity: f64) -> f64 {
+        if capacity <= 0.0 {
+            if self.used[r] > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            (self.used[r] / capacity).min(1.0)
+        }
+    }
+}
+
+/// Computes the weighted max-min fair allocation by progressive filling.
+///
+/// `capacities[r]` is the capacity of resource `r` in GB/s. Flows with zero
+/// demand get zero. Flows referencing a zero-capacity resource get zero.
+///
+/// # Panics
+///
+/// Panics if a flow references an out-of-range resource, has a non-positive
+/// weight, a negative demand, or a non-positive usage coefficient.
+pub fn allocate(flows: &[Flow], capacities: &[f64]) -> Allocation {
+    for f in flows {
+        assert!(f.weight > 0.0, "flow weight must be positive");
+        assert!(f.demand >= 0.0, "flow demand must be non-negative");
+        for &(r, c) in &f.usage {
+            assert!(r < capacities.len(), "flow references unknown resource {r}");
+            assert!(c > 0.0, "usage coefficient must be positive");
+        }
+    }
+
+    let n = flows.len();
+    let mut rates = vec![0.0f64; n];
+    let mut frozen = vec![false; n];
+    let mut remaining: Vec<f64> = capacities.to_vec();
+
+    // Flows with zero demand, or through a dead resource, freeze at zero.
+    for (i, f) in flows.iter().enumerate() {
+        if f.demand <= 0.0 || f.usage.iter().any(|&(r, _)| capacities[r] <= 0.0) {
+            frozen[i] = true;
+        }
+    }
+
+    // Progressive filling on the per-weight "water level" `level`: an
+    // unfrozen flow i currently has rate weight_i * level.
+    let mut level = 0.0f64;
+    loop {
+        if frozen.iter().all(|&f| f) {
+            break;
+        }
+
+        // Next freeze event: either a flow reaches its demand, or a resource
+        // saturates.
+        let mut next_level = f64::INFINITY;
+
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] {
+                let lvl = f.demand / f.weight;
+                if lvl > level && lvl < next_level {
+                    next_level = lvl;
+                }
+                // A flow whose demand level equals the current level freezes
+                // immediately below.
+            }
+        }
+
+        // Resource saturation levels: remaining[r] supports an additional
+        // (level' - level) * active_coeff_weight[r].
+        let mut active_weight = vec![0.0f64; capacities.len()];
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] {
+                for &(r, c) in &f.usage {
+                    active_weight[r] += f.weight * c;
+                }
+            }
+        }
+        for (r, &aw) in active_weight.iter().enumerate() {
+            if aw > 0.0 {
+                let lvl = level + remaining[r] / aw;
+                if lvl < next_level {
+                    next_level = lvl;
+                }
+            }
+        }
+
+        if !next_level.is_finite() {
+            // No event can occur (shouldn't happen with positive demands),
+            // freeze everything defensively.
+            for fz in frozen.iter_mut() {
+                *fz = true;
+            }
+            break;
+        }
+
+        // Advance the water level and charge resources.
+        let delta = next_level - level;
+        level = next_level;
+        for (r, &aw) in active_weight.iter().enumerate() {
+            if aw > 0.0 {
+                remaining[r] = (remaining[r] - delta * aw).max(0.0);
+            }
+        }
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] {
+                rates[i] = f.weight * level;
+            }
+        }
+
+        // Freeze satisfied flows.
+        const EPS: f64 = 1e-9;
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] && rates[i] + EPS >= f.demand {
+                rates[i] = f.demand;
+                frozen[i] = true;
+            }
+        }
+        // Freeze flows on saturated resources.
+        for (r, rem) in remaining.iter().enumerate() {
+            if *rem <= EPS && active_weight[r] > 0.0 {
+                for (i, f) in flows.iter().enumerate() {
+                    if !frozen[i] && f.usage.iter().any(|&(fr, _)| fr == r) {
+                        frozen[i] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Account used capacity exactly from final rates.
+    let mut used = vec![0.0f64; capacities.len()];
+    for (f, &rate) in flows.iter().zip(&rates) {
+        for &(r, c) in &f.usage {
+            used[r] += rate * c;
+        }
+    }
+    Allocation { rates, used }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn unconstrained_flows_get_their_demand() {
+        let flows = vec![Flow::simple(10.0, 1.0, 0), Flow::simple(5.0, 1.0, 0)];
+        let a = allocate(&flows, &[100.0]);
+        assert!(close(a.rates[0], 10.0));
+        assert!(close(a.rates[1], 5.0));
+        assert!(close(a.used[0], 15.0));
+    }
+
+    #[test]
+    fn equal_weights_split_saturated_resource_evenly() {
+        let flows = vec![Flow::simple(100.0, 1.0, 0), Flow::simple(100.0, 1.0, 0)];
+        let a = allocate(&flows, &[60.0]);
+        assert!(close(a.rates[0], 30.0));
+        assert!(close(a.rates[1], 30.0));
+    }
+
+    #[test]
+    fn weights_bias_the_split() {
+        let flows = vec![Flow::simple(100.0, 3.0, 0), Flow::simple(100.0, 1.0, 0)];
+        let a = allocate(&flows, &[80.0]);
+        assert!(close(a.rates[0], 60.0));
+        assert!(close(a.rates[1], 20.0));
+    }
+
+    #[test]
+    fn small_demand_releases_capacity_to_others() {
+        // Classic max-min: demands 10, 100, 100 on capacity 90 -> 10, 40, 40.
+        let flows = vec![
+            Flow::simple(10.0, 1.0, 0),
+            Flow::simple(100.0, 1.0, 0),
+            Flow::simple(100.0, 1.0, 0),
+        ];
+        let a = allocate(&flows, &[90.0]);
+        assert!(close(a.rates[0], 10.0));
+        assert!(close(a.rates[1], 40.0));
+        assert!(close(a.rates[2], 40.0));
+    }
+
+    #[test]
+    fn multi_resource_flow_limited_by_tightest_link() {
+        // Flow 0 uses both resources; flow 1 only resource 1.
+        // Resource 0 is tight (capacity 10) so flow 0 freezes there and
+        // flow 1 takes the rest of resource 1.
+        let flows = vec![
+            Flow {
+                demand: 100.0,
+                weight: 1.0,
+                usage: vec![(0, 1.0), (1, 1.0)],
+            },
+            Flow::simple(100.0, 1.0, 1),
+        ];
+        let a = allocate(&flows, &[10.0, 50.0]);
+        assert!(close(a.rates[0], 10.0));
+        assert!(close(a.rates[1], 40.0));
+        assert!(close(a.used[1], 50.0));
+    }
+
+    #[test]
+    fn usage_coefficient_inflates_consumption() {
+        // Snoop overhead: the flow consumes 1.5x its rate on the resource.
+        let flows = vec![Flow {
+            demand: 100.0,
+            weight: 1.0,
+            usage: vec![(0, 1.5)],
+        }];
+        let a = allocate(&flows, &[30.0]);
+        assert!(close(a.rates[0], 20.0));
+        assert!(close(a.used[0], 30.0));
+    }
+
+    #[test]
+    fn zero_demand_and_dead_resource() {
+        let flows = vec![
+            Flow::simple(0.0, 1.0, 0),
+            Flow::simple(10.0, 1.0, 1), // dead resource
+            Flow::simple(10.0, 1.0, 0),
+        ];
+        let a = allocate(&flows, &[50.0, 0.0]);
+        assert_eq!(a.rates[0], 0.0);
+        assert_eq!(a.rates[1], 0.0);
+        assert!(close(a.rates[2], 10.0));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a = allocate(&[], &[10.0]);
+        assert!(a.rates.is_empty());
+        assert!(close(a.used[0], 0.0));
+    }
+
+    #[test]
+    fn utilization_helper() {
+        let flows = vec![Flow::simple(30.0, 1.0, 0)];
+        let a = allocate(&flows, &[60.0]);
+        assert!(close(a.utilization(0, 60.0), 0.5));
+        // Zero capacity with traffic reads as fully utilized.
+        assert_eq!(a.utilization(0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn conservation_never_exceeds_capacity() {
+        let flows = vec![
+            Flow {
+                demand: 80.0,
+                weight: 2.0,
+                usage: vec![(0, 1.0), (1, 0.3)],
+            },
+            Flow::simple(70.0, 1.0, 0),
+            Flow::simple(25.0, 5.0, 1),
+        ];
+        let caps = [50.0, 20.0];
+        let a = allocate(&flows, &caps);
+        for (r, &cap) in caps.iter().enumerate() {
+            assert!(a.used[r] <= cap + 1e-6, "resource {r} over capacity");
+        }
+        for (f, &rate) in flows.iter().zip(&a.rates) {
+            assert!(rate <= f.demand + 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown resource")]
+    fn rejects_unknown_resource() {
+        allocate(&[Flow::simple(1.0, 1.0, 3)], &[10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn rejects_bad_weight() {
+        allocate(&[Flow::simple(1.0, 0.0, 0)], &[10.0]);
+    }
+}

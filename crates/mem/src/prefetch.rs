@@ -1,0 +1,193 @@
+//! L2 hardware prefetcher model.
+//!
+//! Kelp's backpressure lever is toggling L2 prefetchers on low-priority cores
+//! (paper §IV-B, citing Intel's prefetcher-control MSR disclosure). The
+//! model captures the two first-order effects of a streaming prefetcher:
+//!
+//! 1. **Latency hiding** — a *coverage* fraction of would-be demand misses is
+//!    prefetched in time and does not stall the core.
+//! 2. **Traffic inflation** — prefetches are not perfectly accurate; issued
+//!    prefetch traffic exceeds useful traffic by a *waste* factor.
+//!
+//! Disabling a fraction of prefetchers therefore lowers memory pressure at
+//! the cost of task throughput — exactly the tradeoff in Figure 7.
+
+use serde::{Deserialize, Serialize};
+
+/// Intrinsic prefetch-friendliness of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefetchProfile {
+    /// Fraction of demand misses covered when all prefetchers are enabled
+    /// (streaming workloads ~0.8+, pointer-chasing ~0.1).
+    pub coverage: f64,
+    /// Extra traffic as a fraction of miss traffic when fully enabled
+    /// (inaccurate + early-evicted prefetches).
+    pub waste: f64,
+    /// How much the prefetcher multiplies effective memory-level parallelism
+    /// when fully enabled: `mlp_eff = mlp * (1 + mlp_boost * enabled)`.
+    /// Streaming prefetchers keep many lines in flight; without them a core
+    /// is limited to the out-of-order window's demand misses.
+    pub mlp_boost: f64,
+}
+
+impl PrefetchProfile {
+    /// A profile for sequential/streaming access (high coverage, moderate
+    /// waste, large MLP boost).
+    pub fn streaming() -> Self {
+        PrefetchProfile {
+            coverage: 0.85,
+            waste: 0.40,
+            mlp_boost: 6.0,
+        }
+    }
+
+    /// A profile for irregular access (little coverage, little waste).
+    pub fn irregular() -> Self {
+        PrefetchProfile {
+            coverage: 0.25,
+            waste: 0.15,
+            mlp_boost: 0.5,
+        }
+    }
+
+    /// No prefetch benefit at all.
+    pub fn none() -> Self {
+        PrefetchProfile {
+            coverage: 0.0,
+            waste: 0.0,
+            mlp_boost: 0.0,
+        }
+    }
+
+    /// Clamps fields to their valid ranges.
+    pub fn clamped(self) -> Self {
+        PrefetchProfile {
+            coverage: self.coverage.clamp(0.0, 0.99),
+            waste: self.waste.max(0.0),
+            mlp_boost: self.mlp_boost.max(0.0),
+        }
+    }
+}
+
+impl Default for PrefetchProfile {
+    fn default() -> Self {
+        PrefetchProfile::streaming()
+    }
+}
+
+/// Runtime prefetcher setting for a task's cores.
+///
+/// The hardware exposes per-core on/off bits for (typically four)
+/// prefetchers; the runtime controls what fraction of a task's cores have
+/// prefetchers enabled. `1.0` = all enabled (default), `0.0` = all disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefetchSetting {
+    /// Fraction of the task's prefetchers currently enabled, in `[0, 1]`.
+    pub enabled_fraction: f64,
+}
+
+impl PrefetchSetting {
+    /// All prefetchers on.
+    pub fn all_on() -> Self {
+        PrefetchSetting {
+            enabled_fraction: 1.0,
+        }
+    }
+
+    /// All prefetchers off.
+    pub fn all_off() -> Self {
+        PrefetchSetting {
+            enabled_fraction: 0.0,
+        }
+    }
+
+    /// A specific enabled fraction (clamped to `[0, 1]`).
+    pub fn fraction(f: f64) -> Self {
+        PrefetchSetting {
+            enabled_fraction: f.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl Default for PrefetchSetting {
+    fn default() -> Self {
+        PrefetchSetting::all_on()
+    }
+}
+
+/// Effective prefetch behaviour of a task given its profile and setting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefetchEffect {
+    /// Fraction of misses that do not stall the core.
+    pub coverage: f64,
+    /// Traffic multiplier applied to miss traffic (>= 1).
+    pub traffic_multiplier: f64,
+    /// Multiplier on the task's memory-level parallelism (>= 1).
+    pub mlp_multiplier: f64,
+}
+
+/// Combines a workload profile with a runtime setting.
+pub fn effect(profile: PrefetchProfile, setting: PrefetchSetting) -> PrefetchEffect {
+    let p = profile.clamped();
+    let f = setting.enabled_fraction.clamp(0.0, 1.0);
+    PrefetchEffect {
+        coverage: p.coverage * f,
+        traffic_multiplier: 1.0 + p.waste * f,
+        mlp_multiplier: 1.0 + p.mlp_boost * f,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_enabled_uses_profile_values() {
+        let e = effect(PrefetchProfile::streaming(), PrefetchSetting::all_on());
+        assert!((e.coverage - 0.85).abs() < 1e-12);
+        assert!((e.traffic_multiplier - 1.40).abs() < 1e-12);
+        assert!((e.mlp_multiplier - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_prefetchers_neither_cover_nor_inflate() {
+        let e = effect(PrefetchProfile::streaming(), PrefetchSetting::all_off());
+        assert_eq!(e.coverage, 0.0);
+        assert_eq!(e.traffic_multiplier, 1.0);
+        assert_eq!(e.mlp_multiplier, 1.0);
+    }
+
+    #[test]
+    fn partial_disable_scales_linearly() {
+        let e = effect(PrefetchProfile::streaming(), PrefetchSetting::fraction(0.5));
+        assert!((e.coverage - 0.425).abs() < 1e-12);
+        assert!((e.traffic_multiplier - 1.20).abs() < 1e-12);
+        assert!((e.mlp_multiplier - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn setting_is_clamped() {
+        assert_eq!(PrefetchSetting::fraction(2.0).enabled_fraction, 1.0);
+        assert_eq!(PrefetchSetting::fraction(-1.0).enabled_fraction, 0.0);
+    }
+
+    #[test]
+    fn profile_clamping() {
+        let p = PrefetchProfile {
+            coverage: 1.5,
+            waste: -0.3,
+            mlp_boost: -2.0,
+        }
+        .clamped();
+        assert!(p.coverage <= 0.99);
+        assert_eq!(p.waste, 0.0);
+        assert_eq!(p.mlp_boost, 0.0);
+    }
+
+    #[test]
+    fn irregular_profile_barely_benefits() {
+        let e = effect(PrefetchProfile::irregular(), PrefetchSetting::all_on());
+        assert!(e.coverage < 0.3);
+        assert!(e.traffic_multiplier < 1.2);
+    }
+}

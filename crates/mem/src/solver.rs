@@ -1,0 +1,1187 @@
+//! The coupled memory-system solver.
+//!
+//! Each simulation step, the host hands the solver a set of *tasks* (thread
+//! groups with an execution profile) and *fixed flows* (accelerator DMA /
+//! PCIe in-feed traffic). The solver resolves the circular dependencies
+//!
+//! ```text
+//! task rate -> LLC access rate -> occupancy & hit ratio -> miss traffic
+//!           -> max-min bandwidth allocation -> utilization -> latency &
+//!              distress throttling -> task rate
+//! ```
+//!
+//! by damped fixed-point iteration on the per-task rate vector, and reports
+//! achieved rates, consumed bandwidth, effective latencies and the counter
+//! snapshot the Kelp runtime samples.
+
+use crate::counters::{DomainCounters, MemCounters, SocketCounters};
+use crate::distress::{DistressModel, DistressScope};
+use crate::latency::LatencyCurve;
+use crate::llc::{CacheClass, CacheTask, CatAllocation, LlcModel};
+use crate::maxmin::{self, Flow};
+use crate::prefetch::{self, PrefetchProfile, PrefetchSetting};
+use crate::topology::{DomainId, MachineSpec, SncMode, SocketId};
+use kelp_simcore::fixedpoint::{solve_fixed_point, FixedPointConfig};
+use serde::{Deserialize, Serialize};
+
+/// Caller-assigned identifier for a solver task, echoed back in the output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskKey(pub usize);
+
+/// A thread group participating in the memory system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverTask {
+    /// Caller identifier.
+    pub key: TaskKey,
+    /// Active thread count (may be fractional after core masking).
+    pub threads: f64,
+    /// Domain whose cores run the threads (determines the LLC used and the
+    /// socket whose distress signal throttles it).
+    pub home: DomainId,
+    /// Data placement: `(domain, fraction)` pairs summing to ~1.
+    pub data: Vec<(DomainId, f64)>,
+    /// Compute time per work unit per thread in ns, at full speed (the host
+    /// already folds in SMT and frequency effects).
+    pub compute_ns_per_unit: f64,
+    /// LLC accesses per work unit.
+    pub accesses_per_unit: f64,
+    /// Bytes transferred per memory access (cache line).
+    pub bytes_per_access: f64,
+    /// Memory-level parallelism: outstanding misses that overlap.
+    pub mlp: f64,
+    /// Working-set size in bytes.
+    pub working_set_bytes: f64,
+    /// Best-case LLC hit ratio.
+    pub hit_max: f64,
+    /// CAT class.
+    pub cache_class: CacheClass,
+    /// Prefetch friendliness of the access pattern.
+    pub prefetch_profile: PrefetchProfile,
+    /// Current prefetcher setting (the Kelp actuator).
+    pub prefetch_setting: PrefetchSetting,
+    /// Memory arbitration weight.
+    pub weight: f64,
+    /// Optional MBA-style bandwidth cap in GB/s (FineGrained extension).
+    pub bw_cap_gbps: Option<f64>,
+    /// True for requestors not subject to the distress core throttle
+    /// (accelerator DMA engines).
+    pub distress_exempt: bool,
+}
+
+impl SolverTask {
+    /// A task entirely local to its home domain.
+    pub fn local(key: TaskKey, home: DomainId, threads: f64) -> Self {
+        SolverTask {
+            key,
+            threads,
+            home,
+            data: vec![(home, 1.0)],
+            compute_ns_per_unit: 100.0,
+            accesses_per_unit: 1.0,
+            bytes_per_access: 64.0,
+            mlp: 4.0,
+            working_set_bytes: 0.0,
+            hit_max: 0.0,
+            cache_class: CacheClass::Shared,
+            prefetch_profile: PrefetchProfile::none(),
+            prefetch_setting: PrefetchSetting::all_on(),
+            weight: 1.0,
+            bw_cap_gbps: None,
+            distress_exempt: false,
+        }
+    }
+}
+
+/// A constant-rate bandwidth consumer (accelerator DMA, PCIe in-feed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedFlow {
+    /// The domain whose memory the flow targets.
+    pub target: DomainId,
+    /// Socket originating the traffic (crosses UPI if it differs from the
+    /// target's socket); `None` for I/O devices attached to the target
+    /// socket.
+    pub source_socket: Option<SocketId>,
+    /// Desired rate in GB/s.
+    pub gbps: f64,
+    /// Arbitration weight.
+    pub weight: f64,
+}
+
+/// Solver input: the tasks and fixed flows active this step.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolverInput {
+    /// Thread-group tasks.
+    pub tasks: Vec<SolverTask>,
+    /// Constant-rate flows.
+    pub fixed_flows: Vec<FixedFlow>,
+}
+
+/// Per-task solver result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskResult {
+    /// Echo of the task key.
+    pub key: TaskKey,
+    /// Achieved work rate in units/s *per thread*.
+    pub rate_per_thread: f64,
+    /// Consumed memory bandwidth in GB/s (all threads).
+    pub bw_gbps: f64,
+    /// Effective average memory latency seen by the task in ns.
+    pub latency_ns: f64,
+    /// LLC hit ratio.
+    pub llc_hit_ratio: f64,
+    /// Core speed factor applied by distress backpressure.
+    pub speed_factor: f64,
+}
+
+/// Full solver output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolverOutput {
+    /// Per-task results in input order.
+    pub tasks: Vec<TaskResult>,
+    /// Achieved rate of each fixed flow in GB/s, in input order.
+    pub fixed_flow_gbps: Vec<f64>,
+    /// Counter snapshot.
+    pub counters: MemCounters,
+    /// Whether the fixed point converged within budget.
+    pub converged: bool,
+}
+
+impl SolverOutput {
+    /// The result for a task key, if present.
+    pub fn task(&self, key: TaskKey) -> Option<&TaskResult> {
+        self.tasks.iter().find(|t| t.key == key)
+    }
+}
+
+/// The configured memory system.
+///
+/// # Example
+///
+/// ```
+/// use kelp_mem::solver::{MemSystem, SolverInput, SolverTask, TaskKey};
+/// use kelp_mem::topology::{DomainId, MachineSpec, SncMode};
+///
+/// let sys = MemSystem::new(MachineSpec::dual_socket(), SncMode::Disabled);
+/// let mut task = SolverTask::local(TaskKey(0), DomainId::new(0, 0), 4.0);
+/// task.accesses_per_unit = 2.0;
+/// let out = sys.solve(&SolverInput { tasks: vec![task], fixed_flows: vec![] });
+/// assert!(out.converged);
+/// assert!(out.tasks[0].rate_per_thread > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemSystem {
+    machine: MachineSpec,
+    snc: SncMode,
+    latency_curve: LatencyCurve,
+    distress: DistressModel,
+    distress_scope: DistressScope,
+    adaptive_prefetch: Option<AdaptivePrefetch>,
+    cat: CatAllocation,
+    fp_config: FixedPointConfig,
+}
+
+/// Hardware QoS-aware prefetch throttling (paper §VI-B).
+///
+/// A feedback-directed prefetcher (Srinath et al.) scales its aggressiveness
+/// with the local controller's utilization: full coverage below
+/// `start_util`, ramping linearly down to `min_fraction` at saturation.
+/// With this enabled the hardware does by itself what Kelp does by toggling
+/// prefetchers in software — the `ext_qos_prefetch` harness compares the
+/// two.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptivePrefetch {
+    /// Utilization below which prefetchers run at full aggressiveness.
+    pub start_util: f64,
+    /// Fraction of aggressiveness retained at full saturation.
+    pub min_fraction: f64,
+}
+
+impl Default for AdaptivePrefetch {
+    fn default() -> Self {
+        AdaptivePrefetch {
+            start_util: 0.70,
+            min_fraction: 0.10,
+        }
+    }
+}
+
+impl AdaptivePrefetch {
+    /// Hardware aggressiveness factor at controller utilization `rho`.
+    pub fn factor(&self, rho: f64) -> f64 {
+        let rho = rho.clamp(0.0, 1.0);
+        if rho <= self.start_util {
+            return 1.0;
+        }
+        let span = (1.0 - self.start_util).max(1e-9);
+        let t = (rho - self.start_util) / span;
+        1.0 - t * (1.0 - self.min_fraction.clamp(0.0, 1.0))
+    }
+}
+
+impl MemSystem {
+    /// Creates a memory system with default latency/distress models and CAT
+    /// disabled.
+    pub fn new(machine: MachineSpec, snc: SncMode) -> Self {
+        machine.validate().expect("invalid machine spec");
+        let ways = machine.sockets[0].llc_ways;
+        MemSystem {
+            machine,
+            snc,
+            latency_curve: LatencyCurve::default(),
+            distress: DistressModel::default(),
+            distress_scope: DistressScope::default(),
+            adaptive_prefetch: None,
+            cat: CatAllocation::disabled(ways),
+            fp_config: FixedPointConfig {
+                max_iters: 80,
+                tolerance: 5e-4,
+                damping: 0.45,
+            },
+        }
+    }
+
+    /// The machine spec.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// The SNC mode.
+    pub fn snc(&self) -> SncMode {
+        self.snc
+    }
+
+    /// Enables or disables SNC.
+    pub fn set_snc(&mut self, snc: SncMode) {
+        self.snc = snc;
+    }
+
+    /// Sets the CAT allocation (applies to every cache domain).
+    pub fn set_cat(&mut self, cat: CatAllocation) {
+        self.cat = cat;
+    }
+
+    /// The current CAT allocation.
+    pub fn cat(&self) -> CatAllocation {
+        self.cat
+    }
+
+    /// Replaces the latency curve (calibration hook).
+    pub fn set_latency_curve(&mut self, curve: LatencyCurve) {
+        self.latency_curve = curve;
+    }
+
+    /// Replaces the distress model (calibration hook).
+    pub fn set_distress(&mut self, model: DistressModel) {
+        self.distress = model;
+    }
+
+    /// The distress model in use.
+    pub fn distress(&self) -> DistressModel {
+        self.distress
+    }
+
+    /// Selects who receives distress backpressure (default: the whole
+    /// socket, as on shipping hardware; `PerDomain` models the §VI-C
+    /// proposal).
+    pub fn set_distress_scope(&mut self, scope: DistressScope) {
+        self.distress_scope = scope;
+    }
+
+    /// The distress delivery scope.
+    pub fn distress_scope(&self) -> DistressScope {
+        self.distress_scope
+    }
+
+    /// Enables or disables hardware QoS-aware prefetch throttling (§VI-B).
+    pub fn set_adaptive_prefetch(&mut self, model: Option<AdaptivePrefetch>) {
+        self.adaptive_prefetch = model;
+    }
+
+    /// The adaptive-prefetch model, if enabled.
+    pub fn adaptive_prefetch(&self) -> Option<AdaptivePrefetch> {
+        self.adaptive_prefetch
+    }
+
+    /// All allocation domains under the current SNC mode.
+    pub fn domains(&self) -> Vec<DomainId> {
+        self.machine.domains(self.snc)
+    }
+
+    /// Resolves a requested domain to a valid one under the current SNC mode
+    /// (sub index collapses to 0 when SNC is off).
+    pub fn canonical_domain(&self, d: DomainId) -> DomainId {
+        match self.snc {
+            SncMode::Disabled => DomainId {
+                socket: d.socket,
+                sub: 0,
+            },
+            SncMode::Enabled | SncMode::ChannelPartition => DomainId {
+                socket: d.socket,
+                sub: d.sub.min(1),
+            },
+        }
+    }
+
+    /// Solves the memory system for one step.
+    pub fn solve(&self, input: &SolverInput) -> SolverOutput {
+        let domains = self.domains();
+        let domain_index = |d: DomainId| -> usize {
+            let d = self.canonical_domain(d);
+            domains
+                .iter()
+                .position(|&x| x == d)
+                .expect("domain out of range for machine")
+        };
+
+        // Resource table: one per domain, then one per socket pair (UPI).
+        let n_domains = domains.len();
+        let n_sockets = self.machine.socket_count();
+        let upi_resource = |a: SocketId, b: SocketId| -> usize {
+            let (lo, hi) = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+            // Pair index in a flattened upper-triangular order.
+            n_domains + pair_index(lo, hi, n_sockets)
+        };
+        let n_pairs = n_sockets * (n_sockets.saturating_sub(1)) / 2;
+        let mut capacities = Vec::with_capacity(n_domains + n_pairs);
+        for &d in &domains {
+            capacities.push(self.machine.domain_peak_gbps(d, self.snc));
+        }
+        for _ in 0..n_pairs {
+            capacities.push(self.machine.upi_gbps);
+        }
+
+        let tasks = &input.tasks;
+        let n_tasks = tasks.len();
+        for t in tasks {
+            assert!(t.threads >= 0.0, "negative thread count");
+            assert!(t.mlp > 0.0, "mlp must be positive");
+            assert!(t.compute_ns_per_unit >= 0.0, "negative compute time");
+        }
+
+        // Initial rates: zero-load latency estimate.
+        let initial: Vec<f64> = tasks
+            .iter()
+            .map(|t| {
+                let base = self
+                    .machine
+                    .base_latency_ns(self.canonical_domain(t.home), self.canonical_domain(t.home), self.snc);
+                let stall = t.accesses_per_unit * (1.0 - t.hit_max.clamp(0.0, 1.0)) * base / t.mlp;
+                1e9 / (t.compute_ns_per_unit + stall).max(1e-3)
+            })
+            .collect();
+
+        // The fixed-point map.
+        let eval = |rates: &[f64]| -> Evaluation {
+            self.evaluate(rates, input, &domains, &domain_index, &capacities, &upi_resource)
+        };
+
+        let outcome = solve_fixed_point(
+            initial,
+            |rates| eval(rates).next_rates.clone(),
+            self.fp_config,
+        );
+
+        // One final evaluation at the converged rates to extract everything.
+        let final_eval = eval(&outcome.state);
+        let mut per_task = Vec::with_capacity(n_tasks);
+        for (i, t) in tasks.iter().enumerate() {
+            per_task.push(TaskResult {
+                key: t.key,
+                rate_per_thread: final_eval.task_progress[i],
+                bw_gbps: final_eval.task_bw[i],
+                latency_ns: final_eval.task_latency[i],
+                llc_hit_ratio: final_eval.task_hit[i],
+                speed_factor: final_eval.task_speed[i],
+            });
+        }
+
+        SolverOutput {
+            tasks: per_task,
+            fixed_flow_gbps: final_eval.fixed_flow_gbps,
+            counters: final_eval.counters,
+            converged: outcome.converged,
+        }
+    }
+
+    /// One evaluation of the coupled model at a given rate vector.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate(
+        &self,
+        rates: &[f64],
+        input: &SolverInput,
+        domains: &[DomainId],
+        domain_index: &dyn Fn(DomainId) -> usize,
+        capacities: &[f64],
+        upi_resource: &dyn Fn(SocketId, SocketId) -> usize,
+    ) -> Evaluation {
+        let tasks = &input.tasks;
+        let n_domains = domains.len();
+
+        // --- LLC occupancy & hit ratios, per cache domain -----------------
+        let mut task_hit = vec![0.0f64; tasks.len()];
+        for (di, &d) in domains.iter().enumerate() {
+            let members: Vec<usize> = tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| domain_index(t.home) == di)
+                .map(|(i, _)| i)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let llc = LlcModel::new(self.machine.domain_llc_mib(d, self.snc), self.cat);
+            let cache_tasks: Vec<CacheTask> = members
+                .iter()
+                .map(|&i| {
+                    let t = &tasks[i];
+                    CacheTask {
+                        working_set: t.working_set_bytes,
+                        access_rate: t.threads * t.accesses_per_unit * rates[i].max(0.0),
+                        hit_max: t.hit_max,
+                        class: t.cache_class,
+                    }
+                })
+                .collect();
+            for (&i, share) in members.iter().zip(llc.shares(&cache_tasks)) {
+                task_hit[i] = share.hit_ratio;
+            }
+        }
+
+        // --- Build bandwidth flows ----------------------------------------
+        // Task flows first (one per (task, data placement entry)), then fixed
+        // flows.
+        #[derive(Clone, Copy)]
+        struct FlowRef {
+            task: Option<usize>,
+            fixed: Option<usize>,
+            target_domain: usize,
+            crosses_upi: bool,
+        }
+        let build_flows = |effects: &[prefetch::PrefetchEffect]| {
+            let mut flows: Vec<Flow> = Vec::new();
+            let mut flow_refs: Vec<FlowRef> = Vec::new();
+            let mut task_traffic_per_unit = vec![0.0f64; tasks.len()]; // bytes/unit
+
+            for (i, t) in tasks.iter().enumerate() {
+                let pf = effects[i];
+                let miss_per_unit = t.accesses_per_unit * (1.0 - task_hit[i]);
+                let traffic_bytes = miss_per_unit * t.bytes_per_access * pf.traffic_multiplier;
+                task_traffic_per_unit[i] = traffic_bytes;
+                let total_gbps_raw = t.threads * rates[i].max(0.0) * traffic_bytes / 1e9;
+                let total_gbps = match t.bw_cap_gbps {
+                    Some(cap) => total_gbps_raw.min(cap.max(0.0)),
+                    None => total_gbps_raw,
+                };
+                for &(data_domain, frac) in &t.data {
+                    if frac <= 0.0 {
+                        continue;
+                    }
+                    let dd = self.canonical_domain(data_domain);
+                    let di = domain_index(dd);
+                    let home = self.canonical_domain(t.home);
+                    let crosses = dd.socket != home.socket;
+                    let mut usage = vec![(
+                        di,
+                        if crosses {
+                            1.0 + self.machine.remote_snoop_overhead
+                        } else {
+                            1.0
+                        },
+                    )];
+                    if crosses {
+                        usage.push((upi_resource(home.socket, dd.socket), 1.0));
+                    }
+                    flows.push(Flow {
+                        demand: total_gbps * frac,
+                        weight: t.weight.max(1e-6) * frac.max(1e-6),
+                        usage,
+                    });
+                    flow_refs.push(FlowRef {
+                        task: Some(i),
+                        fixed: None,
+                        target_domain: di,
+                        crosses_upi: crosses,
+                    });
+                }
+            }
+            for (j, f) in input.fixed_flows.iter().enumerate() {
+                let dd = self.canonical_domain(f.target);
+                let di = domain_index(dd);
+                let crosses = f
+                    .source_socket
+                    .map(|s| s != dd.socket)
+                    .unwrap_or(false);
+                let mut usage = vec![(
+                    di,
+                    if crosses {
+                        1.0 + self.machine.remote_snoop_overhead
+                    } else {
+                        1.0
+                    },
+                )];
+                if crosses {
+                    usage.push((
+                        upi_resource(f.source_socket.expect("crosses implies source"), dd.socket),
+                        1.0,
+                    ));
+                }
+                flows.push(Flow {
+                    demand: f.gbps.max(0.0),
+                    weight: f.weight.max(1e-6),
+                    usage,
+                });
+                flow_refs.push(FlowRef {
+                    task: None,
+                    fixed: Some(j),
+                    target_domain: di,
+                    crosses_upi: crosses,
+                });
+            }
+            (flows, flow_refs, task_traffic_per_unit)
+        };
+
+        let mut task_effects: Vec<prefetch::PrefetchEffect> = tasks
+            .iter()
+            .map(|t| prefetch::effect(t.prefetch_profile, t.prefetch_setting))
+            .collect();
+        let (mut flows, mut flow_refs, mut task_traffic_per_unit) = build_flows(&task_effects);
+
+        // §VI-B hardware QoS-aware prefetching: a pre-pass measures each
+        // controller's pressure at full aggressiveness, then the hardware
+        // scales every task's prefetchers by its home controller's factor
+        // and the flows are rebuilt.
+        if let Some(ap) = self.adaptive_prefetch {
+            let pre = maxmin::allocate(&flows, capacities);
+            for (i, t) in tasks.iter().enumerate() {
+                let di = domain_index(self.canonical_domain(t.home));
+                let factor = ap.factor(pre.utilization(di, capacities[di]));
+                if factor < 1.0 {
+                    let scaled = PrefetchSetting::fraction(
+                        t.prefetch_setting.enabled_fraction * factor,
+                    );
+                    task_effects[i] = prefetch::effect(t.prefetch_profile, scaled);
+                }
+            }
+            let rebuilt = build_flows(&task_effects);
+            flows = rebuilt.0;
+            flow_refs = rebuilt.1;
+            task_traffic_per_unit = rebuilt.2;
+        }
+
+        let alloc = maxmin::allocate(&flows, capacities);
+
+        // --- Utilization, latency, distress --------------------------------
+        let mut domain_util = vec![0.0f64; n_domains];
+        for (di, u) in domain_util.iter_mut().enumerate() {
+            *u = alloc.utilization(di, capacities[di]);
+        }
+        // Inbound cross-socket traffic per socket (for the coherence tax).
+        let mut inbound_upi = vec![0.0f64; self.machine.socket_count()];
+        for (fr, &rate) in flow_refs.iter().zip(&alloc.rates) {
+            if fr.crosses_upi {
+                inbound_upi[domains[fr.target_domain].socket.0] += rate;
+            }
+        }
+        // Distress duty & core speed per socket.
+        let mut socket_duty = vec![0.0f64; self.machine.socket_count()];
+        for (di, &d) in domains.iter().enumerate() {
+            let duty = self.distress.duty_cycle(domain_util[di]);
+            let s = d.socket.0;
+            if duty > socket_duty[s] {
+                socket_duty[s] = duty;
+            }
+        }
+        // Coherence/snoop stalls from inbound cross-socket traffic.
+        let socket_snoop: Vec<f64> = inbound_upi
+            .iter()
+            .map(|&inb| {
+                1.0 / (1.0 + self.machine.remote_inbound_core_penalty_per_gbps * inb.max(0.0))
+            })
+            .collect();
+        let socket_speed: Vec<f64> = socket_duty
+            .iter()
+            .enumerate()
+            .map(|(s, &d)| self.distress.core_speed_factor(d) * socket_snoop[s])
+            .collect();
+
+        // Loaded local latency per domain.
+        let domain_latency: Vec<f64> = domains
+            .iter()
+            .enumerate()
+            .map(|(di, &d)| {
+                let base = self.machine.base_latency_ns(d, d, self.snc);
+                self.latency_curve.loaded_ns(base, domain_util[di])
+                    + self.machine.coherence_tax_ns_per_gbps * inbound_upi[d.socket.0]
+            })
+            .collect();
+
+        // --- Per-task effective latency, bandwidth, next rate --------------
+        let mut task_bw = vec![0.0f64; tasks.len()];
+        let mut task_alloc_constrained = vec![false; tasks.len()];
+        let mut fixed_flow_gbps = vec![0.0f64; input.fixed_flows.len()];
+        let mut task_latency = vec![0.0f64; tasks.len()];
+        for ((fr, flow), &rate) in flow_refs.iter().zip(&flows).zip(&alloc.rates) {
+            if let Some(i) = fr.task {
+                task_bw[i] += rate;
+                if rate < flow.demand - 1e-9 {
+                    task_alloc_constrained[i] = true;
+                }
+            } else if let Some(j) = fr.fixed {
+                fixed_flow_gbps[j] += rate;
+            }
+        }
+        for (i, t) in tasks.iter().enumerate() {
+            let home = self.canonical_domain(t.home);
+            let mut lat = 0.0;
+            let mut frac_sum = 0.0;
+            for &(data_domain, frac) in &t.data {
+                if frac <= 0.0 {
+                    continue;
+                }
+                let dd = self.canonical_domain(data_domain);
+                let di = domain_index(dd);
+                // Path latency: unloaded path base scaled by target-domain
+                // queueing, plus the victim-socket coherence tax.
+                let base_path = self.machine.base_latency_ns(home, dd, self.snc);
+                let base_local = self.machine.base_latency_ns(dd, dd, self.snc);
+                let queueing = domain_latency[di] - base_local;
+                lat += frac * (base_path + queueing.max(0.0));
+                frac_sum += frac;
+            }
+            task_latency[i] = if frac_sum > 0.0 { lat / frac_sum } else { 0.0 };
+        }
+
+        let mut next_rates = vec![0.0f64; tasks.len()];
+        let mut task_progress = vec![0.0f64; tasks.len()];
+        let mut task_speed = vec![1.0f64; tasks.len()];
+        for (i, t) in tasks.iter().enumerate() {
+            let pf = task_effects[i];
+            let miss_per_unit = t.accesses_per_unit * (1.0 - task_hit[i]);
+            let stall_misses = miss_per_unit * (1.0 - pf.coverage);
+            let home = self.canonical_domain(t.home);
+            let speed = if t.distress_exempt {
+                1.0
+            } else {
+                let duty = match self.distress_scope {
+                    // Real hardware: the worst controller on the socket
+                    // throttles everyone.
+                    DistressScope::GlobalSocket => socket_duty[home.socket.0],
+                    // §VI-C proposal: only the saturating domain's cores pay.
+                    DistressScope::PerDomain => {
+                        self.distress.duty_cycle(domain_util[domain_index(home)])
+                    }
+                };
+                self.distress.core_speed_factor(duty) * socket_snoop[home.socket.0]
+            };
+            task_speed[i] = speed;
+            let stall = stall_misses * task_latency[i] / (t.mlp * pf.mlp_multiplier);
+            // The fixed point iterates on *demand* rates, which exclude the
+            // distress core throttle: a throttled core's prefetchers keep the
+            // memory pipeline full, so bandwidth demand does not relax when
+            // the distress signal slows instruction issue. (Iterating on
+            // throttled rates would oscillate: throttle -> demand drops ->
+            // saturation clears -> throttle lifts -> saturation returns.)
+            let rate_demand = 1e9 / (t.compute_ns_per_unit + stall).max(1e-3);
+            // Progress (achieved work) does pay the throttle.
+            let rate_progress_latency =
+                1e9 / (t.compute_ns_per_unit / speed.max(1e-3) + stall).max(1e-3);
+            let cap_rate = |rate: f64| -> f64 {
+                let mut r = rate;
+                if task_alloc_constrained[i] && t.threads > 0.0 {
+                    let bytes = task_traffic_per_unit[i].max(1e-9);
+                    r = r.min(task_bw[i] * 1e9 / (bytes * t.threads));
+                }
+                if let Some(cap) = t.bw_cap_gbps {
+                    // An MBA cap binds even when the channels have headroom.
+                    let bytes = task_traffic_per_unit[i].max(1e-9);
+                    if t.threads > 0.0 {
+                        r = r.min(cap.max(0.0) * 1e9 / (bytes * t.threads));
+                    }
+                }
+                r
+            };
+            next_rates[i] = if t.threads > 0.0 {
+                cap_rate(rate_demand)
+            } else {
+                0.0
+            };
+            task_progress[i] = if t.threads > 0.0 {
+                cap_rate(rate_progress_latency)
+            } else {
+                0.0
+            };
+        }
+
+        // --- Counters -------------------------------------------------------
+        let mut domain_counters = Vec::with_capacity(n_domains);
+        for (di, &d) in domains.iter().enumerate() {
+            domain_counters.push(DomainCounters {
+                domain: d,
+                bw_gbps: alloc.used[di].min(capacities[di]),
+                utilization: domain_util[di],
+                latency_ns: domain_latency[di],
+                distress_duty: self.distress.duty_cycle(domain_util[di]),
+            });
+        }
+        let mut socket_counters = Vec::with_capacity(self.machine.socket_count());
+        for s in 0..self.machine.socket_count() {
+            let (mut bw, mut lat_weighted) = (0.0, 0.0);
+            for (di, &d) in domains.iter().enumerate() {
+                if d.socket.0 == s {
+                    bw += alloc.used[di].min(capacities[di]);
+                    lat_weighted += alloc.used[di] * domain_latency[di];
+                }
+            }
+            let avg_latency = if bw > 0.0 {
+                lat_weighted / bw
+            } else {
+                // Unloaded: report the base latency.
+                self.machine.sockets[s].base_latency_ns
+            };
+            socket_counters.push(SocketCounters {
+                socket: SocketId(s),
+                bw_gbps: bw,
+                avg_latency_ns: avg_latency,
+                distress_duty: socket_duty[s],
+                core_speed_factor: socket_speed[s],
+            });
+        }
+        let upi_bw: f64 = alloc.used[n_domains..].iter().sum();
+        let upi_util = if self.machine.upi_gbps > 0.0 && capacities.len() > n_domains {
+            (alloc.used[n_domains..]
+                .iter()
+                .fold(0.0f64, |a, &b| a.max(b))
+                / self.machine.upi_gbps)
+                .min(1.0)
+        } else {
+            0.0
+        };
+
+        Evaluation {
+            next_rates,
+            task_progress,
+            task_bw,
+            task_latency,
+            task_hit,
+            task_speed,
+            fixed_flow_gbps,
+            counters: MemCounters {
+                domains: domain_counters,
+                sockets: socket_counters,
+                upi_gbps: upi_bw,
+                upi_utilization: upi_util,
+            },
+        }
+    }
+}
+
+/// Index of an unordered socket pair `(lo, hi)` in upper-triangular order.
+fn pair_index(lo: usize, hi: usize, n: usize) -> usize {
+    debug_assert!(lo < hi && hi < n);
+    // Offset of row `lo` = lo*n - lo*(lo+1)/2 - lo (elements before this row),
+    // then column offset (hi - lo - 1).
+    lo * (2 * n - lo - 1) / 2 + (hi - lo - 1)
+}
+
+struct Evaluation {
+    /// Demand rates (fixed-point state; distress throttle excluded).
+    next_rates: Vec<f64>,
+    /// Achieved work rates (distress throttle applied).
+    task_progress: Vec<f64>,
+    task_bw: Vec<f64>,
+    task_latency: Vec<f64>,
+    task_hit: Vec<f64>,
+    task_speed: Vec<f64>,
+    fixed_flow_gbps: Vec<f64>,
+    counters: MemCounters,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineSpec {
+        MachineSpec::dual_socket()
+    }
+
+    fn streaming_task(key: usize, home: DomainId, threads: f64) -> SolverTask {
+        SolverTask {
+            compute_ns_per_unit: 40.0,
+            accesses_per_unit: 8.0,
+            mlp: 3.0,
+            working_set_bytes: 1e9,
+            hit_max: 0.05,
+            prefetch_profile: PrefetchProfile::streaming(),
+            ..SolverTask::local(TaskKey(key), home, threads)
+        }
+    }
+
+    #[test]
+    fn pair_index_is_dense_and_unique() {
+        let n = 4;
+        let mut seen = std::collections::HashSet::new();
+        for lo in 0..n {
+            for hi in (lo + 1)..n {
+                assert!(seen.insert(pair_index(lo, hi, n)));
+            }
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2);
+        assert!(seen.iter().all(|&i| i < n * (n - 1) / 2));
+    }
+
+    #[test]
+    fn lone_light_task_runs_at_zero_load_speed() {
+        let sys = MemSystem::new(machine(), SncMode::Disabled);
+        let mut t = SolverTask::local(TaskKey(0), DomainId::new(0, 0), 1.0);
+        t.compute_ns_per_unit = 100.0;
+        t.accesses_per_unit = 0.0;
+        let out = sys.solve(&SolverInput {
+            tasks: vec![t],
+            fixed_flows: vec![],
+        });
+        assert!(out.converged);
+        let r = &out.tasks[0];
+        assert!((r.rate_per_thread - 1e7).abs() / 1e7 < 1e-3, "{}", r.rate_per_thread);
+        assert_eq!(r.bw_gbps, 0.0);
+        assert_eq!(r.speed_factor, 1.0);
+    }
+
+    #[test]
+    fn streaming_tasks_saturate_the_socket() {
+        let sys = MemSystem::new(machine(), SncMode::Disabled);
+        let tasks: Vec<SolverTask> = (0..12)
+            .map(|i| streaming_task(i, DomainId::new(0, 0), 2.0))
+            .collect();
+        let out = sys.solve(&SolverInput {
+            tasks,
+            fixed_flows: vec![],
+        });
+        let peak = machine().sockets[0].peak_gbps();
+        let bw = out.counters.socket_bw(SocketId(0));
+        assert!(bw > 0.85 * peak, "bw {bw} vs peak {peak}");
+        assert!(bw <= peak + 1e-6);
+        assert!(out.counters.socket_saturation(SocketId(0)) > 0.3);
+    }
+
+    #[test]
+    fn victim_slows_under_contention_without_snc() {
+        let sys = MemSystem::new(machine(), SncMode::Disabled);
+        let victim = || SolverTask {
+            compute_ns_per_unit: 120.0,
+            accesses_per_unit: 2.0,
+            mlp: 3.0,
+            working_set_bytes: 4e6,
+            hit_max: 0.7,
+            ..SolverTask::local(TaskKey(0), DomainId::new(0, 0), 4.0)
+        };
+        let alone = sys.solve(&SolverInput {
+            tasks: vec![victim()],
+            fixed_flows: vec![],
+        });
+        let mut tasks = vec![victim()];
+        for i in 0..10 {
+            tasks.push(streaming_task(i + 1, DomainId::new(0, 0), 2.0));
+        }
+        let loaded = sys.solve(&SolverInput {
+            tasks,
+            fixed_flows: vec![],
+        });
+        let r_alone = alone.tasks[0].rate_per_thread;
+        let r_loaded = loaded.tasks[0].rate_per_thread;
+        assert!(
+            r_loaded < 0.8 * r_alone,
+            "victim should slow: {r_loaded} vs {r_alone}"
+        );
+        assert!(loaded.tasks[0].latency_ns > alone.tasks[0].latency_ns * 1.5);
+    }
+
+    #[test]
+    fn snc_isolates_channel_contention_but_leaks_distress() {
+        let mut sys = MemSystem::new(machine(), SncMode::Enabled);
+        let victim = || SolverTask {
+            compute_ns_per_unit: 120.0,
+            accesses_per_unit: 2.0,
+            mlp: 3.0,
+            working_set_bytes: 4e6,
+            hit_max: 0.7,
+            ..SolverTask::local(TaskKey(0), DomainId::new(0, 0), 4.0)
+        };
+        let aggressors = |n: usize| -> Vec<SolverTask> {
+            (0..n)
+                .map(|i| streaming_task(i + 1, DomainId::new(0, 1), 2.0))
+                .collect()
+        };
+        let alone = sys.solve(&SolverInput {
+            tasks: vec![victim()],
+            fixed_flows: vec![],
+        });
+        let mut tasks = vec![victim()];
+        tasks.extend(aggressors(10));
+        let loaded = sys.solve(&SolverInput {
+            tasks: tasks.clone(),
+            fixed_flows: vec![],
+        });
+        // Victim latency stays near standalone (own subdomain channels)...
+        assert!(loaded.tasks[0].latency_ns < alone.tasks[0].latency_ns * 1.25);
+        // ...but distress from the other subdomain throttles its cores.
+        assert!(loaded.tasks[0].speed_factor < 0.95);
+
+        // With a gentler distress model the leak disappears.
+        sys.set_distress(DistressModel {
+            threshold: 1.1,
+            ..DistressModel::default()
+        });
+        let gentle = sys.solve(&SolverInput {
+            tasks,
+            fixed_flows: vec![],
+        });
+        assert!(gentle.tasks[0].speed_factor > 0.999);
+    }
+
+    #[test]
+    fn disabling_prefetchers_reduces_pressure() {
+        let sys = MemSystem::new(machine(), SncMode::Enabled);
+        let mut tasks: Vec<SolverTask> = (0..10)
+            .map(|i| streaming_task(i, DomainId::new(0, 1), 2.0))
+            .collect();
+        let on = sys.solve(&SolverInput {
+            tasks: tasks.clone(),
+            fixed_flows: vec![],
+        });
+        for t in tasks.iter_mut() {
+            t.prefetch_setting = PrefetchSetting::all_off();
+        }
+        let off = sys.solve(&SolverInput {
+            tasks,
+            fixed_flows: vec![],
+        });
+        let d = DomainId::new(0, 1);
+        assert!(
+            off.counters.domain_bw(d) < on.counters.domain_bw(d),
+            "prefetch off must lower traffic: {} vs {}",
+            off.counters.domain_bw(d),
+            on.counters.domain_bw(d)
+        );
+        assert!(
+            off.counters.socket_saturation(SocketId(0))
+                <= on.counters.socket_saturation(SocketId(0))
+        );
+        // And the aggressors themselves slow down.
+        assert!(off.tasks[0].rate_per_thread < on.tasks[0].rate_per_thread);
+    }
+
+    #[test]
+    fn remote_traffic_consumes_upi_and_taxes_victim() {
+        let sys = MemSystem::new(machine(), SncMode::Disabled);
+        let victim = || SolverTask {
+            compute_ns_per_unit: 120.0,
+            accesses_per_unit: 2.0,
+            mlp: 3.0,
+            working_set_bytes: 4e6,
+            hit_max: 0.7,
+            ..SolverTask::local(TaskKey(0), DomainId::new(0, 0), 4.0)
+        };
+        // Aggressors run on socket 1 but their data lives on socket 0.
+        let mut remote_aggr: Vec<SolverTask> = (0..10)
+            .map(|i| {
+                let mut t = streaming_task(i + 1, DomainId::new(1, 0), 2.0);
+                t.data = vec![(DomainId::new(0, 0), 1.0)];
+                t
+            })
+            .collect();
+        let out = sys.solve(&SolverInput {
+            tasks: {
+                let mut v = vec![victim()];
+                v.append(&mut remote_aggr);
+                v
+            },
+            fixed_flows: vec![],
+        });
+        assert!(out.counters.upi_gbps > 1.0, "upi {}", out.counters.upi_gbps);
+        assert!(out.counters.upi_gbps <= machine().upi_gbps + 1e-6);
+        // Victim pays the coherence tax on top of queueing.
+        let alone = sys.solve(&SolverInput {
+            tasks: vec![victim()],
+            fixed_flows: vec![],
+        });
+        assert!(out.tasks[0].latency_ns > alone.tasks[0].latency_ns + 10.0);
+    }
+
+    #[test]
+    fn fixed_flows_consume_bandwidth() {
+        let sys = MemSystem::new(machine(), SncMode::Disabled);
+        let out = sys.solve(&SolverInput {
+            tasks: vec![],
+            fixed_flows: vec![FixedFlow {
+                target: DomainId::new(0, 0),
+                source_socket: None,
+                gbps: 10.0,
+                weight: 1.0,
+            }],
+        });
+        assert!((out.fixed_flow_gbps[0] - 10.0).abs() < 1e-6);
+        assert!((out.counters.socket_bw(SocketId(0)) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mba_cap_binds_even_with_headroom() {
+        let sys = MemSystem::new(machine(), SncMode::Disabled);
+        let mut t = streaming_task(0, DomainId::new(0, 0), 4.0);
+        t.bw_cap_gbps = Some(5.0);
+        let out = sys.solve(&SolverInput {
+            tasks: vec![t],
+            fixed_flows: vec![],
+        });
+        assert!(out.tasks[0].bw_gbps <= 5.0 + 0.25, "bw {}", out.tasks[0].bw_gbps);
+    }
+
+    #[test]
+    fn canonical_domain_collapses_when_snc_off() {
+        let sys = MemSystem::new(machine(), SncMode::Disabled);
+        assert_eq!(
+            sys.canonical_domain(DomainId::new(0, 1)),
+            DomainId::new(0, 0)
+        );
+        let sys = MemSystem::new(machine(), SncMode::Enabled);
+        assert_eq!(
+            sys.canonical_domain(DomainId::new(0, 1)),
+            DomainId::new(0, 1)
+        );
+    }
+
+    #[test]
+    fn zero_thread_task_is_inert() {
+        let sys = MemSystem::new(machine(), SncMode::Disabled);
+        let t = streaming_task(0, DomainId::new(0, 0), 0.0);
+        let out = sys.solve(&SolverInput {
+            tasks: vec![t],
+            fixed_flows: vec![],
+        });
+        assert_eq!(out.tasks[0].rate_per_thread, 0.0);
+        assert_eq!(out.tasks[0].bw_gbps, 0.0);
+    }
+
+    #[test]
+    fn output_lookup_by_key() {
+        let sys = MemSystem::new(machine(), SncMode::Disabled);
+        let t = streaming_task(7, DomainId::new(0, 0), 1.0);
+        let out = sys.solve(&SolverInput {
+            tasks: vec![t],
+            fixed_flows: vec![],
+        });
+        assert!(out.task(TaskKey(7)).is_some());
+        assert!(out.task(TaskKey(8)).is_none());
+    }
+
+    #[test]
+    fn per_domain_distress_removes_the_cross_subdomain_leak() {
+        // SNC on, victim in subdomain 0, saturating aggressors in subdomain 1.
+        let mut sys = MemSystem::new(machine(), SncMode::Enabled);
+        let victim = || SolverTask {
+            compute_ns_per_unit: 120.0,
+            accesses_per_unit: 2.0,
+            mlp: 3.0,
+            working_set_bytes: 4e6,
+            hit_max: 0.7,
+            ..SolverTask::local(TaskKey(0), DomainId::new(0, 0), 4.0)
+        };
+        let mut tasks = vec![victim()];
+        for i in 0..10 {
+            tasks.push(streaming_task(i + 1, DomainId::new(0, 1), 2.0));
+        }
+        let global = sys.solve(&SolverInput {
+            tasks: tasks.clone(),
+            fixed_flows: vec![],
+        });
+        assert!(
+            global.tasks[0].speed_factor < 0.95,
+            "global distress must leak: {}",
+            global.tasks[0].speed_factor
+        );
+
+        sys.set_distress_scope(DistressScope::PerDomain);
+        assert_eq!(sys.distress_scope(), DistressScope::PerDomain);
+        let targeted = sys.solve(&SolverInput {
+            tasks,
+            fixed_flows: vec![],
+        });
+        assert!(
+            targeted.tasks[0].speed_factor > 0.999,
+            "targeted distress must spare the victim: {}",
+            targeted.tasks[0].speed_factor
+        );
+        // The offenders still pay.
+        assert!(targeted.tasks[1].speed_factor < 0.95);
+    }
+
+    #[test]
+    fn adaptive_prefetch_relieves_saturation() {
+        let mut sys = MemSystem::new(machine(), SncMode::Enabled);
+        let tasks: Vec<SolverTask> = (0..10)
+            .map(|i| streaming_task(i, DomainId::new(0, 1), 2.0))
+            .collect();
+        let plain = sys.solve(&SolverInput {
+            tasks: tasks.clone(),
+            fixed_flows: vec![],
+        });
+        assert!(plain.counters.socket_saturation(SocketId(0)) > 0.5);
+
+        sys.set_adaptive_prefetch(Some(AdaptivePrefetch::default()));
+        assert!(sys.adaptive_prefetch().is_some());
+        let adaptive = sys.solve(&SolverInput {
+            tasks,
+            fixed_flows: vec![],
+        });
+        assert!(
+            adaptive.counters.socket_saturation(SocketId(0))
+                < plain.counters.socket_saturation(SocketId(0)),
+            "hardware throttling must lower saturation: {} vs {}",
+            adaptive.counters.socket_saturation(SocketId(0)),
+            plain.counters.socket_saturation(SocketId(0))
+        );
+    }
+
+    #[test]
+    fn adaptive_prefetch_factor_shape() {
+        let ap = AdaptivePrefetch::default();
+        assert_eq!(ap.factor(0.0), 1.0);
+        assert_eq!(ap.factor(ap.start_util), 1.0);
+        assert!((ap.factor(1.0) - ap.min_fraction).abs() < 1e-12);
+        let mid = ap.factor((ap.start_util + 1.0) / 2.0);
+        assert!(mid < 1.0 && mid > ap.min_fraction);
+        // Clamped outside [0, 1].
+        assert_eq!(ap.factor(-1.0), 1.0);
+        assert!((ap.factor(2.0) - ap.min_fraction).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snc_low_pressure_is_faster_than_flat() {
+        // The paper notes slightly-better-than-standalone performance under
+        // SNC at low pressure, from the shorter local path.
+        let flat = MemSystem::new(machine(), SncMode::Disabled);
+        let snc = MemSystem::new(machine(), SncMode::Enabled);
+        let t = || SolverTask {
+            compute_ns_per_unit: 80.0,
+            accesses_per_unit: 2.0,
+            mlp: 3.0,
+            working_set_bytes: 10e6,
+            hit_max: 0.5,
+            ..SolverTask::local(TaskKey(0), DomainId::new(0, 0), 4.0)
+        };
+        let r_flat = flat
+            .solve(&SolverInput {
+                tasks: vec![t()],
+                fixed_flows: vec![],
+            })
+            .tasks[0]
+            .rate_per_thread;
+        let r_snc = snc
+            .solve(&SolverInput {
+                tasks: vec![t()],
+                fixed_flows: vec![],
+            })
+            .tasks[0]
+            .rate_per_thread;
+        assert!(r_snc > r_flat, "snc {r_snc} flat {r_flat}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Damped fixed-point iteration.
+//!
+//! The memory-system fluid model couples bandwidth demand and memory latency:
+//! demand depends on latency (stalled threads issue slower) and latency
+//! depends on demand (loaded-latency curve). Each simulation step solves the
+//! coupled system by damped fixed-point iteration on a state vector. This
+//! module provides the generic solver with convergence/oscillation control.
+
+/// Configuration for [`solve_fixed_point`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedPointConfig {
+    /// Maximum number of iterations before giving up.
+    pub max_iters: usize,
+    /// Relative convergence tolerance on the infinity norm.
+    pub tolerance: f64,
+    /// Damping factor in `(0, 1]`: `x' = (1-d)*x + d*f(x)`.
+    pub damping: f64,
+}
+
+impl Default for FixedPointConfig {
+    fn default() -> Self {
+        FixedPointConfig {
+            max_iters: 60,
+            tolerance: 1e-4,
+            damping: 0.5,
+        }
+    }
+}
+
+/// Result of a fixed-point solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedPointOutcome {
+    /// The final state vector.
+    pub state: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was met within the iteration budget.
+    pub converged: bool,
+    /// Final relative residual (infinity norm).
+    pub residual: f64,
+}
+
+/// Solves `x = f(x)` by damped iteration from `initial`.
+///
+/// `f` maps a state vector to the next state vector of the same length. The
+/// iteration stops when the relative infinity-norm change falls below the
+/// tolerance or the budget is exhausted; either way the best state found is
+/// returned (the solver never panics on non-convergence — the memory model
+/// treats a non-converged step as "use the damped estimate", which is
+/// physically sensible for a fluid approximation).
+///
+/// # Panics
+///
+/// Panics if `f` returns a vector of a different length, or if the config's
+/// damping is outside `(0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use kelp_simcore::fixedpoint::{solve_fixed_point, FixedPointConfig};
+/// // x = cos(x) has a unique fixed point near 0.739.
+/// let out = solve_fixed_point(
+///     vec![0.0],
+///     |x| vec![x[0].cos()],
+///     FixedPointConfig::default(),
+/// );
+/// assert!(out.converged);
+/// assert!((out.state[0] - 0.7390851).abs() < 1e-3);
+/// ```
+pub fn solve_fixed_point<F>(
+    initial: Vec<f64>,
+    mut f: F,
+    config: FixedPointConfig,
+) -> FixedPointOutcome
+where
+    F: FnMut(&[f64]) -> Vec<f64>,
+{
+    assert!(
+        config.damping > 0.0 && config.damping <= 1.0,
+        "damping must be in (0, 1]"
+    );
+    let mut x = initial;
+    let mut residual = f64::INFINITY;
+    for iter in 0..config.max_iters {
+        let fx = f(&x);
+        assert_eq!(fx.len(), x.len(), "fixed-point map changed dimension");
+        let mut max_rel = 0.0f64;
+        for (xi, fxi) in x.iter_mut().zip(fx) {
+            let next = (1.0 - config.damping) * *xi + config.damping * fxi;
+            let scale = xi.abs().max(1e-9);
+            max_rel = max_rel.max((next - *xi).abs() / scale);
+            *xi = next;
+        }
+        residual = max_rel;
+        if max_rel < config.tolerance {
+            return FixedPointOutcome {
+                state: x,
+                iterations: iter + 1,
+                converged: true,
+                residual,
+            };
+        }
+    }
+    FixedPointOutcome {
+        state: x,
+        iterations: config.max_iters,
+        converged: false,
+        residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_contraction() {
+        // x = 0.5x + 1 -> x = 2
+        let out = solve_fixed_point(
+            vec![0.0],
+            |x| vec![0.5 * x[0] + 1.0],
+            FixedPointConfig {
+                max_iters: 200,
+                tolerance: 1e-8,
+                damping: 1.0,
+            },
+        );
+        assert!(out.converged);
+        assert!((out.state[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn damping_tames_oscillation() {
+        // x = 2 - x oscillates undamped (period 2) but converges to 1 damped.
+        let cfg = FixedPointConfig {
+            max_iters: 200,
+            tolerance: 1e-8,
+            damping: 0.5,
+        };
+        let out = solve_fixed_point(vec![0.0], |x| vec![2.0 - x[0]], cfg);
+        assert!(out.converged);
+        assert!((out.state[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multidimensional_solve() {
+        // x = 0.3y + 0.7, y = 0.3x + 0.7 -> x = y = 1
+        let out = solve_fixed_point(
+            vec![0.0, 5.0],
+            |v| vec![0.3 * v[1] + 0.7, 0.3 * v[0] + 0.7],
+            FixedPointConfig::default(),
+        );
+        assert!(out.converged);
+        assert!((out.state[0] - 1.0).abs() < 1e-3);
+        assert!((out.state[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reports_non_convergence() {
+        // x = 2x diverges; solver must report rather than loop forever.
+        let out = solve_fixed_point(
+            vec![1.0],
+            |x| vec![2.0 * x[0]],
+            FixedPointConfig {
+                max_iters: 10,
+                tolerance: 1e-8,
+                damping: 1.0,
+            },
+        );
+        assert!(!out.converged);
+        assert_eq!(out.iterations, 10);
+        assert!(out.residual > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn rejects_bad_damping() {
+        solve_fixed_point(
+            vec![0.0],
+            |x| x.to_vec(),
+            FixedPointConfig {
+                max_iters: 1,
+                tolerance: 1e-4,
+                damping: 0.0,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn rejects_dimension_change() {
+        solve_fixed_point(vec![0.0], |_| vec![0.0, 1.0], FixedPointConfig::default());
+    }
+}

@@ -1,0 +1,286 @@
+//! Deterministic random number generation.
+//!
+//! The reproduction needs seedable, portable randomness so that every
+//! experiment table is bit-stable across runs and platforms. [`SimRng`] is a
+//! xoshiro256++ generator (public-domain algorithm by Blackman & Vigna),
+//! seeded through SplitMix64, with the handful of distributions the workload
+//! models need: uniform, exponential (Poisson arrival gaps), Poisson counts,
+//! and normal (fleet bandwidth model).
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic xoshiro256++ random number generator.
+///
+/// Not cryptographically secure; statistical quality is more than sufficient
+/// for workload modelling.
+///
+/// # Example
+///
+/// ```
+/// use kelp_simcore::rng::SimRng;
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimRng {
+    state: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let state = [next(), next(), next(), next()];
+        SimRng { state }
+    }
+
+    /// Derives an independent child generator; useful for giving each task or
+    /// workload its own stream without correlating them.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let s = self.next_u64() ^ stream.wrapping_mul(0xA24BAED4963EE407);
+        SimRng::seed_from(s)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality bits -> [0,1)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)` using rejection-free Lemire reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is undefined");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed value with the given mean (`mean >= 0`).
+    ///
+    /// Used for Poisson inter-arrival gaps in the RNN1 load generator.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // Avoid ln(0) by nudging the uniform away from 0.
+        let u = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+
+    /// Poisson-distributed count with rate `lambda`.
+    ///
+    /// Uses Knuth's product method for small lambda and a normal
+    /// approximation above 64 (accurate to well under a count for our use).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        if lambda > 64.0 {
+            let x = self.normal(lambda, lambda.sqrt());
+            return x.max(0.0).round() as u64;
+        }
+        let limit = (-lambda).exp();
+        let mut count = 0u64;
+        let mut product = self.next_f64();
+        while product > limit {
+            count += 1;
+            product *= self.next_f64();
+        }
+        count
+    }
+
+    /// Normally distributed value (Box–Muller, one draw per call).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        mean + std_dev * mag * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Log-normally distributed value parameterised by the mean and standard
+    /// deviation of the *underlying normal*.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = SimRng::seed_from(9);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            let x = rng.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+        }
+        assert_eq!(rng.uniform(5.0, 5.0), 5.0);
+        assert_eq!(rng.uniform(5.0, 1.0), 5.0);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = SimRng::seed_from(77);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = rng.below(8) as usize;
+            assert!(v < 8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed_from(11);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(3.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert_eq!(rng.exponential(0.0), 0.0);
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large_lambda() {
+        let mut rng = SimRng::seed_from(13);
+        for &lambda in &[0.5, 4.0, 200.0] {
+            let n = 10_000;
+            let sum: u64 = (0..n).map(|_| rng.poisson(lambda)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.08,
+                "lambda {lambda} mean {mean}"
+            );
+        }
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::seed_from(17);
+        let n = 40_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.08, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(21);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 items should move");
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        SimRng::seed_from(1).below(0);
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut rng = SimRng::seed_from(31);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| rng.chance(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "{rate}");
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(rng.chance(5.0), "clamped above 1");
+    }
+
+    #[test]
+    fn log_normal_median_is_exp_mu() {
+        let mut rng = SimRng::seed_from(37);
+        let n = 20_000;
+        let mut xs: Vec<f64> = (0..n).map(|_| rng.log_normal(1.0, 0.5)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        assert!(
+            (median - 1f64.exp()).abs() < 0.1,
+            "median {median} vs {}",
+            1f64.exp()
+        );
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+}

@@ -1,0 +1,179 @@
+//! Time-series recording.
+//!
+//! Experiments record per-step or per-sample values (bandwidth, saturation,
+//! actuator settings) tagged with simulated time, then summarise or dump them
+//! for the figure harness. [`TimeSeries`] keeps `(time, value)` points and
+//! offers windowed averages and downsampling.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A named series of `(time, value)` points in insertion (time) order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    times: Vec<SimTime>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            times: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point. Non-finite values are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `t` is earlier than the last recorded time.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        debug_assert!(
+            self.times.last().is_none_or(|&last| last <= t),
+            "time series must be appended in time order"
+        );
+        self.times.push(t);
+        self.values.push(value);
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no points have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The recorded values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The recorded times.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// Iterates `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Mean of all values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Mean of values with `t >= from` (0 when none), used to discard warmup.
+    pub fn mean_from(&self, from: SimTime) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for (t, v) in self.iter() {
+            if t >= from {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// The last value (0 when empty).
+    pub fn last(&self) -> f64 {
+        self.values.last().copied().unwrap_or(0.0)
+    }
+
+    /// Downsamples to at most `max_points` by averaging equal-size chunks;
+    /// each output point carries the chunk's last timestamp.
+    pub fn downsample(&self, max_points: usize) -> TimeSeries {
+        if max_points == 0 || self.len() <= max_points {
+            return self.clone();
+        }
+        let chunk = self.len().div_ceil(max_points);
+        let mut out = TimeSeries::new(self.name.clone());
+        for c in self.values.chunks(chunk).zip(self.times.chunks(chunk)) {
+            let (vals, times) = c;
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            out.push(*times.last().expect("non-empty chunk"), mean);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut s = TimeSeries::new("bw");
+        s.push(t(1), 10.0);
+        s.push(t(2), 20.0);
+        s.push(t(3), 30.0);
+        assert_eq!(s.name(), "bw");
+        assert_eq!(s.len(), 3);
+        assert!((s.mean() - 20.0).abs() < 1e-12);
+        assert!((s.mean_from(t(2)) - 25.0).abs() < 1e-12);
+        assert_eq!(s.last(), 30.0);
+    }
+
+    #[test]
+    fn non_finite_values_dropped() {
+        let mut s = TimeSeries::new("x");
+        s.push(t(1), f64::NAN);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn mean_from_after_end_is_zero() {
+        let mut s = TimeSeries::new("x");
+        s.push(t(1), 5.0);
+        assert_eq!(s.mean_from(t(10)), 0.0);
+    }
+
+    #[test]
+    fn downsample_preserves_mean() {
+        let mut s = TimeSeries::new("x");
+        for i in 0..100 {
+            s.push(t(i), i as f64);
+        }
+        let d = s.downsample(10);
+        assert_eq!(d.len(), 10);
+        assert!((d.mean() - s.mean()).abs() < 1e-9);
+        // last timestamp preserved
+        assert_eq!(*d.times().last().unwrap(), t(99));
+    }
+
+    #[test]
+    fn downsample_noop_when_small() {
+        let mut s = TimeSeries::new("x");
+        s.push(t(0), 1.0);
+        let d = s.downsample(10);
+        assert_eq!(d, s);
+    }
+}

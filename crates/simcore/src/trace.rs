@@ -1,0 +1,355 @@
+//! Phase tracing.
+//!
+//! Figure 3 of the paper shows the execution timeline of one RNN1 inference
+//! iteration broken into CPU-assist, CPU–TPU communication and TPU-compute
+//! phases, standalone versus colocated. [`PhaseTrace`] records such phase
+//! intervals so the figure harness can re-render the timeline and compute the
+//! per-phase-kind expansion factors the paper quotes (CPU phases +51 % under
+//! heavy contention).
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One closed phase interval on a task's timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// A caller-chosen phase label (e.g. `"cpu"`, `"pcie"`, `"accel"`).
+    pub kind: String,
+    /// Phase start time.
+    pub start: SimTime,
+    /// Phase end time.
+    pub end: SimTime,
+}
+
+impl TraceEvent {
+    /// The phase duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// Recorder for phase intervals, with at most one open phase at a time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTrace {
+    events: Vec<TraceEvent>,
+    open: Option<(String, SimTime)>,
+    enabled: bool,
+    capacity: usize,
+}
+
+impl PhaseTrace {
+    /// Creates a disabled trace (records nothing until [`PhaseTrace::enable`]).
+    pub fn new() -> Self {
+        PhaseTrace {
+            events: Vec::new(),
+            open: None,
+            enabled: false,
+            capacity: 100_000,
+        }
+    }
+
+    /// Builds a closed trace from pre-recorded events (e.g. a clipped
+    /// window), for re-export.
+    pub fn from_events(events: Vec<TraceEvent>) -> Self {
+        let capacity = events.len();
+        PhaseTrace {
+            events,
+            open: None,
+            enabled: false,
+            capacity,
+        }
+    }
+
+    /// Creates an enabled trace holding at most `capacity` events.
+    pub fn enabled_with_capacity(capacity: usize) -> Self {
+        PhaseTrace {
+            events: Vec::new(),
+            open: None,
+            enabled: true,
+            capacity,
+        }
+    }
+
+    /// Starts recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// True when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a phase of the given kind at time `t`, closing any open phase.
+    ///
+    /// Re-opening the kind that is already open extends it instead — steppers
+    /// that call `begin`/`end` once per simulation step merge contiguous
+    /// same-phase slices into one event.
+    pub fn begin(&mut self, kind: &str, t: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        if let Some((open_kind, _)) = &self.open {
+            if open_kind == kind {
+                return;
+            }
+        }
+        self.end(t);
+        self.open = Some((kind.to_string(), t));
+    }
+
+    /// Closes the open phase (if any) at time `t`.
+    pub fn end(&mut self, t: SimTime) {
+        if let Some((kind, start)) = self.open.take() {
+            if self.events.len() < self.capacity && t > start {
+                self.events.push(TraceEvent { kind, start, end: t });
+            }
+        }
+    }
+
+    /// The recorded closed events, in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Total time spent per phase kind.
+    pub fn totals_by_kind(&self) -> BTreeMap<String, SimDuration> {
+        let mut totals: BTreeMap<String, SimDuration> = BTreeMap::new();
+        for e in &self.events {
+            *totals.entry(e.kind.clone()).or_default() += e.duration();
+        }
+        totals
+    }
+
+    /// Events restricted to `[from, to)`, clipped to that window.
+    pub fn window(&self, from: SimTime, to: SimTime) -> Vec<TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.end > from && e.start < to)
+            .map(|e| TraceEvent {
+                kind: e.kind.clone(),
+                start: e.start.max(from),
+                end: e.end.min(to),
+            })
+            .collect()
+    }
+
+    /// Ratio of per-kind totals against a baseline trace: `self / baseline`.
+    ///
+    /// Kinds absent from either side are skipped.
+    pub fn expansion_vs(&self, baseline: &PhaseTrace) -> BTreeMap<String, f64> {
+        let mine = self.totals_by_kind();
+        let theirs = baseline.totals_by_kind();
+        let mut out = BTreeMap::new();
+        for (kind, dur) in &mine {
+            if let Some(base) = theirs.get(kind) {
+                if !base.is_zero() {
+                    out.insert(kind.clone(), dur.as_nanos_f64() / base.as_nanos_f64());
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean event duration per phase kind, in nanoseconds.
+    pub fn means_by_kind(&self) -> BTreeMap<String, f64> {
+        let mut sums: BTreeMap<String, (f64, u64)> = BTreeMap::new();
+        for e in &self.events {
+            let entry = sums.entry(e.kind.clone()).or_insert((0.0, 0));
+            entry.0 += e.duration().as_nanos_f64();
+            entry.1 += 1;
+        }
+        sums.into_iter()
+            .map(|(k, (sum, n))| (k, sum / n.max(1) as f64))
+            .collect()
+    }
+
+    /// Ratio of per-kind *mean* event durations against a baseline trace.
+    ///
+    /// This is the quantity behind the paper's "CPU-intensive phases
+    /// increase by 51 %" claim: when phases stretch, fewer of them fit in an
+    /// equal observation window, so total-time ratios would understate the
+    /// per-phase expansion.
+    pub fn mean_expansion_vs(&self, baseline: &PhaseTrace) -> BTreeMap<String, f64> {
+        let mine = self.means_by_kind();
+        let theirs = baseline.means_by_kind();
+        let mut out = BTreeMap::new();
+        for (kind, mean) in &mine {
+            if let Some(&base) = theirs.get(kind) {
+                if base > 0.0 {
+                    out.insert(kind.clone(), mean / base);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Renders a set of phase traces as Chrome trace-event JSON
+/// (`chrome://tracing` / [Perfetto](https://ui.perfetto.dev) "JSON array
+/// format"): one timeline row per `(name, trace)` pair, complete events
+/// (`ph: "X"`) with microsecond timestamps.
+///
+/// # Example
+///
+/// ```
+/// use kelp_simcore::time::SimTime;
+/// use kelp_simcore::trace::{to_chrome_trace, PhaseTrace};
+///
+/// let mut tr = PhaseTrace::enabled_with_capacity(8);
+/// tr.begin("cpu", SimTime::ZERO);
+/// tr.begin("accel", SimTime::from_micros(300));
+/// tr.end(SimTime::from_micros(650));
+/// let json = to_chrome_trace(&[("rnn1", &tr)]);
+/// assert!(json.contains("\"ph\":\"X\""));
+/// ```
+pub fn to_chrome_trace(traces: &[(&str, &PhaseTrace)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("[");
+    let mut first = true;
+    for (tid, (name, trace)) in traces.iter().enumerate() {
+        for e in trace.events() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"X\",\"pid\":1,\
+\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"row\":\"{}\"}}}}",
+                escape_json(&e.kind),
+                tid + 1,
+                e.start.as_nanos() as f64 / 1e3,
+                e.duration().as_nanos_f64() / 1e3,
+                escape_json(name),
+            );
+        }
+    }
+    out.push(']');
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = PhaseTrace::new();
+        tr.begin("cpu", t(0));
+        tr.end(t(10));
+        assert!(tr.events().is_empty());
+    }
+
+    #[test]
+    fn begin_closes_previous_phase() {
+        let mut tr = PhaseTrace::enabled_with_capacity(100);
+        tr.begin("cpu", t(0));
+        tr.begin("accel", t(5));
+        tr.end(t(12));
+        assert_eq!(tr.events().len(), 2);
+        assert_eq!(tr.events()[0].kind, "cpu");
+        assert_eq!(tr.events()[0].duration(), SimDuration::from_micros(5));
+        assert_eq!(tr.events()[1].kind, "accel");
+        assert_eq!(tr.events()[1].duration(), SimDuration::from_micros(7));
+    }
+
+    #[test]
+    fn zero_length_phases_dropped() {
+        let mut tr = PhaseTrace::enabled_with_capacity(100);
+        tr.begin("cpu", t(3));
+        tr.end(t(3));
+        assert!(tr.events().is_empty());
+    }
+
+    #[test]
+    fn totals_accumulate_per_kind() {
+        let mut tr = PhaseTrace::enabled_with_capacity(100);
+        tr.begin("cpu", t(0));
+        tr.begin("accel", t(4));
+        tr.begin("cpu", t(10));
+        tr.end(t(13));
+        let totals = tr.totals_by_kind();
+        assert_eq!(totals["cpu"], SimDuration::from_micros(7));
+        assert_eq!(totals["accel"], SimDuration::from_micros(6));
+    }
+
+    #[test]
+    fn window_clips_events() {
+        let mut tr = PhaseTrace::enabled_with_capacity(100);
+        tr.begin("cpu", t(0));
+        tr.end(t(10));
+        let w = tr.window(t(4), t(6));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].start, t(4));
+        assert_eq!(w[0].end, t(6));
+        assert!(tr.window(t(20), t(30)).is_empty());
+    }
+
+    #[test]
+    fn expansion_vs_baseline() {
+        let mut base = PhaseTrace::enabled_with_capacity(10);
+        base.begin("cpu", t(0));
+        base.end(t(10));
+        let mut loaded = PhaseTrace::enabled_with_capacity(10);
+        loaded.begin("cpu", t(0));
+        loaded.end(t(15));
+        let exp = loaded.expansion_vs(&base);
+        assert!((exp["cpu"] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_bounds_events() {
+        let mut tr = PhaseTrace::enabled_with_capacity(2);
+        for i in 0..5 {
+            tr.begin("p", t(i * 2));
+            tr.end(t(i * 2 + 1));
+        }
+        assert_eq!(tr.events().len(), 2);
+    }
+
+    #[test]
+    fn chrome_trace_export_is_valid_json_shape() {
+        let mut a = PhaseTrace::enabled_with_capacity(10);
+        a.begin("cpu", t(0));
+        a.begin("accel", t(5));
+        a.end(t(12));
+        let mut b = PhaseTrace::enabled_with_capacity(10);
+        b.begin("pcie", t(2));
+        b.end(t(3));
+        let json = to_chrome_trace(&[("standalone", &a), ("colocated", &b)]);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("\"tid\":2"));
+        assert!(json.contains("\"name\":\"accel\""));
+        // Timestamps are microseconds.
+        assert!(json.contains("\"ts\":5.000"));
+        assert!(json.contains("\"dur\":7.000"));
+    }
+
+    #[test]
+    fn chrome_trace_empty_input() {
+        assert_eq!(to_chrome_trace(&[]), "[]");
+        let empty = PhaseTrace::new();
+        assert_eq!(to_chrome_trace(&[("x", &empty)]), "[]");
+    }
+
+    #[test]
+    fn chrome_trace_escapes_quotes() {
+        let mut tr = PhaseTrace::enabled_with_capacity(4);
+        tr.begin("odd\"kind", t(0));
+        tr.end(t(1));
+        let json = to_chrome_trace(&[("row", &tr)]);
+        assert!(json.contains("odd\\\"kind"), "{json}");
+    }
+}

@@ -1,0 +1,382 @@
+//! Low-priority CPU workloads and synthetic aggressors.
+//!
+//! §V-A's colocated CPU tasks: `Stream` (large-array traversal), `Stitch`
+//! (Street View panorama stitching, a bandwidth-hungry production batch
+//! job), `CPUML` (TensorFlow-Slim CNN training on CPUs). §III-B's synthetic
+//! aggressors: `LLC` (fits in the last-level cache, contends for cache and
+//! SMT pipeline resources) and `DRAM` (streams through memory). §VI-A adds
+//! `Remote DRAM`, which places some data and threads across the socket
+//! boundary.
+//!
+//! All are steady-state [`BatchWorkload`]s: performance is work units per
+//! second; the interesting behaviour comes from their thread profiles.
+
+use crate::model::{InstallCtx, PerfSnapshot, Workload, WorkloadKind};
+use kelp_host::machine::MachineReport;
+use kelp_host::placement::{CpuAllocation, MemPolicy};
+use kelp_host::task::{Priority, TaskSpec, ThreadProfile};
+use kelp_host::{HostMachine, HostTaskId};
+use kelp_mem::prefetch::PrefetchProfile;
+use kelp_mem::topology::DomainId;
+use kelp_simcore::time::{SimDuration, SimTime};
+
+/// The built-in low-priority workload shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchKind {
+    /// Large-array traversal (synthetic, §V-A).
+    Stream,
+    /// Street View panorama stitching (production batch, §V-A).
+    Stitch,
+    /// CPU-based CNN training (production, §V-A).
+    CpuMl,
+    /// LLC-resident aggressor (§III-B).
+    LlcAggressor,
+    /// DRAM bandwidth aggressor (§III-B).
+    DramAggressor,
+    /// DRAM aggressor with remote data/threads (§VI-A).
+    RemoteDramAggressor,
+}
+
+impl BatchKind {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchKind::Stream => "Stream",
+            BatchKind::Stitch => "Stitch",
+            BatchKind::CpuMl => "CPUML",
+            BatchKind::LlcAggressor => "LLC",
+            BatchKind::DramAggressor => "DRAM",
+            BatchKind::RemoteDramAggressor => "Remote DRAM",
+        }
+    }
+
+    /// Thread profile for this workload shape.
+    ///
+    /// `llc_bytes` is the platform's LLC capacity (the LLC aggressor sizes
+    /// its working set to it).
+    pub fn profile(self, llc_bytes: f64) -> ThreadProfile {
+        match self {
+            BatchKind::Stream | BatchKind::DramAggressor | BatchKind::RemoteDramAggressor => {
+                ThreadProfile::streaming(4e9)
+            }
+            BatchKind::Stitch => ThreadProfile {
+                // Image stitching: sequential pixel streams with real compute
+                // per pixel; aggressively bandwidth-hungry (§V-B calls it an
+                // aggressive BW contender) but not a pure stream.
+                compute_ns_per_unit: 70.0,
+                accesses_per_unit: 8.0,
+                bytes_per_access: 64.0,
+                mlp: 3.0,
+                working_set_bytes: 1.5e9,
+                hit_max: 0.10,
+                prefetch: PrefetchProfile {
+                    coverage: 0.80,
+                    waste: 0.35,
+                    mlp_boost: 5.0,
+                },
+            },
+            BatchKind::CpuMl => ThreadProfile {
+                // CPU CNN training: GEMM- and im2col-heavy; streams weights
+                // and activations with decent but imperfect blocking —
+                // "less aggressive" than Stitch (§V-B) but a real consumer.
+                compute_ns_per_unit: 50.0,
+                accesses_per_unit: 6.0,
+                bytes_per_access: 64.0,
+                mlp: 4.0,
+                working_set_bytes: 200e6,
+                hit_max: 0.35,
+                prefetch: PrefetchProfile {
+                    coverage: 0.6,
+                    waste: 0.25,
+                    mlp_boost: 2.5,
+                },
+            },
+            BatchKind::LlcAggressor => ThreadProfile::llc_resident(llc_bytes),
+        }
+    }
+
+    /// True for the kinds whose data partially lives on the remote socket.
+    pub fn is_remote(self) -> bool {
+        matches!(self, BatchKind::RemoteDramAggressor)
+    }
+}
+
+/// A steady low-priority CPU workload.
+#[derive(Debug)]
+pub struct BatchWorkload {
+    kind: BatchKind,
+    label: String,
+    threads: usize,
+    /// Data placement fractions overriding the default local policy.
+    data_split: Option<Vec<(DomainId, f64)>>,
+    /// Fraction of threads placed on the remote socket (Remote DRAM sweep).
+    remote_thread_fraction: f64,
+    task: Option<HostTaskId>,
+    remote_task: Option<HostTaskId>,
+    work_done: f64,
+    measured_ns: f64,
+}
+
+impl BatchWorkload {
+    /// Creates a workload of `kind` with `threads` threads.
+    pub fn new(kind: BatchKind, threads: usize) -> Self {
+        BatchWorkload {
+            kind,
+            label: kind.name().to_string(),
+            threads,
+            data_split: None,
+            remote_thread_fraction: if kind.is_remote() { 0.5 } else { 0.0 },
+            task: None,
+            remote_task: None,
+            work_done: 0.0,
+            measured_ns: 0.0,
+        }
+    }
+
+    /// Overrides the display label (e.g. `"Stitch x3"`).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Places the given fraction of the data on the ML task's local socket,
+    /// the rest on the remote socket (Figure 16 sweep).
+    pub fn with_local_data_fraction(mut self, local: f64) -> Self {
+        let local = local.clamp(0.0, 1.0);
+        // Filled in at install time when the domains are known.
+        self.data_split = Some(vec![(DomainId::new(0, 0), local)]);
+        self
+    }
+
+    /// Places the given fraction of the threads on the ML task's local
+    /// socket (Figure 16 sweep).
+    pub fn with_local_thread_fraction(mut self, local: f64) -> Self {
+        self.remote_thread_fraction = 1.0 - local.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The workload kind.
+    pub fn batch_kind(&self) -> BatchKind {
+        self.kind
+    }
+
+    /// Total work units completed since the last reset.
+    pub fn work_done(&self) -> f64 {
+        self.work_done
+    }
+}
+
+impl Workload for BatchWorkload {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::CpuBatch
+    }
+
+    fn install(&mut self, machine: &mut HostMachine, ctx: InstallCtx) {
+        let llc_bytes = {
+            let spec = machine.mem().machine().socket(ctx.lp_domain.socket);
+            spec.llc_mib * 1024.0 * 1024.0
+        };
+        let profile = self.kind.profile(llc_bytes);
+        let local_domain = ctx.lp_domain;
+        let remote_domain = DomainId::new(1 - ctx.lp_domain.socket.0.min(1), 0);
+
+        // Build the local-socket memory policy.
+        let policy = match &self.data_split {
+            Some(split) => {
+                let local = split[0].1;
+                MemPolicy::Split(vec![(local_domain, local), (remote_domain, 1.0 - local)])
+            }
+            None => MemPolicy::Local,
+        };
+
+        let local_threads =
+            (self.threads as f64 * (1.0 - self.remote_thread_fraction)).round() as usize;
+        let remote_threads = self.threads - local_threads.min(self.threads);
+
+        if local_threads > 0 {
+            let cores = machine.domain_cores(local_domain);
+            let spec = TaskSpec::new(
+                format!("{}-local", self.label),
+                Priority::Low,
+                profile,
+                local_threads,
+            );
+            let alloc = CpuAllocation {
+                domain: local_domain,
+                cores,
+                policy: policy.clone(),
+            };
+            self.task = Some(machine.add_task(spec, vec![alloc]));
+        }
+        if remote_threads > 0 {
+            // Remote threads keep targeting the same data distribution,
+            // which from their socket is (partially) cross-socket traffic.
+            let cores = machine.domain_cores(remote_domain);
+            let spec = TaskSpec::new(
+                format!("{}-remote", self.label),
+                Priority::Low,
+                profile,
+                remote_threads,
+            );
+            let remote_policy = match &self.data_split {
+                Some(split) => {
+                    let local = split[0].1;
+                    MemPolicy::Split(vec![(local_domain, local), (remote_domain, 1.0 - local)])
+                }
+                // Pure Remote DRAM default: data on the ML socket.
+                None if self.kind.is_remote() => {
+                    MemPolicy::Split(vec![(local_domain, 1.0), (remote_domain, 0.0)])
+                }
+                None => MemPolicy::Local,
+            };
+            let alloc = CpuAllocation {
+                domain: remote_domain,
+                cores,
+                policy: remote_policy,
+            };
+            self.remote_task = Some(machine.add_task(spec, vec![alloc]));
+        }
+    }
+
+    fn pre_step(&mut self, _now: SimTime, _machine: &mut HostMachine) {}
+
+    fn post_step(&mut self, _now: SimTime, dt: SimDuration, report: &MachineReport) {
+        let dt_s = dt.as_secs_f64();
+        self.measured_ns += dt.as_nanos_f64();
+        for id in self.task.iter().chain(self.remote_task.iter()) {
+            self.work_done += report.task(*id).units_per_sec * dt_s;
+        }
+    }
+
+    fn primary_task(&self) -> Option<HostTaskId> {
+        self.task.or(self.remote_task)
+    }
+
+    fn task_ids(&self) -> Vec<HostTaskId> {
+        self.task.iter().chain(self.remote_task.iter()).copied().collect()
+    }
+
+    fn performance(&self) -> PerfSnapshot {
+        let secs = self.measured_ns / 1e9;
+        PerfSnapshot {
+            throughput: if secs > 0.0 { self.work_done / secs } else { 0.0 },
+            tail_latency_ms: None,
+        }
+    }
+
+    fn reset_metrics(&mut self) {
+        self.work_done = 0.0;
+        self.measured_ns = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kelp_mem::topology::{MachineSpec, SncMode, SocketId};
+
+    fn ctx() -> InstallCtx {
+        InstallCtx {
+            hp_domain: DomainId::new(0, 0),
+            lp_domain: DomainId::new(0, 0),
+        }
+    }
+
+    fn run(w: &mut BatchWorkload, machine: &mut HostMachine, ms: u64) {
+        let dt = SimDuration::from_micros(100);
+        let steps = ms * 1_000_000 / dt.as_nanos();
+        let mut now = SimTime::ZERO;
+        for _ in 0..steps {
+            w.pre_step(now, machine);
+            let report = machine.solve();
+            w.post_step(now, dt, &report);
+            now += dt;
+        }
+    }
+
+    #[test]
+    fn all_kinds_install_and_progress() {
+        for kind in [
+            BatchKind::Stream,
+            BatchKind::Stitch,
+            BatchKind::CpuMl,
+            BatchKind::LlcAggressor,
+            BatchKind::DramAggressor,
+        ] {
+            let mut machine = HostMachine::new(MachineSpec::dual_socket(), SncMode::Disabled);
+            let mut w = BatchWorkload::new(kind, 8);
+            w.install(&mut machine, ctx());
+            run(&mut w, &mut machine, 10);
+            assert!(w.performance().throughput > 0.0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn dram_aggressor_is_bandwidth_heavy() {
+        let mut machine = HostMachine::new(MachineSpec::dual_socket(), SncMode::Disabled);
+        let mut w = BatchWorkload::new(BatchKind::DramAggressor, 16);
+        w.install(&mut machine, ctx());
+        let report = machine.solve();
+        let bw = report.counters.socket_bw(SocketId(0));
+        let peak = MachineSpec::dual_socket().sockets[0].peak_gbps();
+        assert!(bw > 0.7 * peak, "bw {bw} peak {peak}");
+    }
+
+    #[test]
+    fn llc_aggressor_is_bandwidth_light() {
+        let mut machine = HostMachine::new(MachineSpec::dual_socket(), SncMode::Disabled);
+        let mut w = BatchWorkload::new(BatchKind::LlcAggressor, 16);
+        w.install(&mut machine, ctx());
+        let report = machine.solve();
+        let bw = report.counters.socket_bw(SocketId(0));
+        let peak = MachineSpec::dual_socket().sockets[0].peak_gbps();
+        assert!(bw < 0.4 * peak, "bw {bw} peak {peak}");
+    }
+
+    #[test]
+    fn remote_aggressor_crosses_the_socket() {
+        let mut machine = HostMachine::new(MachineSpec::dual_socket(), SncMode::Disabled);
+        let mut w = BatchWorkload::new(BatchKind::RemoteDramAggressor, 16);
+        w.install(&mut machine, ctx());
+        let report = machine.solve();
+        assert!(report.counters.upi_gbps > 1.0, "upi {}", report.counters.upi_gbps);
+    }
+
+    #[test]
+    fn remote_sweep_knobs_change_placement() {
+        let mut machine = HostMachine::new(MachineSpec::dual_socket(), SncMode::Disabled);
+        let mut w = BatchWorkload::new(BatchKind::DramAggressor, 8)
+            .with_local_data_fraction(0.0)
+            .with_local_thread_fraction(1.0);
+        w.install(&mut machine, ctx());
+        // All threads local, all data remote: everything crosses UPI.
+        let report = machine.solve();
+        assert!(report.counters.upi_gbps > 1.0);
+        let local_bw = report.counters.socket_bw(SocketId(0));
+        let remote_bw = report.counters.socket_bw(SocketId(1));
+        assert!(remote_bw > local_bw, "remote {remote_bw} local {local_bw}");
+    }
+
+    #[test]
+    fn work_accumulates_and_resets() {
+        let mut machine = HostMachine::new(MachineSpec::dual_socket(), SncMode::Disabled);
+        let mut w = BatchWorkload::new(BatchKind::Stream, 4);
+        w.install(&mut machine, ctx());
+        run(&mut w, &mut machine, 5);
+        assert!(w.work_done() > 0.0);
+        w.reset_metrics();
+        assert_eq!(w.work_done(), 0.0);
+    }
+
+    #[test]
+    fn labels_default_to_kind_names() {
+        let w = BatchWorkload::new(BatchKind::Stitch, 2);
+        assert_eq!(w.name(), "Stitch");
+        let w = BatchWorkload::new(BatchKind::Stream, 2).with_label("Stream x2");
+        assert_eq!(w.name(), "Stream x2");
+    }
+}

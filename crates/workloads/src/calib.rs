@@ -1,0 +1,253 @@
+//! Calibration constants for the four production ML workloads.
+//!
+//! The paper's workloads are confidential, so each model is parameterised to
+//! the *published* characterisation and tuned until the model reproduces the
+//! paper's own sensitivity numbers:
+//!
+//! * Table I: interaction type (beam search / in-feed / parameter server),
+//!   CPU intensity (Medium/Low/High/Low) and host memory intensity
+//!   (Low/Low/Medium/High) for RNN1, CNN1, CNN2, CNN3.
+//! * Figure 5: LLC aggressor costs ~14 % on average, DRAM ~40 %.
+//! * Figure 7: with subdomains but unmanaged backpressure, heavy aggressors
+//!   cost RNN1 ~14 % QPS, CNN1 ~50 %, CNN2 ~10 %.
+//! * Figure 3: RNN1 CPU phases stretch ~51 % and tail latency ~70 % under a
+//!   heavy DRAM aggressor.
+//!
+//! Everything here is a *model input*; the integration suite
+//! (`tests/calibration.rs` at the workspace root) asserts the resulting
+//! sensitivities stay inside the paper's bands.
+
+use crate::inference::InferenceParams;
+use crate::trainer::TrainerParams;
+use kelp_accel::Platform;
+use kelp_host::task::ThreadProfile;
+use kelp_mem::prefetch::PrefetchProfile;
+
+/// Estimated standalone per-thread work rate (units/s) for a profile at the
+/// given unloaded latency, with all prefetchers enabled.
+///
+/// Mirrors the solver's zero-load operating point; used to size work amounts
+/// so that "this phase takes X ms standalone" holds by construction.
+pub fn standalone_rate(profile: &ThreadProfile, base_latency_ns: f64) -> f64 {
+    let pf = kelp_mem::prefetch::effect(
+        profile.prefetch,
+        kelp_mem::prefetch::PrefetchSetting::all_on(),
+    );
+    let stall = profile.accesses_per_unit
+        * (1.0 - profile.hit_max)
+        * (1.0 - pf.coverage)
+        * base_latency_ns
+        / (profile.mlp * pf.mlp_multiplier);
+    1e9 / (profile.compute_ns_per_unit + stall).max(1e-3)
+}
+
+/// Unloaded local latency used when sizing work amounts (matches the default
+/// [`kelp_mem::topology::SocketSpec`]).
+pub const BASE_LATENCY_NS: f64 = 85.0;
+
+/// RNN1: NLP inference on the TPU platform. Beam search on the host,
+/// medium CPU intensity, low host memory intensity (Table I).
+pub fn rnn1_params() -> InferenceParams {
+    let assist_profile = ThreadProfile {
+        // Beam search: sort/expand candidate lists — irregular accesses,
+        // latency-sensitive, little bandwidth.
+        compute_ns_per_unit: 60.0,
+        accesses_per_unit: 2.0,
+        bytes_per_access: 64.0,
+        mlp: 4.0,
+        working_set_bytes: 2e6,
+        hit_max: 0.50,
+        prefetch: PrefetchProfile {
+            coverage: 0.15,
+            waste: 0.10,
+            mlp_boost: 0.4,
+        },
+    };
+    let rate = standalone_rate(&assist_profile, BASE_LATENCY_NS);
+    // CPU phase ~300 us standalone per iteration (Figure 3 scale).
+    let cpu_work_per_iteration = rate * 300e-6;
+    InferenceParams {
+        name: "RNN1".into(),
+        platform: Platform::Tpu,
+        iterations_per_query: 6,
+        cpu_work_per_iteration,
+        pcie_ns_per_iteration: 80_000.0,
+        accel_ns_per_iteration: 350_000.0,
+        // Device-bound capacity is 1/(6*0.35ms) = 476 QPS and the pipeline
+        // serves ~395 QPS; the knee target sits at ~86% of that, per the
+        // paper's "knee of the throughput-latency curve" methodology.
+        target_qps: 340.0,
+        max_concurrency: 2,
+        assist_threads: 6,
+        assist_profile,
+        dma_gbps: 1.5,
+        seed: 0x52_4E_4E_31, // "RNN1"
+    }
+}
+
+/// RNN1 in closed-loop serial mode (one query at a time) for the Figure 3
+/// timeline.
+pub fn rnn1_serial_params() -> InferenceParams {
+    InferenceParams {
+        target_qps: 0.0,
+        max_concurrency: 1,
+        ..rnn1_params()
+    }
+}
+
+/// CNN1: image-recognition training on Cloud TPU. Data in-feed on the host;
+/// low CPU intensity, low host memory intensity, but the in-feed has almost
+/// no headroom over the device step, making it the most
+/// contention-sensitive workload (Figures 5, 7, 9).
+pub fn cnn1_params() -> TrainerParams {
+    let assist_profile = ThreadProfile {
+        // In-feed: decode + reshape, mostly compute with modest traffic.
+        compute_ns_per_unit: 150.0,
+        accesses_per_unit: 0.4,
+        bytes_per_access: 64.0,
+        mlp: 3.0,
+        working_set_bytes: 30e6,
+        hit_max: 0.90,
+        prefetch: PrefetchProfile::irregular(),
+    };
+    let rate = standalone_rate(&assist_profile, BASE_LATENCY_NS);
+    let threads = 2.0;
+    TrainerParams {
+        name: "CNN1".into(),
+        platform: Platform::CloudTpu,
+        accel_ns: 20e6, // 20 ms device step
+        serial_work: rate * threads * 1e-3,
+        overlap_work: rate * threads * 19.4e-3, // 97% of the device step
+        pcie_ns: 0.5e6,
+        dma_gbps: 3.0,
+        assist_threads: threads as usize,
+        assist_profile,
+    }
+}
+
+/// CNN2: image-recognition training on Cloud TPU. High CPU intensity,
+/// medium host memory intensity; plenty of in-feed headroom, so it is hurt
+/// mainly through memory latency on its stall-heavy serial phase.
+pub fn cnn2_params() -> TrainerParams {
+    let assist_profile = ThreadProfile {
+        compute_ns_per_unit: 50.0,
+        accesses_per_unit: 3.5,
+        bytes_per_access: 64.0,
+        mlp: 3.0,
+        working_set_bytes: 80e6,
+        hit_max: 0.60,
+        prefetch: PrefetchProfile {
+            coverage: 0.5,
+            waste: 0.30,
+            mlp_boost: 2.0,
+        },
+    };
+    let rate = standalone_rate(&assist_profile, BASE_LATENCY_NS);
+    let threads = 8.0;
+    TrainerParams {
+        name: "CNN2".into(),
+        platform: Platform::CloudTpu,
+        accel_ns: 20e6,
+        serial_work: rate * threads * 5e-3,
+        overlap_work: rate * threads * 8e-3, // 40% of the device step
+        pcie_ns: 0.5e6,
+        dma_gbps: 4.0,
+        assist_threads: threads as usize,
+        assist_profile,
+    }
+}
+
+/// CNN3: image-recognition training on GPUs with a parameter server. Low
+/// CPU intensity, high host memory intensity (Table I) — the parameter
+/// server streams through the model's variables and is bandwidth-bound.
+pub fn cnn3_params() -> TrainerParams {
+    let assist_profile = ThreadProfile {
+        // Parameter server: gradient aggregation, pure streaming.
+        compute_ns_per_unit: 30.0,
+        accesses_per_unit: 8.0,
+        bytes_per_access: 64.0,
+        mlp: 3.0,
+        working_set_bytes: 1.2e9,
+        hit_max: 0.15,
+        prefetch: PrefetchProfile {
+            coverage: 0.70,
+            waste: 0.35,
+            mlp_boost: 4.0,
+        },
+    };
+    let rate = standalone_rate(&assist_profile, BASE_LATENCY_NS);
+    let threads = 4.0;
+    TrainerParams {
+        name: "CNN3".into(),
+        platform: Platform::Gpu,
+        accel_ns: 120e6, // 120 ms GPU step (lock-step with PS)
+        serial_work: rate * threads * 60e-3, // PS aggregation, serial
+        overlap_work: rate * threads * 25e-3,
+        pcie_ns: 2e6,
+        dma_gbps: 5.0,
+        assist_threads: threads as usize,
+        assist_profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standalone_rate_matches_hand_computation() {
+        let p = ThreadProfile {
+            compute_ns_per_unit: 100.0,
+            accesses_per_unit: 2.0,
+            bytes_per_access: 64.0,
+            mlp: 4.0,
+            working_set_bytes: 1e6,
+            hit_max: 0.5,
+            prefetch: PrefetchProfile::none(),
+        };
+        // stall = 2 * 0.5 * 85 / 4 = 21.25 -> rate = 1e9 / 121.25
+        let r = standalone_rate(&p, 85.0);
+        assert!((r - 1e9 / 121.25).abs() < 1.0, "{r}");
+    }
+
+    #[test]
+    fn work_amounts_reflect_intended_phase_times() {
+        let p = cnn1_params();
+        let rate = standalone_rate(&p.assist_profile, BASE_LATENCY_NS) * p.assist_threads as f64;
+        let overlap_ms = p.overlap_work / rate * 1e3;
+        assert!((overlap_ms - 19.4).abs() < 0.01, "{overlap_ms}");
+    }
+
+    #[test]
+    fn table1_intensity_ordering_holds() {
+        // Host memory intensity: CNN3 (high) > CNN2 (medium) > CNN1 (low).
+        let traffic = |p: &ThreadProfile| {
+            let pf = kelp_mem::prefetch::effect(
+                p.prefetch,
+                kelp_mem::prefetch::PrefetchSetting::all_on(),
+            );
+            let rate = standalone_rate(p, BASE_LATENCY_NS);
+            rate * p.accesses_per_unit * (1.0 - p.hit_max) * pf.traffic_multiplier * 64.0
+        };
+        let cnn1 = traffic(&cnn1_params().assist_profile) * cnn1_params().assist_threads as f64;
+        let cnn2 = traffic(&cnn2_params().assist_profile) * cnn2_params().assist_threads as f64;
+        let cnn3 = traffic(&cnn3_params().assist_profile) * cnn3_params().assist_threads as f64;
+        assert!(cnn3 > cnn2, "cnn3 {cnn3} cnn2 {cnn2}");
+        assert!(cnn2 > cnn1, "cnn2 {cnn2} cnn1 {cnn1}");
+    }
+
+    #[test]
+    fn rnn1_knee_sits_below_device_capacity() {
+        let p = rnn1_params();
+        let device_cap = 1e9 / (p.iterations_per_query as f64 * p.accel_ns_per_iteration);
+        assert!(p.target_qps < device_cap, "{} vs {device_cap}", p.target_qps);
+        assert!(p.target_qps > 0.7 * device_cap);
+    }
+
+    #[test]
+    fn serial_mode_is_closed_loop() {
+        let p = rnn1_serial_params();
+        assert_eq!(p.target_qps, 0.0);
+        assert_eq!(p.max_concurrency, 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! The workload interface.
+//!
+//! A [`Workload`] owns one or more tasks on a [`HostMachine`] and is stepped
+//! by the experiment driver: `pre_step` lets it update task intensity and DMA
+//! flow rates for the coming step, `post_step` hands it the solved report so
+//! it can advance its internal state machine (training steps, queries in
+//! flight) by the step duration.
+
+use kelp_host::machine::MachineReport;
+use kelp_host::{HostMachine, HostTaskId};
+use kelp_mem::topology::DomainId;
+use kelp_simcore::time::{SimDuration, SimTime};
+use kelp_simcore::trace::PhaseTrace;
+
+/// Whether a workload is the accelerated ML task or colocated CPU work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// The high-priority accelerated ML task.
+    MlAccelerated,
+    /// Low-priority CPU (batch/aggressor) work.
+    CpuBatch,
+}
+
+/// Placement context handed to [`Workload::install`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstallCtx {
+    /// Domain for the high-priority ML task's host threads (and its DMA).
+    pub hp_domain: DomainId,
+    /// Domain for low-priority CPU tasks.
+    pub lp_domain: DomainId,
+}
+
+/// A performance reading since the last [`Workload::reset_metrics`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfSnapshot {
+    /// Primary throughput metric (steps/s, QPS, or work units/s).
+    pub throughput: f64,
+    /// 95 %-ile latency in milliseconds, for latency-sensitive workloads.
+    pub tail_latency_ms: Option<f64>,
+}
+
+impl PerfSnapshot {
+    /// A zero reading.
+    pub fn zero() -> Self {
+        PerfSnapshot {
+            throughput: 0.0,
+            tail_latency_ms: None,
+        }
+    }
+}
+
+/// A workload stepped by the experiment driver.
+pub trait Workload {
+    /// Display name.
+    fn name(&self) -> &str;
+
+    /// ML or CPU class.
+    fn kind(&self) -> WorkloadKind;
+
+    /// Registers tasks and flows on the machine. Called exactly once.
+    fn install(&mut self, machine: &mut HostMachine, ctx: InstallCtx);
+
+    /// Updates intensity / flow rates before the step is solved.
+    fn pre_step(&mut self, now: SimTime, machine: &mut HostMachine);
+
+    /// Advances internal state by `dt` using the solved report.
+    fn post_step(&mut self, now: SimTime, dt: SimDuration, report: &MachineReport);
+
+    /// The task policies should treat as this workload's main task.
+    fn primary_task(&self) -> Option<HostTaskId>;
+
+    /// All tasks belonging to this workload.
+    fn task_ids(&self) -> Vec<HostTaskId>;
+
+    /// Performance accumulated since the last reset.
+    fn performance(&self) -> PerfSnapshot;
+
+    /// Starts a fresh measurement window (discard warmup).
+    fn reset_metrics(&mut self);
+
+    /// Phase trace, when the workload records one (Figure 3).
+    fn trace(&self) -> Option<&PhaseTrace> {
+        None
+    }
+}
+
+/// Wraps a workload so it is only active inside a time window — the
+/// simulated analogue of a batch job arriving at and departing from a Borg
+/// node (§II-B: "task colocation is often inevitable due to … load spikes
+/// of benign tasks"). Outside the window the inner workload's tasks are
+/// forced to zero intensity and its state machine does not advance, so its
+/// reported throughput covers only the time it actually ran.
+#[derive(Debug)]
+pub struct WindowedWorkload<W> {
+    inner: W,
+    start: SimTime,
+    stop: Option<SimTime>,
+}
+
+impl<W: Workload> WindowedWorkload<W> {
+    /// Activates `inner` from `start` until `stop` (forever if `None`).
+    pub fn new(inner: W, start: SimTime, stop: Option<SimTime>) -> Self {
+        WindowedWorkload { inner, start, stop }
+    }
+
+    /// True when the window covers `now`.
+    pub fn is_active(&self, now: SimTime) -> bool {
+        now >= self.start && self.stop.is_none_or(|s| now < s)
+    }
+
+    /// The wrapped workload.
+    pub fn inner(&self) -> &W {
+        &self.inner
+    }
+}
+
+impl<W: Workload> Workload for WindowedWorkload<W> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        self.inner.kind()
+    }
+
+    fn install(&mut self, machine: &mut HostMachine, ctx: InstallCtx) {
+        self.inner.install(machine, ctx);
+        // Born outside the window: start inert.
+        for t in self.inner.task_ids() {
+            machine.set_intensity(t, 0.0);
+        }
+    }
+
+    fn pre_step(&mut self, now: SimTime, machine: &mut HostMachine) {
+        if self.is_active(now) {
+            for t in self.inner.task_ids() {
+                machine.set_intensity(t, 1.0);
+            }
+            self.inner.pre_step(now, machine);
+        } else {
+            for t in self.inner.task_ids() {
+                machine.set_intensity(t, 0.0);
+            }
+        }
+    }
+
+    fn post_step(&mut self, now: SimTime, dt: SimDuration, report: &MachineReport) {
+        if self.is_active(now) {
+            self.inner.post_step(now, dt, report);
+        }
+    }
+
+    fn primary_task(&self) -> Option<HostTaskId> {
+        self.inner.primary_task()
+    }
+
+    fn task_ids(&self) -> Vec<HostTaskId> {
+        self.inner.task_ids()
+    }
+
+    fn performance(&self) -> PerfSnapshot {
+        self.inner.performance()
+    }
+
+    fn reset_metrics(&mut self) {
+        self.inner.reset_metrics()
+    }
+}
+
+/// Splits a duration `dt` so a state machine can cross phase boundaries
+/// within one step: returns the time consumed to finish `remaining_work` at
+/// `rate`, capped at `dt_ns`, along with the work actually done.
+///
+/// `rate` is in units/s, `remaining_work` in units, times in ns.
+pub fn advance_work(remaining_work: f64, rate: f64, dt_ns: f64) -> (f64, f64) {
+    if remaining_work <= 0.0 {
+        return (0.0, 0.0);
+    }
+    if rate <= 0.0 {
+        return (dt_ns, 0.0);
+    }
+    let finish_ns = remaining_work / rate * 1e9;
+    if finish_ns <= dt_ns {
+        (finish_ns, remaining_work)
+    } else {
+        (dt_ns, rate * dt_ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_work_finishes_within_budget() {
+        // 100 units at 1e9 units/s -> 100 ns.
+        let (used, done) = advance_work(100.0, 1e9, 500.0);
+        assert!((used - 100.0).abs() < 1e-9);
+        assert!((done - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_work_partial_progress() {
+        let (used, done) = advance_work(100.0, 1e9, 20.0);
+        assert_eq!(used, 20.0);
+        assert!((done - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_work_zero_rate_burns_budget() {
+        let (used, done) = advance_work(100.0, 0.0, 50.0);
+        assert_eq!(used, 50.0);
+        assert_eq!(done, 0.0);
+    }
+
+    #[test]
+    fn advance_work_nothing_to_do() {
+        let (used, done) = advance_work(0.0, 1e9, 50.0);
+        assert_eq!(used, 0.0);
+        assert_eq!(done, 0.0);
+    }
+
+    #[test]
+    fn windowed_workload_gates_activity() {
+        use crate::batch::{BatchKind, BatchWorkload};
+        use kelp_mem::topology::{MachineSpec, SncMode, SocketId};
+
+        let mut machine = HostMachine::new(MachineSpec::dual_socket(), SncMode::Disabled);
+        let inner = BatchWorkload::new(BatchKind::Stream, 8);
+        let mut w = WindowedWorkload::new(
+            inner,
+            SimTime::from_millis(10),
+            Some(SimTime::from_millis(20)),
+        );
+        w.install(
+            &mut machine,
+            InstallCtx {
+                hp_domain: kelp_mem::topology::DomainId::new(0, 0),
+                lp_domain: kelp_mem::topology::DomainId::new(0, 0),
+            },
+        );
+        let step = |w: &mut WindowedWorkload<BatchWorkload>,
+                    machine: &mut HostMachine,
+                    ms: u64| {
+            let now = SimTime::from_millis(ms);
+            w.pre_step(now, machine);
+            let report = machine.solve();
+            w.post_step(now, SimDuration::from_millis(1), &report);
+            report.counters.socket_bw(SocketId(0))
+        };
+        assert!(!w.is_active(SimTime::from_millis(5)));
+        assert!(w.is_active(SimTime::from_millis(15)));
+        assert!(!w.is_active(SimTime::from_millis(25)));
+
+        let before = step(&mut w, &mut machine, 5);
+        assert!(before < 1e-9, "inert before the window: {before}");
+        let during = step(&mut w, &mut machine, 15);
+        assert!(during > 10.0, "active inside the window: {during}");
+        let after = step(&mut w, &mut machine, 25);
+        assert!(after < 1e-9, "inert after the window: {after}");
+        // Work only accumulated inside the window.
+        let perf = w.performance();
+        assert!(perf.throughput > 0.0);
+    }
+
+    #[test]
+    fn windowed_workload_open_ended() {
+        use crate::batch::{BatchKind, BatchWorkload};
+        let inner = BatchWorkload::new(BatchKind::Stream, 2);
+        let w = WindowedWorkload::new(inner, SimTime::from_millis(1), None);
+        assert!(!w.is_active(SimTime::ZERO));
+        assert!(w.is_active(SimTime::from_secs(1_000_000)));
+        assert_eq!(w.name(), "Stream");
+        assert_eq!(w.inner().batch_kind(), BatchKind::Stream);
+    }
+}

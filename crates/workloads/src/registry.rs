@@ -1,0 +1,193 @@
+//! Table I: the accelerated ML workload registry.
+//!
+//! Maps each of the paper's four production workloads to its platform,
+//! CPU–accelerator interaction type and intensity classification, and
+//! constructs the corresponding workload model.
+
+use crate::calib;
+use crate::inference::InferenceServer;
+use crate::model::Workload;
+use crate::trainer::Trainer;
+use kelp_accel::Platform;
+use serde::{Deserialize, Serialize};
+
+/// The four production ML workloads of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MlWorkloadKind {
+    /// NLP inference on the TPU platform (beam search on the host).
+    Rnn1,
+    /// Image-recognition training on Cloud TPU (data in-feed).
+    Cnn1,
+    /// Image-recognition training on Cloud TPU (data in-feed, CPU-heavy).
+    Cnn2,
+    /// Image-recognition training on GPU (parameter server).
+    Cnn3,
+}
+
+/// A qualitative Low/Medium/High rating, as printed in Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Intensity {
+    /// Low.
+    Low,
+    /// Medium.
+    Medium,
+    /// High.
+    High,
+}
+
+impl Intensity {
+    /// Table I's wording.
+    pub fn label(self) -> &'static str {
+        match self {
+            Intensity::Low => "Low",
+            Intensity::Medium => "Medium",
+            Intensity::High => "High",
+        }
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Workload name.
+    pub workload: String,
+    /// Training or inference.
+    pub mode: &'static str,
+    /// Platform name.
+    pub platform: &'static str,
+    /// Application domain.
+    pub description: &'static str,
+    /// CPU–accelerator interaction type.
+    pub interaction: &'static str,
+    /// CPU intensity rating.
+    pub cpu_intensity: Intensity,
+    /// Host memory intensity rating.
+    pub host_memory_intensity: Intensity,
+}
+
+impl MlWorkloadKind {
+    /// All workloads in Table I order.
+    pub fn all() -> [MlWorkloadKind; 4] {
+        [
+            MlWorkloadKind::Rnn1,
+            MlWorkloadKind::Cnn1,
+            MlWorkloadKind::Cnn2,
+            MlWorkloadKind::Cnn3,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MlWorkloadKind::Rnn1 => "RNN1",
+            MlWorkloadKind::Cnn1 => "CNN1",
+            MlWorkloadKind::Cnn2 => "CNN2",
+            MlWorkloadKind::Cnn3 => "CNN3",
+        }
+    }
+
+    /// The platform hosting this workload.
+    pub fn platform(self) -> Platform {
+        match self {
+            MlWorkloadKind::Rnn1 => Platform::Tpu,
+            MlWorkloadKind::Cnn1 | MlWorkloadKind::Cnn2 => Platform::CloudTpu,
+            MlWorkloadKind::Cnn3 => Platform::Gpu,
+        }
+    }
+
+    /// This workload's Table I row.
+    pub fn table1_row(self) -> Table1Row {
+        match self {
+            MlWorkloadKind::Rnn1 => Table1Row {
+                workload: "RNN1".into(),
+                mode: "Inference",
+                platform: "TPU",
+                description: "Natural language processing",
+                interaction: "Beam search",
+                cpu_intensity: Intensity::Medium,
+                host_memory_intensity: Intensity::Low,
+            },
+            MlWorkloadKind::Cnn1 => Table1Row {
+                workload: "CNN1".into(),
+                mode: "Training",
+                platform: "Cloud TPU",
+                description: "Image recognition",
+                interaction: "Data in-feed",
+                cpu_intensity: Intensity::Low,
+                host_memory_intensity: Intensity::Low,
+            },
+            MlWorkloadKind::Cnn2 => Table1Row {
+                workload: "CNN2".into(),
+                mode: "Training",
+                platform: "Cloud TPU",
+                description: "Image recognition",
+                interaction: "Data in-feed",
+                cpu_intensity: Intensity::High,
+                host_memory_intensity: Intensity::Medium,
+            },
+            MlWorkloadKind::Cnn3 => Table1Row {
+                workload: "CNN3".into(),
+                mode: "Training",
+                platform: "GPU",
+                description: "Image recognition",
+                interaction: "Parameter server",
+                cpu_intensity: Intensity::Low,
+                host_memory_intensity: Intensity::High,
+            },
+        }
+    }
+
+    /// Builds the workload model with its calibrated parameters.
+    pub fn build(self) -> Box<dyn Workload> {
+        match self {
+            MlWorkloadKind::Rnn1 => Box::new(InferenceServer::new(calib::rnn1_params())),
+            MlWorkloadKind::Cnn1 => Box::new(Trainer::new(calib::cnn1_params())),
+            MlWorkloadKind::Cnn2 => Box::new(Trainer::new(calib::cnn2_params())),
+            MlWorkloadKind::Cnn3 => Box::new(Trainer::new(calib::cnn3_params())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::WorkloadKind;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let rows: Vec<Table1Row> = MlWorkloadKind::all()
+            .iter()
+            .map(|k| k.table1_row())
+            .collect();
+        assert_eq!(rows[0].interaction, "Beam search");
+        assert_eq!(rows[1].interaction, "Data in-feed");
+        assert_eq!(rows[3].interaction, "Parameter server");
+        assert_eq!(rows[0].cpu_intensity, Intensity::Medium);
+        assert_eq!(rows[2].cpu_intensity, Intensity::High);
+        assert_eq!(rows[3].host_memory_intensity, Intensity::High);
+        assert_eq!(rows[1].platform, "Cloud TPU");
+    }
+
+    #[test]
+    fn build_yields_ml_workloads_with_right_names() {
+        for kind in MlWorkloadKind::all() {
+            let w = kind.build();
+            assert_eq!(w.name(), kind.name());
+            assert_eq!(w.kind(), WorkloadKind::MlAccelerated);
+        }
+    }
+
+    #[test]
+    fn platforms_match_table1() {
+        assert_eq!(MlWorkloadKind::Rnn1.platform(), Platform::Tpu);
+        assert_eq!(MlWorkloadKind::Cnn1.platform(), Platform::CloudTpu);
+        assert_eq!(MlWorkloadKind::Cnn3.platform(), Platform::Gpu);
+    }
+
+    #[test]
+    fn intensity_ordering() {
+        assert!(Intensity::Low < Intensity::Medium);
+        assert!(Intensity::Medium < Intensity::High);
+        assert_eq!(Intensity::High.label(), "High");
+    }
+}

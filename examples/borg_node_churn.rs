@@ -1,0 +1,68 @@
+//! Node churn: watch Kelp adapt as batch jobs arrive and depart.
+//!
+//! The paper motivates Kelp with the observation that colocation is
+//! inevitable — "system updates, garbage collection, load spikes of benign
+//! tasks" (§II-B). This example runs a CNN1 host under Kelp while a Stitch
+//! job arrives mid-run and a Stream burst comes and goes, and prints the
+//! runtime's actuator timeline: prefetchers collapse when the burst lands
+//! and recover after it leaves.
+//!
+//! ```text
+//! cargo run --release --example borg_node_churn
+//! ```
+
+use kelp::driver::{Experiment, ExperimentConfig};
+use kelp::policy::PolicyKind;
+use kelp_simcore::time::{SimDuration, SimTime};
+use kelp_workloads::model::WindowedWorkload;
+use kelp_workloads::{BatchKind, BatchWorkload, MlWorkloadKind};
+
+fn main() {
+    let config = ExperimentConfig {
+        dt: SimDuration::from_micros(25),
+        warmup: SimDuration::from_millis(0),
+        duration: SimDuration::from_millis(6000),
+        sample_period: SimDuration::from_millis(50),
+    };
+
+    // Stitch arrives 1 s in and stays; a heavy Stream burst occupies
+    // t = 2.5 s .. 4.5 s.
+    let stitch = WindowedWorkload::new(
+        BatchWorkload::new(BatchKind::Stitch, 8),
+        SimTime::from_millis(1000),
+        None,
+    );
+    let stream_burst = WindowedWorkload::new(
+        BatchWorkload::new(BatchKind::Stream, 14).with_label("Stream burst"),
+        SimTime::from_millis(2500),
+        Some(SimTime::from_millis(4500)),
+    );
+
+    let result = Experiment::builder(MlWorkloadKind::Cnn1, PolicyKind::Kelp)
+        .add_cpu_workload(stitch)
+        .add_cpu_workload(stream_burst)
+        .config(config)
+        .run();
+
+    println!("time(s)  LP-cores  backfill  prefetchers  | events");
+    for (t, snap) in &result.policy_series {
+        let secs = t.as_secs_f64();
+        let event = match t.as_nanos() / 1_000_000 {
+            1000..=1049 => "<- Stitch arrives",
+            2500..=2549 => "<- Stream burst arrives",
+            4500..=4549 => "<- Stream burst departs",
+            _ => "",
+        };
+        // Print every 4th sample plus event boundaries to keep it readable.
+        if ((secs * 20.0).round() as u64).is_multiple_of(5) || !event.is_empty() {
+            println!(
+                "{secs:7.2}  {:8}  {:8}  {:11}  | {event}",
+                snap.lp_cores, snap.hp_backfill_cores, snap.lp_prefetchers
+            );
+        }
+    }
+    println!(
+        "\nCNN1 throughput over the full run: {:.1} steps/s",
+        result.ml_performance.throughput
+    );
+}

@@ -1,0 +1,60 @@
+//! Fleet capacity study: how widespread is memory-bandwidth saturation, and
+//! what does that imply for accelerator colocation?
+//!
+//! Reproduces the Figure 2 fleet analysis and then estimates, for a fleet of
+//! accelerator hosts running CNN1, how much aggregate training throughput is
+//! lost to unmanaged interference versus a fleet running Kelp.
+//!
+//! ```text
+//! cargo run --release --example fleet_capacity
+//! ```
+
+use kelp::driver::{Experiment, ExperimentConfig};
+use kelp::policy::PolicyKind;
+use kelp_workloads::fleet::FleetModel;
+use kelp_workloads::{BatchKind, BatchWorkload, MlWorkloadKind};
+
+fn main() {
+    // Part 1: the fleet bandwidth distribution (Figure 2).
+    let fleet = FleetModel::default().simulate(42);
+    println!("Fleet profile ({} machines):", fleet.p99_per_machine.len());
+    for &threshold in &[0.5, 0.7, 0.9] {
+        println!(
+            "  {:>4.0}% of peak BW exceeded by {:>5.1}% of machines (99%-ile)",
+            threshold * 100.0,
+            fleet.fraction_above(threshold) * 100.0
+        );
+    }
+
+    // Part 2: translate the saturated fraction into training capacity.
+    let config = ExperimentConfig::default();
+    let ml = MlWorkloadKind::Cnn1;
+    let standalone = Experiment::builder(ml, PolicyKind::Baseline)
+        .config(config.clone())
+        .run()
+        .ml_performance
+        .throughput;
+    let run = |policy: PolicyKind| {
+        Experiment::builder(ml, policy)
+            .add_cpu_workload(BatchWorkload::new(BatchKind::Stream, 16))
+            .config(config.clone())
+            .run()
+            .ml_performance
+            .throughput
+            / standalone
+    };
+    let contended_bl = run(PolicyKind::Baseline);
+    let contended_kp = run(PolicyKind::Kelp);
+
+    // Machines above 70% of peak are modelled as contended.
+    let hot = fleet.fraction_above(0.70);
+    let fleet_bl = (1.0 - hot) + hot * contended_bl;
+    let fleet_kp = (1.0 - hot) + hot * contended_kp;
+    println!("\nFleet-level CNN1 training capacity (1.0 = interference-free):");
+    println!("  unmanaged: {fleet_bl:.3}");
+    println!("  with Kelp: {fleet_kp:.3}");
+    println!(
+        "  Kelp recovers {:.1}% of fleet capacity",
+        (fleet_kp - fleet_bl) * 100.0
+    );
+}

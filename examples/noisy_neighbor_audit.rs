@@ -1,0 +1,61 @@
+//! Noisy-neighbor audit: how much does each batch workload hurt each
+//! accelerated ML service, and which runtime fixes it best?
+//!
+//! This is the workflow a capacity-planning team would run before approving
+//! a new batch job for colocation with accelerator hosts.
+//!
+//! ```text
+//! cargo run --release --example noisy_neighbor_audit
+//! ```
+
+use kelp::driver::{Experiment, ExperimentConfig};
+use kelp::policy::PolicyKind;
+use kelp::report::Table;
+use kelp_workloads::{BatchKind, BatchWorkload, MlWorkloadKind};
+
+fn main() {
+    let config = ExperimentConfig::default();
+    let batch_kinds = [BatchKind::Stream, BatchKind::Stitch, BatchKind::CpuMl];
+
+    for ml in MlWorkloadKind::all() {
+        let standalone = Experiment::builder(ml, PolicyKind::Baseline)
+            .config(config.clone())
+            .run()
+            .ml_performance;
+        let mut table = Table::new(
+            format!(
+                "{} ({}) — impact of colocated batch work",
+                ml.name(),
+                ml.platform().name()
+            ),
+            &["Batch job", "Unmanaged impact", "Under Kelp", "Verdict"],
+        );
+        for kind in batch_kinds {
+            let run = |policy: PolicyKind| {
+                Experiment::builder(ml, policy)
+                    .add_cpu_workload(BatchWorkload::new(kind, 16))
+                    .config(config.clone())
+                    .run()
+                    .ml_performance
+                    .throughput
+                    / standalone.throughput
+            };
+            let unmanaged = run(PolicyKind::Baseline);
+            let managed = run(PolicyKind::Kelp);
+            let verdict = if unmanaged > 0.95 {
+                "safe to colocate"
+            } else if managed > 0.95 {
+                "colocate under Kelp only"
+            } else {
+                "needs dedicated host"
+            };
+            table.row(vec![
+                kind.name().to_string(),
+                format!("{:.0}%", unmanaged * 100.0),
+                format!("{:.0}%", managed * 100.0),
+                verdict.to_string(),
+            ]);
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: colocate an accelerated training job with a batch job and
+//! watch Kelp protect it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use kelp::driver::{Experiment, ExperimentConfig};
+use kelp::policy::PolicyKind;
+use kelp_workloads::{BatchKind, BatchWorkload, MlWorkloadKind};
+
+fn main() {
+    let config = ExperimentConfig::default();
+    let ml = MlWorkloadKind::Cnn1;
+
+    // 1. How fast does CNN1 train with the machine to itself?
+    let standalone = Experiment::builder(ml, PolicyKind::Baseline)
+        .config(config.clone())
+        .run();
+    println!(
+        "standalone:        {:6.1} steps/s",
+        standalone.ml_performance.throughput
+    );
+
+    // 2. Colocate a bandwidth-hungry batch job, unmanaged.
+    let baseline = Experiment::builder(ml, PolicyKind::Baseline)
+        .add_cpu_workload(BatchWorkload::new(BatchKind::Stream, 16))
+        .config(config.clone())
+        .run();
+    println!(
+        "unmanaged (BL):    {:6.1} steps/s ({:.0}% of standalone), batch {:.2e} units/s",
+        baseline.ml_performance.throughput,
+        100.0 * baseline.ml_performance.throughput / standalone.ml_performance.throughput,
+        baseline.cpu_total_throughput(),
+    );
+
+    // 3. Same mix under the Kelp runtime: NUMA subdomains + prefetcher
+    //    management + backfilling.
+    let kelp_run = Experiment::builder(ml, PolicyKind::Kelp)
+        .add_cpu_workload(BatchWorkload::new(BatchKind::Stream, 16))
+        .config(config)
+        .run();
+    println!(
+        "managed (Kelp):    {:6.1} steps/s ({:.0}% of standalone), batch {:.2e} units/s",
+        kelp_run.ml_performance.throughput,
+        100.0 * kelp_run.ml_performance.throughput / standalone.ml_performance.throughput,
+        kelp_run.cpu_total_throughput(),
+    );
+
+    // 4. What the runtime settled on.
+    let snap = kelp_run.final_policy_snapshot();
+    println!(
+        "kelp actuators:    {} LP cores + {} backfilled cores, {} prefetchers enabled",
+        snap.lp_cores, snap.hp_backfill_cores, snap.lp_prefetchers
+    );
+}

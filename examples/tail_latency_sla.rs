@@ -1,0 +1,65 @@
+//! Tail-latency SLA check for an inference service.
+//!
+//! An inference team owns a 95%-ile latency SLA for the RNN1 server (the
+//! paper's TPU workload) and wants to know how much batch work each runtime
+//! lets them pack onto the host before the SLA breaks. Sweeps CPUML thread
+//! counts and reports the largest count whose p95 stays under the budget.
+//!
+//! ```text
+//! cargo run --release --example tail_latency_sla
+//! ```
+
+use kelp::driver::{Experiment, ExperimentConfig};
+use kelp::policy::PolicyKind;
+use kelp::report::Table;
+use kelp_workloads::{BatchKind, BatchWorkload, MlWorkloadKind};
+
+fn main() {
+    let config = ExperimentConfig::default();
+    let standalone = Experiment::builder(MlWorkloadKind::Rnn1, PolicyKind::Baseline)
+        .config(config.clone())
+        .run()
+        .ml_performance;
+    let base_tail = standalone.tail_latency_ms.expect("rnn1 reports tail");
+    // SLA: tail may grow at most 25% over standalone.
+    let sla_ms = base_tail * 1.25;
+    println!("standalone p95 = {base_tail:.2} ms; SLA budget = {sla_ms:.2} ms\n");
+
+    let mut table = Table::new(
+        "Max CPUML threads colocatable within the RNN1 tail-latency SLA",
+        &["Policy", "max threads", "p95 at max (ms)", "QPS at max"],
+    );
+    for policy in [
+        PolicyKind::Baseline,
+        PolicyKind::CoreThrottle,
+        PolicyKind::KelpSubdomain,
+        PolicyKind::Kelp,
+    ] {
+        let mut best: Option<(usize, f64, f64)> = None;
+        for threads in [2usize, 4, 8, 12, 16] {
+            let r = Experiment::builder(MlWorkloadKind::Rnn1, policy)
+                .add_cpu_workload(BatchWorkload::new(BatchKind::CpuMl, threads))
+                .config(config.clone())
+                .run();
+            let tail = r.ml_performance.tail_latency_ms.unwrap_or(f64::INFINITY);
+            if tail <= sla_ms {
+                best = Some((threads, tail, r.ml_performance.throughput));
+            }
+        }
+        match best {
+            Some((threads, tail, qps)) => table.row(vec![
+                policy.label().to_string(),
+                threads.to_string(),
+                format!("{tail:.2}"),
+                format!("{qps:.0}"),
+            ]),
+            None => table.row(vec![
+                policy.label().to_string(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        };
+    }
+    table.print();
+}
