@@ -150,8 +150,13 @@ mod tests {
 
     #[test]
     fn device_specs_follow_generations() {
-        assert!(Platform::CloudTpu.device().spec.peak_tflops > Platform::Tpu.device().spec.peak_tflops);
-        assert!(Platform::CloudTpu.device().spec.local_mem_gib > Platform::Gpu.device().spec.local_mem_gib);
+        assert!(
+            Platform::CloudTpu.device().spec.peak_tflops > Platform::Tpu.device().spec.peak_tflops
+        );
+        assert!(
+            Platform::CloudTpu.device().spec.local_mem_gib
+                > Platform::Gpu.device().spec.local_mem_gib
+        );
     }
 
     #[test]

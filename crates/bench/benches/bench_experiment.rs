@@ -2,9 +2,9 @@
 //! Tracks the cost of the full driver loop (workload stepping + cached
 //! solves + policy sampling), which bounds how fast the figure harness runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use kelp::driver::{Experiment, ExperimentConfig};
 use kelp::policy::PolicyKind;
+use kelp_bench::timing::bench;
 use kelp_simcore::time::SimDuration;
 use kelp_workloads::{BatchKind, BatchWorkload, MlWorkloadKind};
 use std::hint::black_box;
@@ -18,9 +18,8 @@ fn tiny_config() -> ExperimentConfig {
     }
 }
 
-fn bench_policies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiment_run");
-    g.sample_size(10);
+fn main() {
+    println!("experiment_run:");
     for policy in [
         PolicyKind::Baseline,
         PolicyKind::CoreThrottle,
@@ -28,32 +27,19 @@ fn bench_policies(c: &mut Criterion) {
         PolicyKind::Kelp,
         PolicyKind::FineGrained,
     ] {
-        g.bench_function(policy.label(), |b| {
-            b.iter(|| {
-                let r = Experiment::builder(MlWorkloadKind::Cnn1, policy)
-                    .add_cpu_workload(BatchWorkload::new(BatchKind::Stream, 12))
-                    .config(tiny_config())
-                    .run();
-                black_box(r.ml_performance.throughput)
-            })
-        });
-    }
-    g.finish();
-}
-
-fn bench_inference_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("inference_server");
-    g.sample_size(10);
-    g.bench_function("rnn1_short_run", |b| {
-        b.iter(|| {
-            let r = Experiment::builder(MlWorkloadKind::Rnn1, PolicyKind::Baseline)
+        bench(policy.label(), 10, || {
+            let r = Experiment::builder(MlWorkloadKind::Cnn1, policy)
+                .add_cpu_workload(BatchWorkload::new(BatchKind::Stream, 12))
                 .config(tiny_config())
                 .run();
             black_box(r.ml_performance.throughput)
-        })
+        });
+    }
+    println!("inference_server:");
+    bench("rnn1_short_run", 10, || {
+        let r = Experiment::builder(MlWorkloadKind::Rnn1, PolicyKind::Baseline)
+            .config(tiny_config())
+            .run();
+        black_box(r.ml_performance.throughput)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_policies, bench_inference_engine);
-criterion_main!(benches);

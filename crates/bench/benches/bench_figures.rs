@@ -1,13 +1,13 @@
-//! One Criterion benchmark per table/figure harness, at reduced scale.
+//! One timing benchmark per table/figure harness, at reduced scale.
 //!
 //! Each benchmark runs the same code path as the corresponding
 //! `fig*` binary (which regenerates the figure at full scale); here the
 //! quick configuration keeps `cargo bench` tractable while still covering
 //! every harness end to end.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use kelp::driver::ExperimentConfig;
 use kelp::experiments;
+use kelp_bench::timing::bench;
 use kelp_workloads::{BatchKind, MlWorkloadKind};
 use std::hint::black_box;
 
@@ -15,65 +15,54 @@ fn cfg() -> ExperimentConfig {
     ExperimentConfig::quick()
 }
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-
-    g.bench_function("table1", |b| {
-        b.iter(|| black_box(experiments::table1::table1().render()))
+fn main() {
+    println!("figures:");
+    bench("table1", 10, || {
+        black_box(experiments::table1::table1().render())
     });
-    g.bench_function("fig02_fleet", |b| {
-        b.iter(|| black_box(experiments::fleet::figure2(7).fraction_above_70pct))
+    bench("fig02_fleet", 10, || {
+        black_box(experiments::fleet::figure2(7).fraction_above_70pct)
     });
-    g.bench_function("fig03_timeline", |b| {
-        b.iter(|| black_box(experiments::timeline::figure3(&cfg()).cpu_expansion()))
+    bench("fig03_timeline", 10, || {
+        black_box(experiments::timeline::figure3(&cfg()).cpu_expansion())
     });
-    g.bench_function("fig05_sensitivity_one_cell", |b| {
+    bench("fig05_sensitivity_one_cell", 10, || {
         // One (workload, aggressor) cell; the full figure is 4x2 of these.
-        b.iter(|| {
-            let r = experiments::sensitivity::run_sensitivity(
-                &[BatchKind::DramAggressor],
-                &cfg(),
-            );
-            black_box(r.average(0))
-        })
+        let r = experiments::sensitivity::run_sensitivity(&[BatchKind::DramAggressor], &cfg());
+        black_box(r.average(0))
     });
-    g.bench_function("fig07_backpressure_one_point", |b| {
+    bench("fig07_backpressure_one_point", 10, || {
         use kelp::driver::Experiment;
         use kelp::experiments::backpressure::FixedPrefetchPolicy;
         use kelp::policy::PolicyKind;
         use kelp_workloads::BatchWorkload;
-        b.iter(|| {
-            let r = Experiment::builder(MlWorkloadKind::Cnn1, PolicyKind::KelpSubdomain)
-                .custom_policy(Box::new(FixedPrefetchPolicy::with_disabled_fraction(0.5)))
-                .add_cpu_workload(BatchWorkload::new(BatchKind::DramAggressor, 6))
-                .config(cfg())
-                .run();
-            black_box(r.ml_performance.throughput)
-        })
+        let r = Experiment::builder(MlWorkloadKind::Cnn1, PolicyKind::KelpSubdomain)
+            .custom_policy(Box::new(FixedPrefetchPolicy::with_disabled_fraction(0.5)))
+            .add_cpu_workload(BatchWorkload::new(BatchKind::DramAggressor, 6))
+            .config(cfg())
+            .run();
+        black_box(r.ml_performance.throughput)
     });
-    g.bench_function("fig09_mix_sweep_2pts", |b| {
-        b.iter(|| {
-            let r =
-                experiments::mix::run_mix_sweep(MlWorkloadKind::Cnn1, BatchKind::Stitch, &[1, 3], &cfg());
-            black_box(r.avg_ml_norm(kelp::policy::PolicyKind::Kelp))
-        })
+    bench("fig09_mix_sweep_2pts", 10, || {
+        let r = experiments::mix::run_mix_sweep(
+            MlWorkloadKind::Cnn1,
+            BatchKind::Stitch,
+            &[1, 3],
+            &cfg(),
+        );
+        black_box(r.avg_ml_norm(kelp::policy::PolicyKind::Kelp))
     });
-    g.bench_function("fig10_mix_sweep_2pts", |b| {
-        b.iter(|| {
-            let r =
-                experiments::mix::run_mix_sweep(MlWorkloadKind::Rnn1, BatchKind::CpuMl, &[4, 12], &cfg());
-            black_box(r.avg_ml_norm(kelp::policy::PolicyKind::Kelp))
-        })
+    bench("fig10_mix_sweep_2pts", 10, || {
+        let r = experiments::mix::run_mix_sweep(
+            MlWorkloadKind::Rnn1,
+            BatchKind::CpuMl,
+            &[4, 12],
+            &cfg(),
+        );
+        black_box(r.avg_ml_norm(kelp::policy::PolicyKind::Kelp))
     });
-    g.bench_function("fig16_remote_one_panel", |b| {
-        b.iter(|| {
-            let r = experiments::remote::figure16_for(&[MlWorkloadKind::Cnn1], &cfg());
-            black_box(r.panels.len())
-        })
+    bench("fig16_remote_one_panel", 10, || {
+        let r = experiments::remote::figure16_for(&[MlWorkloadKind::Cnn1], &cfg());
+        black_box(r.panels.len())
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! allocator and the coupled fixed-point solve, across task counts and SNC
 //! modes. These are the inner loops of every figure reproduction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kelp_bench::timing::bench;
 use kelp_mem::maxmin::{allocate, Flow};
 use kelp_mem::solver::{MemSystem, SolverInput, SolverTask, TaskKey};
 use kelp_mem::topology::{DomainId, MachineSpec, SncMode};
@@ -13,21 +13,9 @@ fn maxmin_flows(n: usize) -> Vec<Flow> {
         .map(|i| Flow {
             demand: 5.0 + i as f64,
             weight: 1.0 + (i % 3) as f64,
-            usage: vec![(i % 4, 1.0), (4, 0.3)],
+            usage: vec![(i % 4, 1.0), (4, 0.3)].into_iter().collect(),
         })
         .collect()
-}
-
-fn bench_maxmin(c: &mut Criterion) {
-    let mut g = c.benchmark_group("maxmin_allocate");
-    for n in [4usize, 16, 64] {
-        let flows = maxmin_flows(n);
-        let caps = [40.0, 40.0, 40.0, 40.0, 50.0];
-        g.bench_with_input(BenchmarkId::from_parameter(n), &flows, |b, flows| {
-            b.iter(|| allocate(black_box(flows), black_box(&caps)));
-        });
-    }
-    g.finish();
 }
 
 fn solver_input(tasks: usize, snc: SncMode) -> (MemSystem, SolverInput) {
@@ -48,8 +36,16 @@ fn solver_input(tasks: usize, snc: SncMode) -> (MemSystem, SolverInput) {
     (sys, input)
 }
 
-fn bench_solve(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memsystem_solve");
+fn main() {
+    println!("maxmin_allocate:");
+    for n in [4usize, 16, 64] {
+        let flows = maxmin_flows(n);
+        let caps = [40.0, 40.0, 40.0, 40.0, 50.0];
+        bench(&format!("{n}_flows"), 50, || {
+            allocate(black_box(&flows), black_box(&caps))
+        });
+    }
+    println!("memsystem_solve:");
     for &(tasks, snc, label) in &[
         (2usize, SncMode::Disabled, "2tasks_flat"),
         (8, SncMode::Disabled, "8tasks_flat"),
@@ -57,10 +53,6 @@ fn bench_solve(c: &mut Criterion) {
         (24, SncMode::Enabled, "24tasks_snc"),
     ] {
         let (sys, input) = solver_input(tasks, snc);
-        g.bench_function(label, |b| b.iter(|| sys.solve(black_box(&input))));
+        bench(label, 50, || sys.solve(black_box(&input)));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_maxmin, bench_solve);
-criterion_main!(benches);

@@ -5,10 +5,18 @@ use kelp::report::Table;
 
 fn main() {
     let config = kelp_bench::config_from_args();
-    let rows = ablation::backfill_ablation(&config);
+    let runner = kelp_bench::runner_from_args();
+    let rows = ablation::backfill_ablation_with(&runner, &config);
     let mut t = Table::new(
         "Ablation — backfilling (KP) vs subdomains only (KP-SD), CNN1 host",
-        &["CPU workload", "KP-SD ML", "KP ML", "KP-SD CPU", "KP CPU", "CPU recovered"],
+        &[
+            "CPU workload",
+            "KP-SD ML",
+            "KP ML",
+            "KP-SD CPU",
+            "KP CPU",
+            "CPU recovered",
+        ],
     );
     for r in &rows {
         t.row(vec![

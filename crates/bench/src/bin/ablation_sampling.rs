@@ -5,7 +5,8 @@ use kelp::report::Table;
 
 fn main() {
     let config = kelp_bench::config_from_args();
-    let points = ablation::sampling_sweep(&[20, 50, 100, 200], &config);
+    let runner = kelp_bench::runner_from_args();
+    let points = ablation::sampling_sweep_with(&runner, &[20, 50, 100, 200], &config);
     let mut t = Table::new(
         "Ablation — Kelp sampling period (CNN1 + Stitch x4)",
         &["sample period (ms)", "ML perf (norm)", "CPU units/s"],

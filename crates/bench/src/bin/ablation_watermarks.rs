@@ -5,7 +5,11 @@ use kelp::experiments::ablation;
 
 fn main() {
     let config = kelp_bench::config_from_args();
-    let points =
-        ablation::saturation_watermark_sweep(&[0.02, 0.05, 0.15, 0.4, f64::MAX], &config);
+    let runner = kelp_bench::runner_from_args();
+    let points = ablation::saturation_watermark_sweep_with(
+        &runner,
+        &[0.02, 0.05, 0.15, 0.4, f64::MAX],
+        &config,
+    );
     ablation::watermark_table(&points).print();
 }

@@ -19,7 +19,11 @@ fn main() {
         "Extension §VI-B — QoS-aware prefetching (subdomains, aggressor H): ML perf / LP throughput",
         &["Workload", "unmanaged", "Kelp SW toggling", "HW adaptive"],
     );
-    for ml in [MlWorkloadKind::Rnn1, MlWorkloadKind::Cnn1, MlWorkloadKind::Cnn2] {
+    for ml in [
+        MlWorkloadKind::Rnn1,
+        MlWorkloadKind::Cnn1,
+        MlWorkloadKind::Cnn2,
+    ] {
         let standalone = kelp::experiments::standalone_reference(ml, &config);
         let run = |disabled: f64, hw: Option<AdaptivePrefetch>| {
             let mut b = Experiment::builder(ml, PolicyKind::KelpSubdomain)

@@ -1,19 +1,24 @@
 //! §II-D: tail amplification — why node-level isolation matters far more at
 //! cluster scale than its single-node win suggests.
 
-use kelp::experiments::cluster::{tail_amplification, ClusterConfig};
+use kelp::experiments::cluster::{tail_amplification_with, ClusterConfig};
 use kelp::policy::PolicyKind;
 
 fn main() {
     let config = kelp_bench::config_from_args();
-    let r = tail_amplification(
+    let runner = kelp_bench::runner_from_args();
+    let r = tail_amplification_with(
+        &runner,
         &[PolicyKind::Baseline, PolicyKind::Kelp],
         &ClusterConfig::default(),
         &config,
     );
     r.table().print();
     for s in &r.series {
-        println!("{:<5} single-node slowdown when contended: {:.3}", s.policy, s.node_slowdown);
+        println!(
+            "{:<5} single-node slowdown when contended: {:.3}",
+            s.policy, s.node_slowdown
+        );
     }
     let _ = kelp::report::write_json(kelp_bench::results_dir(), "ext_tail_amplification", &r);
 }

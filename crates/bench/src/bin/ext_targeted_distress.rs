@@ -19,7 +19,11 @@ fn main() {
         "Extension §VI-C — targeted distress delivery (subdomains, no prefetcher mgmt, aggressor H)",
         &["Workload", "global distress (real HW)", "per-domain distress (proposal)"],
     );
-    for ml in [MlWorkloadKind::Rnn1, MlWorkloadKind::Cnn1, MlWorkloadKind::Cnn2] {
+    for ml in [
+        MlWorkloadKind::Rnn1,
+        MlWorkloadKind::Cnn1,
+        MlWorkloadKind::Cnn2,
+    ] {
         let standalone = kelp::experiments::standalone_reference(ml, &config);
         let run = |scope: DistressScope| {
             Experiment::builder(ml, PolicyKind::KelpSubdomain)

@@ -2,7 +2,8 @@
 
 fn main() {
     let config = kelp_bench::config_from_args();
-    let r = kelp::experiments::timeline::figure3(&config);
+    let runner = kelp_bench::runner_from_args();
+    let r = kelp::experiments::timeline::figure3_with(&runner, &config);
     r.table().print();
     println!(
         "CPU phase expansion: {:.0}% (paper: +51%); tail expansion: {:.0}% (paper: +70%)",

@@ -2,7 +2,8 @@
 
 fn main() {
     let config = kelp_bench::config_from_args();
-    let r = kelp::experiments::sensitivity::figure5(&config);
+    let runner = kelp_bench::runner_from_args();
+    let r = kelp::experiments::sensitivity::figure5_with(&runner, &config);
     r.table("Figure 5 — sensitivity to shared-resource interference (normalized perf)")
         .print();
     println!(
@@ -10,8 +11,8 @@ fn main() {
         r.average_for("LLC").unwrap_or(0.0),
         r.average_for("DRAM").unwrap_or(0.0)
     );
-    let mut chart = kelp::report::BarChart::new("normalized performance (1.0 = standalone)")
-        .with_max(1.0);
+    let mut chart =
+        kelp::report::BarChart::new("normalized performance (1.0 = standalone)").with_max(1.0);
     for row in &r.rows {
         let bars = r
             .aggressors

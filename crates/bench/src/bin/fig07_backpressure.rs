@@ -2,7 +2,8 @@
 
 fn main() {
     let config = kelp_bench::config_from_args();
-    let r = kelp::experiments::backpressure::figure7(&config);
+    let runner = kelp_bench::runner_from_args();
+    let r = kelp::experiments::backpressure::figure7_with(&runner, &config);
     for w in ["RNN1", "CNN1", "CNN2"] {
         if let Some(t) = r.table(w) {
             t.print();

@@ -2,7 +2,8 @@
 
 fn main() {
     let config = kelp_bench::config_from_args();
-    let r = kelp::experiments::mix::figure9(&config);
+    let runner = kelp_bench::runner_from_args();
+    let r = kelp::experiments::mix::figure9_with(&runner, &config);
     r.ml_table().print();
     r.cpu_table().print();
     let _ = kelp::report::write_json(kelp_bench::results_dir(), "fig09_cnn1_stitch", &r);

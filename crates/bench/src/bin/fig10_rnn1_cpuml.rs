@@ -2,7 +2,8 @@
 
 fn main() {
     let config = kelp_bench::config_from_args();
-    let r = kelp::experiments::mix::figure10(&config);
+    let runner = kelp_bench::runner_from_args();
+    let r = kelp::experiments::mix::figure10_with(&runner, &config);
     r.ml_table().print();
     r.tail_table().print();
     r.cpu_table().print();

@@ -4,7 +4,8 @@ use kelp::policy::PolicyKind;
 
 fn main() {
     let config = kelp_bench::config_from_args();
-    let r = kelp::experiments::overall::run_overall(&config);
+    let runner = kelp_bench::runner_from_args();
+    let r = kelp::experiments::overall::run_overall_with(&runner, &config);
     r.figure13_table().print();
     for p in PolicyKind::paper_set() {
         println!(
@@ -32,5 +33,9 @@ fn main() {
     );
     chart.print();
     let _ = kelp::report::write_json(kelp_bench::results_dir(), "fig13_overall", &r);
-    let _ = kelp::report::write_csv(kelp_bench::results_dir(), "fig13_overall", &r.figure13_table());
+    let _ = kelp::report::write_csv(
+        kelp_bench::results_dir(),
+        "fig13_overall",
+        &r.figure13_table(),
+    );
 }

@@ -2,7 +2,8 @@
 
 fn main() {
     let config = kelp_bench::config_from_args();
-    let r = kelp::experiments::sensitivity::figure15(&config);
+    let runner = kelp_bench::runner_from_args();
+    let r = kelp::experiments::sensitivity::figure15_with(&runner, &config);
     r.table("Figure 15 — sensitivity incl. remote memory interference (normalized perf)")
         .print();
     let _ = kelp::report::write_json(kelp_bench::results_dir(), "fig15_remote_sensitivity", &r);

@@ -62,11 +62,26 @@ fn execute(run: RunArgs, counters_only: bool) {
 
     if counters_only {
         let m = result.avg_measurements;
-        let mut t = Table::new("Kelp runtime measurements (window average)", &["metric", "value"]);
-        t.row(vec!["socket bandwidth (GB/s)".into(), Table::num(m.socket_bw_gbps)]);
-        t.row(vec!["socket latency (ns)".into(), Table::num(m.socket_latency_ns)]);
-        t.row(vec!["saturation duty (FAST_ASSERTED)".into(), Table::num(m.socket_saturation)]);
-        t.row(vec!["HP-subdomain bandwidth (GB/s)".into(), Table::num(m.hp_domain_bw_gbps)]);
+        let mut t = Table::new(
+            "Kelp runtime measurements (window average)",
+            &["metric", "value"],
+        );
+        t.row(vec![
+            "socket bandwidth (GB/s)".into(),
+            Table::num(m.socket_bw_gbps),
+        ]);
+        t.row(vec![
+            "socket latency (ns)".into(),
+            Table::num(m.socket_latency_ns),
+        ]);
+        t.row(vec![
+            "saturation duty (FAST_ASSERTED)".into(),
+            Table::num(m.socket_saturation),
+        ]);
+        t.row(vec![
+            "HP-subdomain bandwidth (GB/s)".into(),
+            Table::num(m.hp_domain_bw_gbps),
+        ]);
         t.print();
         return;
     }

@@ -2,7 +2,8 @@
 
 fn main() {
     let config = kelp_bench::config_from_args();
-    let r = kelp::experiments::knee::default_sweep(&config);
+    let runner = kelp_bench::runner_from_args();
+    let r = kelp::experiments::knee::default_sweep_with(&runner, &config);
     r.table().print();
     println!(
         "knee (tail <= 3x light-load tail): {:.0} QPS; calibrated target: {:.0} QPS",

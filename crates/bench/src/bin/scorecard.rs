@@ -2,7 +2,8 @@
 
 fn main() {
     let config = kelp_bench::config_from_args();
-    let s = kelp::experiments::scorecard::run_scorecard(&config);
+    let runner = kelp_bench::runner_from_args();
+    let s = kelp::experiments::scorecard::run_scorecard_with(&runner, &config);
     s.table().print();
     let _ = kelp::report::write_json(kelp_bench::results_dir(), "scorecard", &s);
     if s.passed() < s.claims.len() {

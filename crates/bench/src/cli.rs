@@ -105,6 +105,24 @@ pub fn parse_cpu(spec: &str) -> Result<(BatchKind, usize), ParseError> {
     Ok((kind, threads))
 }
 
+/// Parses a `--jobs N` flag anywhere in an argument vector. Absent flag
+/// means serial (`1`); `--jobs 0` is rejected.
+pub fn parse_jobs(args: &[String]) -> Result<usize, ParseError> {
+    let Some(pos) = args.iter().position(|a| a == "--jobs") else {
+        return Ok(1);
+    };
+    let v = args
+        .get(pos + 1)
+        .ok_or_else(|| ParseError("--jobs needs a value".into()))?;
+    let jobs: usize = v
+        .parse()
+        .map_err(|_| ParseError(format!("bad --jobs value '{v}'")))?;
+    if jobs == 0 {
+        return Err(ParseError("--jobs must be > 0".into()));
+    }
+    Ok(jobs)
+}
+
 /// Parses a full argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let Some(cmd) = args.first() else {
@@ -200,7 +218,15 @@ mod tests {
     #[test]
     fn parses_run_with_everything() {
         let cmd = parse(&argv(&[
-            "run", "--ml", "cnn1", "--policy", "kp", "--cpu", "stream:16", "--cpu", "stitch",
+            "run",
+            "--ml",
+            "cnn1",
+            "--policy",
+            "kp",
+            "--cpu",
+            "stream:16",
+            "--cpu",
+            "stitch",
             "--quick",
         ]))
         .unwrap();
@@ -209,10 +235,7 @@ mod tests {
         };
         assert_eq!(r.ml, Some(MlWorkloadKind::Cnn1));
         assert_eq!(r.policy, PolicyKind::Kelp);
-        assert_eq!(
-            r.cpu,
-            vec![(BatchKind::Stream, 16), (BatchKind::Stitch, 8)]
-        );
+        assert_eq!(r.cpu, vec![(BatchKind::Stream, 16), (BatchKind::Stitch, 8)]);
         assert!(r.quick);
     }
 
@@ -242,7 +265,19 @@ mod tests {
         assert!(parse_cpu("stream:abc").is_err());
         assert!(parse_cpu("stream:0").is_err());
         assert!(parse_cpu("bogus:4").is_err());
-        assert_eq!(parse_cpu("dram:14").unwrap(), (BatchKind::DramAggressor, 14));
+        assert_eq!(
+            parse_cpu("dram:14").unwrap(),
+            (BatchKind::DramAggressor, 14)
+        );
+    }
+
+    #[test]
+    fn jobs_flag() {
+        assert_eq!(parse_jobs(&argv(&["run"])).unwrap(), 1);
+        assert_eq!(parse_jobs(&argv(&["repro", "--jobs", "4"])).unwrap(), 4);
+        assert!(parse_jobs(&argv(&["--jobs"])).is_err());
+        assert!(parse_jobs(&argv(&["--jobs", "0"])).is_err());
+        assert!(parse_jobs(&argv(&["--jobs", "x"])).is_err());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod timing;
 
 use kelp::driver::ExperimentConfig;
 use kelp_simcore::time::SimDuration;
@@ -49,6 +50,36 @@ pub fn config_from(args: &[String]) -> ExperimentConfig {
 /// Directory where `repro_all` and the figure binaries drop JSON results.
 pub fn results_dir() -> std::path::PathBuf {
     std::path::PathBuf::from("results")
+}
+
+/// Directory of the content-addressed run cache (`results/cache/`).
+pub fn cache_dir() -> std::path::PathBuf {
+    results_dir().join("cache")
+}
+
+/// Builds the run engine from the common CLI flags: `--jobs N` selects the
+/// worker-pool width (default serial) and `--no-cache` disables the
+/// content-addressed result cache under [`cache_dir`].
+pub fn runner_from_args() -> kelp::runner::Runner {
+    let args: Vec<String> = std::env::args().collect();
+    runner_from(&args)
+}
+
+/// Testable core of [`runner_from_args`].
+pub fn runner_from(args: &[String]) -> kelp::runner::Runner {
+    let jobs = match cli::parse_jobs(args) {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let runner = kelp::runner::Runner::new(jobs);
+    if args.iter().any(|a| a == "--no-cache") {
+        runner
+    } else {
+        runner.with_cache(cache_dir())
+    }
 }
 
 #[cfg(test)]

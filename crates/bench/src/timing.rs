@@ -1,0 +1,62 @@
+//! Minimal wall-clock timing harness for the `benches/` targets.
+//!
+//! The build environment cannot fetch Criterion, so the bench targets are
+//! plain `harness = false` binaries that time closures with `std::time` and
+//! print a small fixed-width report. This intentionally has no statistics
+//! beyond min/mean: the benches exist to catch order-of-magnitude
+//! regressions in the simulator inner loops, not microarchitectural noise.
+
+use std::time::Instant;
+
+/// Times `f` for `iters` iterations after one warmup call and prints
+/// `name: mean <t> min <t> (N iters)`.
+pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let mut min = f64::INFINITY;
+    let mut total = 0.0f64;
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let dt = start.elapsed().as_secs_f64();
+        min = min.min(dt);
+        total += dt;
+    }
+    println!(
+        "{name:<40} mean {:>10} min {:>10}  ({iters} iters)",
+        format_secs(total / f64::from(iters)),
+        format_secs(min),
+    );
+}
+
+/// Renders a duration in adaptive units (ns/µs/ms/s).
+pub fn format_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1}ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.3}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_units() {
+        assert_eq!(format_secs(0.5e-9 * 10.0), "5.0ns");
+        assert_eq!(format_secs(2.5e-6), "2.5µs");
+        assert_eq!(format_secs(1.5e-3), "1.50ms");
+        assert_eq!(format_secs(2.0), "2.000s");
+    }
+
+    #[test]
+    fn bench_runs_closure() {
+        let mut n = 0u32;
+        bench("noop", 3, || n += 1);
+        assert_eq!(n, 4); // warmup + 3 timed iterations
+    }
+}

@@ -11,46 +11,11 @@ use crate::measure::{MeasurementAvg, Measurements};
 use crate::policy::{Policy, PolicyCtx, PolicyKind, PolicySnapshot};
 use kelp_host::{HostMachine, HostTaskId};
 use kelp_mem::topology::{MachineSpec, SocketId};
-use kelp_simcore::time::{SimDuration, SimTime};
+use kelp_simcore::time::SimTime;
 use kelp_workloads::model::{InstallCtx, PerfSnapshot, Workload, WorkloadKind};
 use kelp_workloads::MlWorkloadKind;
 
-/// Timing parameters of a run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ExperimentConfig {
-    /// Simulation step.
-    pub dt: SimDuration,
-    /// Warmup discarded before measurement (lets the policy converge).
-    pub warmup: SimDuration,
-    /// Measurement window.
-    pub duration: SimDuration,
-    /// Policy sampling period (the paper uses 10 s wall time and notes the
-    /// runtime is insensitive to it; we scale it down with the simulation).
-    pub sample_period: SimDuration,
-}
-
-impl Default for ExperimentConfig {
-    fn default() -> Self {
-        ExperimentConfig {
-            dt: SimDuration::from_micros(20),
-            warmup: SimDuration::from_millis(1500),
-            duration: SimDuration::from_millis(2500),
-            sample_period: SimDuration::from_millis(50),
-        }
-    }
-}
-
-impl ExperimentConfig {
-    /// A fast configuration for unit/integration tests.
-    pub fn quick() -> Self {
-        ExperimentConfig {
-            dt: SimDuration::from_micros(40),
-            warmup: SimDuration::from_millis(400),
-            duration: SimDuration::from_millis(600),
-            sample_period: SimDuration::from_millis(20),
-        }
-    }
-}
+pub use crate::config::ExperimentConfig;
 
 /// Result of one experiment run.
 pub struct ExperimentResult {

@@ -8,13 +8,12 @@
 //!   watermark the paper's prior work did not have: the `FAST_ASSERTED`
 //!   saturation threshold.
 
-use crate::driver::{Experiment, ExperimentConfig};
-use crate::policy::{KelpPolicy, PolicyKind};
-use crate::profile::{ApplicationProfile, ProfileLibrary, Watermark, WatermarkProfile};
+use crate::driver::ExperimentConfig;
+use crate::policy::PolicyKind;
 use crate::report::Table;
-use kelp_mem::topology::{SncMode, SocketId};
+use crate::runner::{CpuSpec, PolicySpec, RunRecord, RunSpec, Runner};
 use kelp_simcore::time::SimDuration;
-use kelp_workloads::{BatchKind, BatchWorkload, MlWorkloadKind};
+use kelp_workloads::{BatchKind, MlWorkloadKind};
 use serde::{Deserialize, Serialize};
 
 /// One sampling-period ablation point.
@@ -28,31 +27,55 @@ pub struct SamplingPoint {
     pub cpu_throughput: f64,
 }
 
-/// Sweeps Kelp's sampling period on the CNN1 + 4x Stitch mix.
-pub fn sampling_sweep(periods_ms: &[u64], base: &ExperimentConfig) -> Vec<SamplingPoint> {
+/// Enumerates the sampling sweep: the CNN1 standalone reference, then one
+/// Kelp run of the CNN1 + 4x Stitch mix per sampling period.
+pub fn sampling_specs(periods_ms: &[u64], base: &ExperimentConfig) -> Vec<RunSpec> {
     let ml = MlWorkloadKind::Cnn1;
-    let standalone = super::standalone_reference(ml, base);
+    let mut specs = vec![super::standalone_spec(ml, base)];
+    for &ms in periods_ms {
+        let config = ExperimentConfig {
+            sample_period: SimDuration::from_millis(ms),
+            ..base.clone()
+        };
+        let mut spec = RunSpec::new(ml, PolicyKind::Kelp, &config);
+        for i in 0..4 {
+            spec =
+                spec.with_cpu(CpuSpec::new(BatchKind::Stitch, 4).with_label(format!("Stitch#{i}")));
+        }
+        specs.push(spec);
+    }
+    specs
+}
+
+/// Folds batch records (in [`sampling_specs`] order) into sweep points.
+pub fn sampling_fold(periods_ms: &[u64], records: &[RunRecord]) -> Vec<SamplingPoint> {
+    let standalone = records[0].ml_performance;
     periods_ms
         .iter()
-        .map(|&ms| {
-            let config = ExperimentConfig {
-                sample_period: SimDuration::from_millis(ms),
-                ..base.clone()
-            };
-            let mut builder = Experiment::builder(ml, PolicyKind::Kelp).config(config);
-            for i in 0..4 {
-                builder = builder.add_cpu_workload(
-                    BatchWorkload::new(BatchKind::Stitch, 4).with_label(format!("Stitch#{i}")),
-                );
-            }
-            let r = builder.run();
-            SamplingPoint {
-                period_ms: ms,
-                ml_norm: r.ml_performance.throughput / standalone.throughput,
-                cpu_throughput: r.cpu_total_throughput(),
-            }
+        .zip(&records[1..])
+        .map(|(&ms, r)| SamplingPoint {
+            period_ms: ms,
+            ml_norm: r.ml_performance.throughput / standalone.throughput,
+            cpu_throughput: r.cpu_total_throughput(),
         })
         .collect()
+}
+
+/// Sweeps Kelp's sampling period through the given engine.
+pub fn sampling_sweep_with(
+    runner: &Runner,
+    periods_ms: &[u64],
+    base: &ExperimentConfig,
+) -> Vec<SamplingPoint> {
+    sampling_fold(
+        periods_ms,
+        &runner.run_batch(&sampling_specs(periods_ms, base)),
+    )
+}
+
+/// Serial convenience wrapper around [`sampling_sweep_with`].
+pub fn sampling_sweep(periods_ms: &[u64], base: &ExperimentConfig) -> Vec<SamplingPoint> {
+    sampling_sweep_with(&Runner::serial(), periods_ms, base)
 }
 
 /// Spread of the ML outcome across a sampling sweep (max - min of the
@@ -93,21 +116,33 @@ impl BackfillRow {
     }
 }
 
-/// Runs the KP vs KP-SD ablation on the CNN1 host for each CPU workload.
-pub fn backfill_ablation(config: &ExperimentConfig) -> Vec<BackfillRow> {
-    let ml = MlWorkloadKind::Cnn1;
-    let standalone = super::standalone_reference(ml, config);
+/// CPU workload kinds compared in the backfill ablation.
+fn backfill_kinds() -> [BatchKind; 3] {
     [BatchKind::Stream, BatchKind::Stitch, BatchKind::CpuMl]
+}
+
+/// Enumerates the backfill ablation: the CNN1 standalone reference, then a
+/// KP-SD and a KP run per CPU workload kind.
+pub fn backfill_specs(config: &ExperimentConfig) -> Vec<RunSpec> {
+    let ml = MlWorkloadKind::Cnn1;
+    let mut specs = vec![super::standalone_spec(ml, config)];
+    for kind in backfill_kinds() {
+        for policy in [PolicyKind::KelpSubdomain, PolicyKind::Kelp] {
+            specs.push(RunSpec::new(ml, policy, config).with_cpu(CpuSpec::new(kind, 16)));
+        }
+    }
+    specs
+}
+
+/// Folds batch records (in [`backfill_specs`] order) into ablation rows.
+pub fn backfill_fold(records: &[RunRecord]) -> Vec<BackfillRow> {
+    let mut next = records.iter();
+    let standalone = next.next().expect("standalone record").ml_performance;
+    backfill_kinds()
         .iter()
         .map(|&kind| {
-            let run = |policy: PolicyKind| {
-                Experiment::builder(ml, policy)
-                    .add_cpu_workload(BatchWorkload::new(kind, 16))
-                    .config(config.clone())
-                    .run()
-            };
-            let sd = run(PolicyKind::KelpSubdomain);
-            let kp = run(PolicyKind::Kelp);
+            let sd = next.next().expect("KP-SD record");
+            let kp = next.next().expect("KP record");
             BackfillRow {
                 cpu: kind.name().to_string(),
                 sd_ml: sd.ml_performance.throughput / standalone.throughput,
@@ -117,6 +152,16 @@ pub fn backfill_ablation(config: &ExperimentConfig) -> Vec<BackfillRow> {
             }
         })
         .collect()
+}
+
+/// Runs the KP vs KP-SD ablation through the given engine.
+pub fn backfill_ablation_with(runner: &Runner, config: &ExperimentConfig) -> Vec<BackfillRow> {
+    backfill_fold(&runner.run_batch(&backfill_specs(config)))
+}
+
+/// Serial convenience wrapper around [`backfill_ablation_with`].
+pub fn backfill_ablation(config: &ExperimentConfig) -> Vec<BackfillRow> {
+    backfill_ablation_with(&Runner::serial(), config)
 }
 
 /// One watermark-sensitivity point.
@@ -138,39 +183,49 @@ pub fn saturation_watermark_sweep(
     sat_highs: &[f64],
     config: &ExperimentConfig,
 ) -> Vec<WatermarkPoint> {
+    saturation_watermark_sweep_with(&Runner::serial(), sat_highs, config)
+}
+
+/// Enumerates the watermark sweep: the CNN1 standalone reference, then one
+/// Kelp run per saturation high-watermark (the profile-library override
+/// lives in [`PolicySpec::KelpSatWatermark`]).
+pub fn watermark_specs(sat_highs: &[f64], config: &ExperimentConfig) -> Vec<RunSpec> {
     let ml = MlWorkloadKind::Cnn1;
-    let standalone = super::standalone_reference(ml, config);
-    let machine = ml.platform().host_machine();
+    let mut specs = vec![super::standalone_spec(ml, config)];
+    for &sat_high in sat_highs {
+        specs.push(
+            RunSpec::new(ml, PolicyKind::Kelp, config)
+                .with_policy(PolicySpec::KelpSatWatermark(sat_high))
+                .with_cpu(CpuSpec::new(BatchKind::DramAggressor, 14)),
+        );
+    }
+    specs
+}
+
+/// Folds batch records (in [`watermark_specs`] order) into sweep points.
+pub fn watermark_fold(sat_highs: &[f64], records: &[RunRecord]) -> Vec<WatermarkPoint> {
+    let standalone = records[0].ml_performance;
     sat_highs
         .iter()
-        .map(|&sat_high| {
-            let base = WatermarkProfile::for_machine(&machine, SncMode::Enabled, SocketId(0));
-            let mut lib = ProfileLibrary::new();
-            lib.insert(ApplicationProfile {
-                workload: ml.name().to_string(),
-                // Neutralize the bandwidth/latency signals so the sweep
-                // isolates the saturation watermark (otherwise hi_lat_s
-                // triggers the same throttle path and masks it).
-                watermarks: WatermarkProfile {
-                    socket_saturation: Watermark::new((sat_high / 5.0).min(0.9), sat_high),
-                    socket_bw: Watermark::new(0.0, f64::MAX),
-                    socket_latency: Watermark::new(0.0, f64::MAX),
-                    ..base
-                },
-                notes: format!("ablation point sat_high={sat_high}"),
-            });
-            let r = Experiment::builder(ml, PolicyKind::Kelp)
-                .custom_policy(Box::new(KelpPolicy::full().with_profile_library(lib)))
-                .add_cpu_workload(BatchWorkload::new(BatchKind::DramAggressor, 14))
-                .config(config.clone())
-                .run();
-            WatermarkPoint {
-                sat_high,
-                ml_norm: r.ml_performance.throughput / standalone.throughput,
-                cpu_throughput: r.cpu_total_throughput(),
-            }
+        .zip(&records[1..])
+        .map(|(&sat_high, r)| WatermarkPoint {
+            sat_high,
+            ml_norm: r.ml_performance.throughput / standalone.throughput,
+            cpu_throughput: r.cpu_total_throughput(),
         })
         .collect()
+}
+
+/// Sweeps Kelp's saturation high-watermark through the given engine.
+pub fn saturation_watermark_sweep_with(
+    runner: &Runner,
+    sat_highs: &[f64],
+    config: &ExperimentConfig,
+) -> Vec<WatermarkPoint> {
+    watermark_fold(
+        sat_highs,
+        &runner.run_batch(&watermark_specs(sat_highs, config)),
+    )
 }
 
 /// Renders the watermark sweep.
@@ -229,8 +284,7 @@ mod tests {
     #[test]
     fn tight_saturation_watermark_protects_loose_one_does_not() {
         // The loose end must be unreachable (duty caps at 1.0).
-        let points =
-            saturation_watermark_sweep(&[0.05, f64::MAX], &ExperimentConfig::quick());
+        let points = saturation_watermark_sweep(&[0.05, f64::MAX], &ExperimentConfig::quick());
         assert_eq!(points.len(), 2);
         let tight = points[0];
         let loose = points[1];

@@ -12,18 +12,19 @@
 //! with no prefetchers off); disabling prefetchers restores performance; at
 //! low pressure SNC can beat standalone thanks to the shorter local path.
 
-use crate::driver::{Experiment, ExperimentConfig};
+use crate::driver::ExperimentConfig;
 use crate::measure::Measurements;
 use crate::metrics::normalized;
 use crate::policy::{
     apply_lp_allocations, apply_standard_cat, Policy, PolicyCtx, PolicyKind, PolicySnapshot,
 };
 use crate::report::Table;
+use crate::runner::{CpuSpec, PolicySpec, RunRecord, RunSpec, Runner};
 use kelp_host::machine::Actuator;
 use kelp_host::HostMachine;
 use kelp_mem::prefetch::PrefetchSetting;
 use kelp_mem::topology::SncMode;
-use kelp_workloads::{BatchKind, BatchWorkload, MlWorkloadKind};
+use kelp_workloads::{BatchKind, MlWorkloadKind};
 use serde::{Deserialize, Serialize};
 
 /// Aggressor intensities used in Figure 7.
@@ -192,45 +193,60 @@ impl BackpressureResult {
     }
 }
 
-/// Runs the Figure 7 sweep.
-pub fn figure7(config: &ExperimentConfig) -> BackpressureResult {
-    let disabled_fractions = vec![0.0, 0.25, 0.5, 0.75, 1.0];
-    let workloads = [
+/// The fractions of low-priority prefetchers disabled along the sweep.
+fn sweep_fractions() -> Vec<f64> {
+    vec![0.0, 0.25, 0.5, 0.75, 1.0]
+}
+
+/// The workloads panelled in Figure 7.
+fn panel_workloads() -> [MlWorkloadKind; 3] {
+    [
         MlWorkloadKind::Rnn1,
         MlWorkloadKind::Cnn1,
         MlWorkloadKind::Cnn2,
-    ];
+    ]
+}
+
+/// Enumerates the Figure 7 grid: per workload, the standalone reference
+/// then one fixed-prefetch run per (level, disabled fraction).
+pub fn specs(config: &ExperimentConfig) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for ml in panel_workloads() {
+        specs.push(super::standalone_spec(ml, config));
+        for level in AggressorLevel::all() {
+            for &disabled in &sweep_fractions() {
+                specs.push(
+                    RunSpec::new(ml, PolicyKind::KelpSubdomain, config)
+                        .with_policy(PolicySpec::FixedPrefetch(disabled))
+                        .with_cpu(CpuSpec::new(BatchKind::DramAggressor, level.threads())),
+                );
+            }
+        }
+    }
+    specs
+}
+
+/// Folds batch records (in [`specs`] order) into the Figure 7 result.
+pub fn fold(records: &[RunRecord]) -> BackpressureResult {
+    let disabled_fractions = sweep_fractions();
+    let mut next = records.iter();
     let mut panels = Vec::new();
-    for ml in workloads {
-        let standalone = super::standalone_reference(ml, config);
+    for ml in panel_workloads() {
+        let standalone = next.next().expect("standalone record").ml_performance;
         let mut series = Vec::new();
         for level in AggressorLevel::all() {
             let mut points = Vec::new();
             for &disabled in &disabled_fractions {
-                let result = Experiment::builder(ml, PolicyKind::KelpSubdomain)
-                    .custom_policy(Box::new(FixedPrefetchPolicy::with_disabled_fraction(
-                        disabled,
-                    )))
-                    .add_cpu_workload(BatchWorkload::new(
-                        BatchKind::DramAggressor,
-                        level.threads(),
-                    ))
-                    .config(config.clone())
-                    .run();
-                let normalized_tail = match (
-                    result.ml_performance.tail_latency_ms,
-                    standalone.tail_latency_ms,
-                ) {
-                    (Some(t), Some(s)) if s > 0.0 => Some(t / s),
-                    _ => None,
-                };
+                let r = next.next().expect("sweep record");
+                let normalized_tail =
+                    match (r.ml_performance.tail_latency_ms, standalone.tail_latency_ms) {
+                        (Some(t), Some(s)) if s > 0.0 => Some(t / s),
+                        _ => None,
+                    };
                 points.push(BackpressurePoint {
                     disabled_fraction: disabled,
-                    normalized_perf: normalized(
-                        result.ml_performance.throughput,
-                        standalone.throughput,
-                    ),
-                    saturation: result.avg_measurements.socket_saturation,
+                    normalized_perf: normalized(r.ml_performance.throughput, standalone.throughput),
+                    saturation: r.avg_measurements.socket_saturation,
                     normalized_tail,
                 });
             }
@@ -247,9 +263,21 @@ pub fn figure7(config: &ExperimentConfig) -> BackpressureResult {
     }
 }
 
+/// Runs the Figure 7 sweep through the given engine.
+pub fn figure7_with(runner: &Runner, config: &ExperimentConfig) -> BackpressureResult {
+    fold(&runner.run_batch(&specs(config)))
+}
+
+/// Serial convenience wrapper around [`figure7_with`].
+pub fn figure7(config: &ExperimentConfig) -> BackpressureResult {
+    figure7_with(&Runner::serial(), config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::Experiment;
+    use kelp_workloads::BatchWorkload;
 
     #[test]
     fn level_threads_are_ordered() {
@@ -295,8 +323,7 @@ mod tests {
             "prefetchers off should help the ML task: {off_norm} vs {on_norm}"
         );
         assert!(
-            all_off.avg_measurements.socket_saturation
-                < all_on.avg_measurements.socket_saturation,
+            all_off.avg_measurements.socket_saturation < all_on.avg_measurements.socket_saturation,
             "saturation must drop"
         );
         assert!(on_norm < 0.9, "subdomains alone are not enough: {on_norm}");

@@ -14,11 +14,12 @@
 //! node-level isolation (Kelp) is worth far more than its single-node
 //! improvement suggests.
 
-use crate::driver::{Experiment, ExperimentConfig};
+use crate::driver::ExperimentConfig;
 use crate::policy::PolicyKind;
 use crate::report::Table;
+use crate::runner::{CpuSpec, RunRecord, RunSpec, Runner};
 use kelp_simcore::rng::SimRng;
-use kelp_workloads::{BatchKind, BatchWorkload, MlWorkloadKind};
+use kelp_workloads::{BatchKind, MlWorkloadKind};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the tail-amplification study.
@@ -144,15 +145,34 @@ pub fn tail_amplification(
     cluster: &ClusterConfig,
     config: &ExperimentConfig,
 ) -> ClusterResult {
+    tail_amplification_with(&Runner::serial(), policies, cluster, config)
+}
+
+/// Enumerates the per-node measurements: the CNN3 standalone reference,
+/// then one contended (CNN3 + Stream) run per policy.
+pub fn specs(policies: &[PolicyKind], config: &ExperimentConfig) -> Vec<RunSpec> {
     let ml = MlWorkloadKind::Cnn3;
-    let standalone = super::standalone_reference(ml, config);
+    let mut specs = vec![super::standalone_spec(ml, config)];
+    for &policy in policies {
+        specs.push(RunSpec::new(ml, policy, config).with_cpu(CpuSpec::new(BatchKind::Stream, 16)));
+    }
+    specs
+}
+
+/// Folds batch records (in [`specs`] order) into the cluster extrapolation.
+/// The Monte-Carlo is pure post-processing seeded from `cluster.seed`, so
+/// the fold is deterministic regardless of how the records were produced.
+pub fn fold(
+    policies: &[PolicyKind],
+    cluster: &ClusterConfig,
+    records: &[RunRecord],
+) -> ClusterResult {
+    let mut next = records.iter();
+    let standalone = next.next().expect("standalone record").ml_performance;
     let mut rng = SimRng::seed_from(cluster.seed);
     let mut series = Vec::new();
     for &policy in policies {
-        let contended = Experiment::builder(ml, policy)
-            .add_cpu_workload(BatchWorkload::new(BatchKind::Stream, 16))
-            .config(config.clone())
-            .run();
+        let contended = next.next().expect("contended record");
         let node_slowdown =
             (standalone.throughput / contended.ml_performance.throughput.max(1e-12)).max(1.0);
         let mut prng = rng.fork(policy.label().len() as u64);
@@ -182,6 +202,20 @@ pub fn tail_amplification(
         config: cluster.clone(),
         series,
     }
+}
+
+/// Runs the tail-amplification study through the given engine.
+pub fn tail_amplification_with(
+    runner: &Runner,
+    policies: &[PolicyKind],
+    cluster: &ClusterConfig,
+    config: &ExperimentConfig,
+) -> ClusterResult {
+    fold(
+        policies,
+        cluster,
+        &runner.run_batch(&specs(policies, config)),
+    )
 }
 
 #[cfg(test)]
@@ -217,7 +251,11 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         assert_eq!(expected_slowdown(0.5, 0.16, 4), 1.0, "slowdown floors at 1");
-        assert_eq!(expected_slowdown(2.0, 0.0, 64), 1.0, "no contention anywhere");
+        assert_eq!(
+            expected_slowdown(2.0, 0.0, 64),
+            1.0,
+            "no contention anywhere"
+        );
         let mut rng = SimRng::seed_from(2);
         assert_eq!(monte_carlo_slowdown(2.0, 0.5, 0, 100, &mut rng), 1.0);
         assert_eq!(monte_carlo_slowdown(2.0, 0.5, 4, 0, &mut rng), 1.0);
@@ -237,7 +275,11 @@ mod tests {
         );
         let bl = r.series_for(PolicyKind::Baseline).unwrap();
         let kp = r.series_for(PolicyKind::Kelp).unwrap();
-        assert!(bl.node_slowdown > 1.2, "BL node suffers: {}", bl.node_slowdown);
+        assert!(
+            bl.node_slowdown > 1.2,
+            "BL node suffers: {}",
+            bl.node_slowdown
+        );
         assert!(kp.node_slowdown < bl.node_slowdown);
         // At 16 nodes, the baseline cluster is dragged down much harder.
         let bl16 = bl.amplification[1].1;

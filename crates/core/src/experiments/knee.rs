@@ -6,11 +6,12 @@
 //! for brevity." This harness regenerates that omitted plot and verifies the
 //! calibrated target sits at the knee.
 
-use crate::driver::{Experiment, ExperimentConfig};
+use crate::driver::ExperimentConfig;
 use crate::policy::PolicyKind;
 use crate::report::Table;
+use crate::runner::{MlSpec, RunRecord, RunSpec, Runner};
 use kelp_workloads::calib;
-use kelp_workloads::{InferenceParams, InferenceServer, MlWorkloadKind};
+use kelp_workloads::MlWorkloadKind;
 use serde::{Deserialize, Serialize};
 
 /// One point of the load sweep.
@@ -64,38 +65,53 @@ impl KneeResult {
     }
 }
 
-/// Sweeps the offered load across the given QPS values.
-pub fn knee_sweep(offered: &[f64], config: &ExperimentConfig) -> KneeResult {
-    let mut points = Vec::new();
-    for &qps in offered {
-        let params = InferenceParams {
-            target_qps: qps,
-            ..calib::rnn1_params()
-        };
-        let machine = MlWorkloadKind::Rnn1.platform().host_machine();
-        let r = Experiment::builder_with_ml(
-            Box::new(InferenceServer::new(params)),
-            machine,
-            PolicyKind::Baseline,
-        )
-        .config(config.clone())
-        .run();
-        points.push(KneePoint {
+/// Enumerates the load sweep: one unmanaged RNN1 run per offered QPS.
+pub fn specs(offered: &[f64], config: &ExperimentConfig) -> Vec<RunSpec> {
+    offered
+        .iter()
+        .map(|&qps| {
+            RunSpec::new(MlWorkloadKind::Rnn1, PolicyKind::Baseline, config)
+                .with_ml(MlSpec::Rnn1AtLoad(qps))
+        })
+        .collect()
+}
+
+/// Folds batch records (in [`specs`] order) into the sweep result.
+pub fn fold(offered: &[f64], records: &[RunRecord]) -> KneeResult {
+    let points = offered
+        .iter()
+        .zip(records)
+        .map(|(&qps, r)| KneePoint {
             offered_qps: qps,
             achieved_qps: r.ml_performance.throughput,
             tail_ms: r.ml_performance.tail_latency_ms.unwrap_or(0.0),
-        });
-    }
+        })
+        .collect();
     KneeResult {
         points,
         target_qps: calib::rnn1_params().target_qps,
     }
 }
 
+/// Sweeps the offered load through the given engine.
+pub fn knee_sweep_with(runner: &Runner, offered: &[f64], config: &ExperimentConfig) -> KneeResult {
+    fold(offered, &runner.run_batch(&specs(offered, config)))
+}
+
+/// Serial convenience wrapper around [`knee_sweep_with`].
+pub fn knee_sweep(offered: &[f64], config: &ExperimentConfig) -> KneeResult {
+    knee_sweep_with(&Runner::serial(), offered, config)
+}
+
 /// The default sweep: 100–460 QPS in 40-QPS steps.
 pub fn default_sweep(config: &ExperimentConfig) -> KneeResult {
+    default_sweep_with(&Runner::serial(), config)
+}
+
+/// [`default_sweep`] through the given engine.
+pub fn default_sweep_with(runner: &Runner, config: &ExperimentConfig) -> KneeResult {
     let offered: Vec<f64> = (0..10).map(|i| 100.0 + 40.0 * i as f64).collect();
-    knee_sweep(&offered, config)
+    knee_sweep_with(runner, &offered, config)
 }
 
 #[cfg(test)]

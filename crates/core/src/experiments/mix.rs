@@ -9,11 +9,12 @@
 //! * Figures 11/12: the actuator values each runtime settles at (cores for
 //!   CT/KP, prefetchers for KP-SD), from the same runs.
 
-use crate::driver::{Experiment, ExperimentConfig, ExperimentResult};
+use crate::driver::ExperimentConfig;
 use crate::metrics::normalized;
 use crate::policy::{PolicyKind, PolicySnapshot};
 use crate::report::Table;
-use kelp_workloads::{BatchKind, BatchWorkload, MlWorkloadKind};
+use crate::runner::{CpuSpec, RunRecord, RunSpec, Runner};
+use kelp_workloads::{BatchKind, MlWorkloadKind};
 use serde::{Deserialize, Serialize};
 
 /// One sweep point for one policy.
@@ -74,9 +75,7 @@ impl MixSweepResult {
         let Some(s) = self.series_for(policy) else {
             return 0.0;
         };
-        kelp_simcore::stats::harmonic_mean(
-            &s.points.iter().map(|p| p.cpu_norm).collect::<Vec<_>>(),
-        )
+        kelp_simcore::stats::harmonic_mean(&s.points.iter().map(|p| p.cpu_norm).collect::<Vec<_>>())
     }
 
     /// ML-performance table (Figure 9a / 10a).
@@ -131,7 +130,11 @@ impl MixSweepResult {
         for (i, &param) in self.params.iter().enumerate() {
             let mut row = vec![param.to_string()];
             for s in &self.series {
-                row.push(f(&s.points[i]).map(Table::num).unwrap_or_else(|| "-".into()));
+                row.push(
+                    f(&s.points[i])
+                        .map(Table::num)
+                        .unwrap_or_else(|| "-".into()),
+                );
             }
             t.row(row);
         }
@@ -139,42 +142,66 @@ impl MixSweepResult {
     }
 }
 
-/// How a sweep parameter turns into CPU workloads.
-fn build_cpu_workloads(cpu: BatchKind, param: usize) -> Vec<BatchWorkload> {
+/// How a sweep parameter turns into CPU workload specs.
+fn cpu_specs(cpu: BatchKind, param: usize) -> Vec<CpuSpec> {
     match cpu {
         // Figure 9 sweeps Stitch *instances* (4 threads each).
         BatchKind::Stitch => (0..param)
-            .map(|i| BatchWorkload::new(BatchKind::Stitch, 4).with_label(format!("Stitch#{i}")))
+            .map(|i| CpuSpec::new(BatchKind::Stitch, 4).with_label(format!("Stitch#{i}")))
             .collect(),
         // Figure 10 sweeps CPUML *threads* in one instance.
-        _ => vec![BatchWorkload::new(cpu, param)],
+        _ => vec![CpuSpec::new(cpu, param)],
     }
 }
 
-fn run_point(
+fn point_spec(
     ml: MlWorkloadKind,
     cpu: BatchKind,
     param: usize,
     policy: PolicyKind,
     config: &ExperimentConfig,
-) -> ExperimentResult {
-    let mut builder = Experiment::builder(ml, policy).config(config.clone());
-    for w in build_cpu_workloads(cpu, param) {
-        builder = builder.add_cpu_workload(w);
+) -> RunSpec {
+    let mut spec = RunSpec::new(ml, policy, config);
+    for c in cpu_specs(cpu, param) {
+        spec = spec.with_cpu(c);
     }
-    builder.run()
+    spec
 }
 
-/// Runs a case-study sweep.
-pub fn run_mix_sweep(
+/// Enumerates a case-study sweep: the standalone reference, the Baseline
+/// CPU-normalization reference at the first sweep point, then every
+/// (policy, param) grid point. [`fold`] consumes records in this order.
+pub fn specs(
     ml: MlWorkloadKind,
     cpu: BatchKind,
     params: &[usize],
     config: &ExperimentConfig,
+) -> Vec<RunSpec> {
+    let mut specs = vec![
+        super::standalone_spec(ml, config),
+        point_spec(ml, cpu, params[0], PolicyKind::Baseline, config),
+    ];
+    for policy in PolicyKind::paper_set() {
+        for &param in params {
+            specs.push(point_spec(ml, cpu, param, policy, config));
+        }
+    }
+    specs
+}
+
+/// Folds batch records (in [`specs`] order) into the sweep result.
+pub fn fold(
+    ml: MlWorkloadKind,
+    cpu: BatchKind,
+    params: &[usize],
+    records: &[RunRecord],
 ) -> MixSweepResult {
-    let standalone = super::standalone_reference(ml, config);
+    let mut next = records.iter();
+    let standalone = next.next().expect("standalone record").ml_performance;
     // CPU normalization reference: Baseline at the first sweep point.
-    let bl_ref = run_point(ml, cpu, params[0], PolicyKind::Baseline, config)
+    let bl_ref = next
+        .next()
+        .expect("baseline reference record")
         .cpu_total_throughput()
         .max(1e-12);
 
@@ -182,11 +209,9 @@ pub fn run_mix_sweep(
     for policy in PolicyKind::paper_set() {
         let mut points = Vec::new();
         for &param in params {
-            let r = run_point(ml, cpu, param, policy, config);
-            let ml_tail_norm = match (
-                r.ml_performance.tail_latency_ms,
-                standalone.tail_latency_ms,
-            ) {
+            let r = next.next().expect("grid record");
+            let ml_tail_norm = match (r.ml_performance.tail_latency_ms, standalone.tail_latency_ms)
+            {
                 (Some(t), Some(s)) if s > 0.0 => Some(t / s),
                 _ => None,
             };
@@ -195,7 +220,7 @@ pub fn run_mix_sweep(
                 ml_norm: normalized(r.ml_performance.throughput, standalone.throughput),
                 ml_tail_norm,
                 cpu_norm: r.cpu_total_throughput() / bl_ref,
-                snapshot: r.final_policy_snapshot(),
+                snapshot: r.final_policy,
             });
         }
         series.push(MixSeries {
@@ -211,9 +236,41 @@ pub fn run_mix_sweep(
     }
 }
 
+/// Runs a case-study sweep through the given engine.
+pub fn run_mix_sweep_with(
+    runner: &Runner,
+    ml: MlWorkloadKind,
+    cpu: BatchKind,
+    params: &[usize],
+    config: &ExperimentConfig,
+) -> MixSweepResult {
+    fold(
+        ml,
+        cpu,
+        params,
+        &runner.run_batch(&specs(ml, cpu, params, config)),
+    )
+}
+
+/// Serial convenience wrapper around [`run_mix_sweep_with`].
+pub fn run_mix_sweep(
+    ml: MlWorkloadKind,
+    cpu: BatchKind,
+    params: &[usize],
+    config: &ExperimentConfig,
+) -> MixSweepResult {
+    run_mix_sweep_with(&Runner::serial(), ml, cpu, params, config)
+}
+
 /// Figure 9 (and 11): CNN1 + Stitch, 1–6 instances.
 pub fn figure9(config: &ExperimentConfig) -> MixSweepResult {
-    run_mix_sweep(
+    figure9_with(&Runner::serial(), config)
+}
+
+/// [`figure9`] through the given engine.
+pub fn figure9_with(runner: &Runner, config: &ExperimentConfig) -> MixSweepResult {
+    run_mix_sweep_with(
+        runner,
         MlWorkloadKind::Cnn1,
         BatchKind::Stitch,
         &[1, 2, 3, 4, 5, 6],
@@ -223,7 +280,13 @@ pub fn figure9(config: &ExperimentConfig) -> MixSweepResult {
 
 /// Figure 10 (and 12): RNN1 + CPUML, 2–16 threads.
 pub fn figure10(config: &ExperimentConfig) -> MixSweepResult {
-    run_mix_sweep(
+    figure10_with(&Runner::serial(), config)
+}
+
+/// [`figure10`] through the given engine.
+pub fn figure10_with(runner: &Runner, config: &ExperimentConfig) -> MixSweepResult {
+    run_mix_sweep_with(
+        runner,
         MlWorkloadKind::Rnn1,
         BatchKind::CpuMl,
         &[2, 4, 6, 8, 10, 12, 14, 16],

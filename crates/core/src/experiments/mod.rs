@@ -31,18 +31,31 @@ pub mod sensitivity;
 pub mod table1;
 pub mod timeline;
 
-use crate::driver::{Experiment, ExperimentConfig};
+use crate::driver::ExperimentConfig;
 use crate::policy::PolicyKind;
+use crate::runner::{RunSpec, Runner};
 use kelp_workloads::model::PerfSnapshot;
 use kelp_workloads::MlWorkloadKind;
 
-/// Runs an ML workload standalone (no colocation, unmanaged baseline) and
-/// returns its reference performance. Every figure normalizes against this.
+/// The spec of a standalone run (no colocation, unmanaged baseline) of an
+/// ML workload. Every figure normalizes against its performance.
+pub fn standalone_spec(ml: MlWorkloadKind, config: &ExperimentConfig) -> RunSpec {
+    RunSpec::new(ml, PolicyKind::Baseline, config)
+}
+
+/// Runs an ML workload standalone through the given engine and returns its
+/// reference performance.
+pub fn standalone_reference_with(
+    runner: &Runner,
+    ml: MlWorkloadKind,
+    config: &ExperimentConfig,
+) -> PerfSnapshot {
+    runner.run_one(&standalone_spec(ml, config)).ml_performance
+}
+
+/// Serial convenience wrapper around [`standalone_reference_with`].
 pub fn standalone_reference(ml: MlWorkloadKind, config: &ExperimentConfig) -> PerfSnapshot {
-    Experiment::builder(ml, PolicyKind::Baseline)
-        .config(config.clone())
-        .run()
-        .ml_performance
+    standalone_reference_with(&Runner::serial(), ml, config)
 }
 
 #[cfg(test)]

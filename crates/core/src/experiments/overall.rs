@@ -12,11 +12,12 @@
 //! Subdomain but returns 19 % more CPU throughput; and lands 17 % / 37 %
 //! higher efficiency than CoreThrottle / Subdomain.
 
-use crate::driver::{Experiment, ExperimentConfig};
+use crate::driver::ExperimentConfig;
 use crate::metrics::{efficiency, normalized};
 use crate::policy::PolicyKind;
 use crate::report::Table;
-use kelp_workloads::{BatchKind, BatchWorkload, MlWorkloadKind};
+use crate::runner::{CpuSpec, RunRecord, RunSpec, Runner};
+use kelp_workloads::{BatchKind, MlWorkloadKind};
 use serde::{Deserialize, Serialize};
 
 /// The CPU workload shapes used in the overall evaluation.
@@ -148,7 +149,11 @@ impl OverallResult {
         }
         let mut avg = vec!["Average".to_string()];
         for (i, _) in self.policies.iter().enumerate() {
-            let vals: Vec<f64> = self.mixes.iter().map(|m| m.outcomes[i].ml_slowdown).collect();
+            let vals: Vec<f64> = self
+                .mixes
+                .iter()
+                .map(|m| m.outcomes[i].ml_slowdown)
+                .collect();
             avg.push(Table::num(kelp_simcore::stats::arithmetic_mean(&vals)));
         }
         for (i, _) in self.policies.iter().enumerate() {
@@ -173,8 +178,7 @@ impl OverallResult {
         }
         let refs: Vec<&str> = header.iter().map(String::as_str).collect();
         let mut t = Table::new("Figure 14 — efficiency (ML gain / CPU loss vs BL)", &refs);
-        let effs: Vec<Vec<Option<f64>>> =
-            policies.iter().map(|&p| self.efficiencies(p)).collect();
+        let effs: Vec<Vec<Option<f64>>> = policies.iter().map(|&p| self.efficiencies(p)).collect();
         for (mi, m) in self.mixes.iter().enumerate() {
             let mut row = vec![format!("{}+{}", m.ml, m.cpu)];
             for e in &effs {
@@ -194,44 +198,62 @@ impl OverallResult {
     }
 }
 
-/// Runs the full overall evaluation (12 mixes x 4 policies + references).
-pub fn run_overall(config: &ExperimentConfig) -> OverallResult {
+/// Enumerates the overall-evaluation batch: per ML workload, one standalone
+/// reference followed by one run per (CPU workload, paper-set policy) pair.
+/// [`fold`] consumes the records in exactly this order.
+pub fn specs(config: &ExperimentConfig) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for ml in MlWorkloadKind::all() {
+        specs.push(super::standalone_spec(ml, config));
+        for (cpu_kind, threads) in cpu_workload_set() {
+            for policy in PolicyKind::paper_set() {
+                specs.push(
+                    RunSpec::new(ml, policy, config).with_cpu(CpuSpec::new(cpu_kind, threads)),
+                );
+            }
+        }
+    }
+    specs
+}
+
+/// Folds the batch records (in [`specs`] order) into the Figure 13/14
+/// dataset. The colocated Baseline run doubles as the mix's CPU-throughput
+/// reference, exactly as the paper normalizes.
+pub fn fold(records: &[RunRecord]) -> OverallResult {
     let policies = PolicyKind::paper_set();
     let mut mixes = Vec::new();
+    let mut next = records.iter();
     for ml in MlWorkloadKind::all() {
-        let standalone = super::standalone_reference(ml, config);
-        for (cpu_kind, threads) in cpu_workload_set() {
-            let run = |policy: PolicyKind| {
-                Experiment::builder(ml, policy)
-                    .add_cpu_workload(BatchWorkload::new(cpu_kind, threads))
-                    .config(config.clone())
-                    .run()
-            };
-            let bl = run(PolicyKind::Baseline);
+        let standalone = next.next().expect("standalone record").ml_performance;
+        for (cpu_kind, _) in cpu_workload_set() {
+            let per_policy: Vec<&RunRecord> = policies
+                .iter()
+                .map(|_| next.next().expect("policy record"))
+                .collect();
+            let bl = per_policy[0];
             let bl_cpu = bl.cpu_total_throughput().max(1e-12);
             let mut outcomes = Vec::new();
-            for policy in policies {
-                let r = if policy == PolicyKind::Baseline {
-                    // Reuse the reference run.
-                    let ml_norm =
-                        normalized(bl.ml_performance.throughput, standalone.throughput);
-                    outcomes.push(PolicyOutcome {
-                        ml_norm,
-                        ml_slowdown: if ml_norm > 0.0 { 1.0 / ml_norm } else { f64::INFINITY },
-                        cpu_norm: 1.0,
-                        cpu_slowdown: 1.0,
-                    });
-                    continue;
-                } else {
-                    run(policy)
-                };
+            for (i, policy) in policies.iter().enumerate() {
+                let r = per_policy[i];
                 let ml_norm = normalized(r.ml_performance.throughput, standalone.throughput);
-                let cpu_norm = r.cpu_total_throughput() / bl_cpu;
+                let cpu_norm = if *policy == PolicyKind::Baseline {
+                    1.0
+                } else {
+                    r.cpu_total_throughput() / bl_cpu
+                };
                 outcomes.push(PolicyOutcome {
                     ml_norm,
-                    ml_slowdown: if ml_norm > 0.0 { 1.0 / ml_norm } else { f64::INFINITY },
+                    ml_slowdown: if ml_norm > 0.0 {
+                        1.0 / ml_norm
+                    } else {
+                        f64::INFINITY
+                    },
                     cpu_norm,
-                    cpu_slowdown: if cpu_norm > 0.0 { 1.0 / cpu_norm } else { f64::INFINITY },
+                    cpu_slowdown: if cpu_norm > 0.0 {
+                        1.0 / cpu_norm
+                    } else {
+                        f64::INFINITY
+                    },
                 });
             }
             mixes.push(MixOutcome {
@@ -247,6 +269,17 @@ pub fn run_overall(config: &ExperimentConfig) -> OverallResult {
     }
 }
 
+/// Runs the full overall evaluation (12 mixes x 4 policies + references)
+/// through the given engine.
+pub fn run_overall_with(runner: &Runner, config: &ExperimentConfig) -> OverallResult {
+    fold(&runner.run_batch(&specs(config)))
+}
+
+/// Serial convenience wrapper around [`run_overall_with`].
+pub fn run_overall(config: &ExperimentConfig) -> OverallResult {
+    run_overall_with(&Runner::serial(), config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,12 +291,12 @@ mod tests {
     fn reduced_overall_orderings() {
         let config = ExperimentConfig::quick();
         let ml = MlWorkloadKind::Cnn1;
-        let standalone = crate::experiments::standalone_reference(ml, &config);
+        let runner = Runner::serial();
+        let standalone = crate::experiments::standalone_reference_with(&runner, ml, &config);
         let run = |policy: PolicyKind| {
-            Experiment::builder(ml, policy)
-                .add_cpu_workload(BatchWorkload::new(BatchKind::Stream, 12))
-                .config(config.clone())
-                .run()
+            runner.run_one(
+                &RunSpec::new(ml, policy, &config).with_cpu(CpuSpec::new(BatchKind::Stream, 12)),
+            )
         };
         let bl = run(PolicyKind::Baseline);
         let kpsd = run(PolicyKind::KelpSubdomain);

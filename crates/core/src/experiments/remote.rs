@@ -7,10 +7,11 @@
 //! socket (x-axis) with one line per percentage of aggressor threads on the
 //! local socket, and plots ML *slowdown*.
 
-use crate::driver::{Experiment, ExperimentConfig};
+use crate::driver::ExperimentConfig;
 use crate::policy::PolicyKind;
 use crate::report::Table;
-use kelp_workloads::{BatchKind, BatchWorkload, MlWorkloadKind};
+use crate::runner::{CpuSpec, RunRecord, RunSpec, Runner};
+use kelp_workloads::{BatchKind, MlWorkloadKind};
 use serde::{Deserialize, Serialize};
 
 /// Sweep grid used by the paper's Figure 16.
@@ -72,27 +73,53 @@ pub fn figure16(config: &ExperimentConfig) -> RemoteSweepResult {
     figure16_for(&[MlWorkloadKind::Cnn1, MlWorkloadKind::Cnn2], config)
 }
 
-/// Runs the sweep for an arbitrary workload set (tests use a single one).
-pub fn figure16_for(
-    workloads: &[MlWorkloadKind],
-    config: &ExperimentConfig,
-) -> RemoteSweepResult {
+/// [`figure16`] through the given engine.
+pub fn figure16_with(runner: &Runner, config: &ExperimentConfig) -> RemoteSweepResult {
+    figure16_for_with(
+        runner,
+        &[MlWorkloadKind::Cnn1, MlWorkloadKind::Cnn2],
+        config,
+    )
+}
+
+/// Enumerates the sweep grid: per workload, the standalone reference then
+/// one Baseline run per (thread fraction, data fraction) placement.
+pub fn specs(workloads: &[MlWorkloadKind], config: &ExperimentConfig) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for &ml in workloads {
+        specs.push(super::standalone_spec(ml, config));
+        for &tf in &THREAD_FRACTIONS {
+            for &df in &DATA_FRACTIONS {
+                specs.push(
+                    RunSpec::new(ml, PolicyKind::Baseline, config).with_cpu(
+                        CpuSpec::new(BatchKind::DramAggressor, 16)
+                            .with_local_data_fraction(df)
+                            .with_local_thread_fraction(tf),
+                    ),
+                );
+            }
+        }
+    }
+    specs
+}
+
+/// Folds batch records (in [`specs`] order) into the sweep result.
+pub fn fold(workloads: &[MlWorkloadKind], records: &[RunRecord]) -> RemoteSweepResult {
+    let mut next = records.iter();
     let mut panels = Vec::new();
     for &ml in workloads {
-        let standalone = super::standalone_reference(ml, config);
+        let standalone = next.next().expect("standalone record").ml_performance;
         let mut grid = Vec::new();
-        for &tf in &THREAD_FRACTIONS {
+        for _ in &THREAD_FRACTIONS {
             let mut row = Vec::new();
-            for &df in &DATA_FRACTIONS {
-                let aggressor = BatchWorkload::new(BatchKind::DramAggressor, 16)
-                    .with_local_data_fraction(df)
-                    .with_local_thread_fraction(tf);
-                let r = Experiment::builder(ml, PolicyKind::Baseline)
-                    .add_cpu_workload(aggressor)
-                    .config(config.clone())
-                    .run();
+            for _ in &DATA_FRACTIONS {
+                let r = next.next().expect("grid record");
                 let norm = r.ml_performance.throughput / standalone.throughput.max(1e-12);
-                row.push(if norm > 0.0 { 1.0 / norm } else { f64::INFINITY });
+                row.push(if norm > 0.0 {
+                    1.0 / norm
+                } else {
+                    f64::INFINITY
+                });
             }
             grid.push(row);
         }
@@ -108,9 +135,25 @@ pub fn figure16_for(
     }
 }
 
+/// Runs the sweep for an arbitrary workload set through the given engine.
+pub fn figure16_for_with(
+    runner: &Runner,
+    workloads: &[MlWorkloadKind],
+    config: &ExperimentConfig,
+) -> RemoteSweepResult {
+    fold(workloads, &runner.run_batch(&specs(workloads, config)))
+}
+
+/// Serial convenience wrapper around [`figure16_for_with`].
+pub fn figure16_for(workloads: &[MlWorkloadKind], config: &ExperimentConfig) -> RemoteSweepResult {
+    figure16_for_with(&Runner::serial(), workloads, config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::Experiment;
+    use kelp_workloads::BatchWorkload;
 
     #[test]
     fn remote_data_hurts_more_than_local_on_cloud_tpu() {

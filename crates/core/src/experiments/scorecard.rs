@@ -5,10 +5,11 @@
 //! backs `EXPERIMENTS.md`; the calibration integration tests assert a subset
 //! of the same bands.
 
-use crate::driver::{Experiment, ExperimentConfig};
+use crate::driver::ExperimentConfig;
 use crate::policy::PolicyKind;
 use crate::report::Table;
-use kelp_workloads::{BatchKind, BatchWorkload, MlWorkloadKind};
+use crate::runner::{CpuSpec, RunSpec, Runner};
+use kelp_workloads::{BatchKind, MlWorkloadKind};
 use serde::{Deserialize, Serialize};
 
 /// One checked claim.
@@ -69,9 +70,16 @@ impl Scorecard {
 
 /// Runs the scorecard (several dozen experiments; minutes at full scale).
 pub fn run_scorecard(config: &ExperimentConfig) -> Scorecard {
+    run_scorecard_with(&Runner::serial(), config)
+}
+
+/// Runs the scorecard through the given engine. Each composed harness
+/// batches its grid through the engine, so `--jobs N` parallelizes within
+/// every figure.
+pub fn run_scorecard_with(runner: &Runner, config: &ExperimentConfig) -> Scorecard {
     let mut claims = Vec::new();
 
-    // Figure 2.
+    // Figure 2 (analytic; no simulator runs).
     let fleet = super::fleet::figure2(1);
     claims.push(Claim {
         source: "Fig 2".into(),
@@ -81,7 +89,11 @@ pub fn run_scorecard(config: &ExperimentConfig) -> Scorecard {
     });
 
     // Figure 5.
-    let fig5 = super::sensitivity::figure5(config);
+    let fig5 = super::sensitivity::run_sensitivity_with(
+        runner,
+        &[BatchKind::LlcAggressor, BatchKind::DramAggressor],
+        config,
+    );
     claims.push(Claim {
         source: "Fig 5".into(),
         paper: "LLC aggressor costs ~14% on average".into(),
@@ -96,7 +108,7 @@ pub fn run_scorecard(config: &ExperimentConfig) -> Scorecard {
     });
 
     // Figure 3.
-    let fig3 = super::timeline::figure3(config);
+    let fig3 = super::timeline::figure3_with(runner, config);
     claims.push(Claim {
         source: "Fig 3".into(),
         paper: "CPU phases stretch up to +51%".into(),
@@ -117,7 +129,7 @@ pub fn run_scorecard(config: &ExperimentConfig) -> Scorecard {
     });
 
     // Figure 7 headline (CNN1 at aggressor H, no prefetchers off vs all off).
-    let fig7 = super::backpressure::figure7(config);
+    let fig7 = super::backpressure::figure7_with(runner, config);
     let cnn1_on = fig7
         .point("CNN1", super::backpressure::AggressorLevel::High, 0)
         .map(|p| p.normalized_perf)
@@ -140,16 +152,18 @@ pub fn run_scorecard(config: &ExperimentConfig) -> Scorecard {
     });
 
     // Key Figure 13 orderings on the heavy CNN1+Stream mix.
-    let standalone = super::standalone_reference(MlWorkloadKind::Cnn1, config);
-    let run = |policy: PolicyKind| {
-        Experiment::builder(MlWorkloadKind::Cnn1, policy)
-            .add_cpu_workload(BatchWorkload::new(BatchKind::Stream, 16))
-            .config(config.clone())
-            .run()
+    let spec = |policy: PolicyKind| {
+        RunSpec::new(MlWorkloadKind::Cnn1, policy, config)
+            .with_cpu(CpuSpec::new(BatchKind::Stream, 16))
     };
-    let bl = run(PolicyKind::Baseline);
-    let kpsd = run(PolicyKind::KelpSubdomain);
-    let kp = run(PolicyKind::Kelp);
+    let records = runner.run_batch(&[
+        super::standalone_spec(MlWorkloadKind::Cnn1, config),
+        spec(PolicyKind::Baseline),
+        spec(PolicyKind::KelpSubdomain),
+        spec(PolicyKind::Kelp),
+    ]);
+    let standalone = records[0].ml_performance;
+    let (bl, kpsd, kp) = (&records[1], &records[2], &records[3]);
     claims.push(Claim {
         source: "Fig 13".into(),
         paper: "Kelp restores ML performance".into(),
@@ -185,7 +199,10 @@ mod tests {
             band: (0.4, 0.6),
         };
         assert!(c.passes());
-        let c = Claim { measured: 0.39, ..c };
+        let c = Claim {
+            measured: 0.39,
+            ..c
+        };
         assert!(!c.passes());
     }
 

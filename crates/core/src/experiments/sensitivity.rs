@@ -9,11 +9,12 @@
 //! aggressor under the unmanaged baseline, reporting performance normalized
 //! to standalone.
 
-use crate::driver::{Experiment, ExperimentConfig};
+use crate::driver::ExperimentConfig;
 use crate::metrics::normalized;
 use crate::policy::PolicyKind;
 use crate::report::Table;
-use kelp_workloads::{BatchKind, BatchWorkload, MlWorkloadKind};
+use crate::runner::{CpuSpec, RunRecord, RunSpec, Runner};
+use kelp_workloads::{BatchKind, MlWorkloadKind};
 use serde::{Deserialize, Serialize};
 
 /// Threads used by an aggressor kind in the sensitivity study. The LLC
@@ -48,7 +49,11 @@ pub struct SensitivityResult {
 impl SensitivityResult {
     /// Column average (the paper's headline numbers).
     pub fn average(&self, column: usize) -> f64 {
-        let vals: Vec<f64> = self.rows.iter().map(|r| r.normalized_perf[column]).collect();
+        let vals: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|r| r.normalized_perf[column])
+            .collect();
         kelp_simcore::stats::arithmetic_mean(&vals)
     }
 
@@ -79,19 +84,33 @@ impl SensitivityResult {
     }
 }
 
-/// Runs the sensitivity study for the given aggressor kinds.
-pub fn run_sensitivity(aggressors: &[BatchKind], config: &ExperimentConfig) -> SensitivityResult {
+/// Enumerates the sensitivity grid: per workload, the standalone reference
+/// followed by one Baseline run against each aggressor kind.
+pub fn specs(aggressors: &[BatchKind], config: &ExperimentConfig) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for ml in MlWorkloadKind::all() {
+        specs.push(super::standalone_spec(ml, config));
+        for &kind in aggressors {
+            specs.push(
+                RunSpec::new(ml, PolicyKind::Baseline, config)
+                    .with_cpu(CpuSpec::new(kind, aggressor_threads(kind))),
+            );
+        }
+    }
+    specs
+}
+
+/// Folds batch records (in [`specs`] order) into the sensitivity result.
+pub fn fold(aggressors: &[BatchKind], records: &[RunRecord]) -> SensitivityResult {
+    let mut next = records.iter();
     let mut rows = Vec::new();
     for ml in MlWorkloadKind::all() {
-        let standalone = super::standalone_reference(ml, config);
+        let standalone = next.next().expect("standalone record").ml_performance;
         let mut per_aggr = Vec::new();
-        for &kind in aggressors {
-            let result = Experiment::builder(ml, PolicyKind::Baseline)
-                .add_cpu_workload(BatchWorkload::new(kind, aggressor_threads(kind)))
-                .config(config.clone())
-                .run();
+        for _ in aggressors {
+            let r = next.next().expect("aggressor record");
             per_aggr.push(normalized(
-                result.ml_performance.throughput,
+                r.ml_performance.throughput,
                 standalone.throughput,
             ));
         }
@@ -106,14 +125,43 @@ pub fn run_sensitivity(aggressors: &[BatchKind], config: &ExperimentConfig) -> S
     }
 }
 
+/// Runs the sensitivity study through the given engine.
+pub fn run_sensitivity_with(
+    runner: &Runner,
+    aggressors: &[BatchKind],
+    config: &ExperimentConfig,
+) -> SensitivityResult {
+    fold(aggressors, &runner.run_batch(&specs(aggressors, config)))
+}
+
+/// Serial convenience wrapper around [`run_sensitivity_with`].
+pub fn run_sensitivity(aggressors: &[BatchKind], config: &ExperimentConfig) -> SensitivityResult {
+    run_sensitivity_with(&Runner::serial(), aggressors, config)
+}
+
 /// Figure 5: LLC and DRAM aggressors.
 pub fn figure5(config: &ExperimentConfig) -> SensitivityResult {
-    run_sensitivity(&[BatchKind::LlcAggressor, BatchKind::DramAggressor], config)
+    figure5_with(&Runner::serial(), config)
+}
+
+/// [`figure5`] through the given engine.
+pub fn figure5_with(runner: &Runner, config: &ExperimentConfig) -> SensitivityResult {
+    run_sensitivity_with(
+        runner,
+        &[BatchKind::LlcAggressor, BatchKind::DramAggressor],
+        config,
+    )
 }
 
 /// Figure 15: LLC, DRAM and Remote DRAM.
 pub fn figure15(config: &ExperimentConfig) -> SensitivityResult {
-    run_sensitivity(
+    figure15_with(&Runner::serial(), config)
+}
+
+/// [`figure15`] through the given engine.
+pub fn figure15_with(runner: &Runner, config: &ExperimentConfig) -> SensitivityResult {
+    run_sensitivity_with(
+        runner,
         &[
             BatchKind::LlcAggressor,
             BatchKind::DramAggressor,

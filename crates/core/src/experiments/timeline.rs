@@ -7,13 +7,13 @@
 //! phase kind ("execution time for CPU-intensive phases increases by up to
 //! 51 %"), and a clipped event window suitable for rendering the timeline.
 
-use crate::driver::{Experiment, ExperimentConfig};
+use crate::driver::ExperimentConfig;
 use crate::policy::PolicyKind;
 use crate::report::Table;
+use crate::runner::{CpuSpec, MlSpec, RunRecord, RunSpec, Runner};
 use kelp_simcore::time::SimTime;
-use kelp_simcore::trace::{PhaseTrace, TraceEvent};
-use kelp_workloads::calib;
-use kelp_workloads::{BatchKind, BatchWorkload, InferenceServer, MlWorkloadKind};
+use kelp_simcore::trace::TraceEvent;
+use kelp_workloads::{BatchKind, MlWorkloadKind};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -46,54 +46,53 @@ const TRACE_AGGRESSOR_THREADS: usize = 8;
 /// reflects.
 const TAIL_AGGRESSOR_THREADS: usize = 7;
 
-fn run_traced(config: &ExperimentConfig, colocated: bool) -> PhaseTrace {
-    let mut server = InferenceServer::new(calib::rnn1_serial_params());
-    server.enable_trace();
-    let machine = MlWorkloadKind::Rnn1.platform().host_machine();
-    let mut builder = Experiment::builder_with_ml(Box::new(server), machine, PolicyKind::Baseline)
-        .config(config.clone());
+fn traced_spec(config: &ExperimentConfig, colocated: bool) -> RunSpec {
+    let mut spec = RunSpec::new(MlWorkloadKind::Rnn1, PolicyKind::Baseline, config)
+        .with_ml(MlSpec::TracedSerialRnn1);
     if colocated {
         // A heavy-but-not-saturating aggressor, matching the paper's
         // illustrative trace (CPU phases stretch ~1.5x, not 3x).
-        builder = builder.add_cpu_workload(BatchWorkload::new(
+        spec = spec.with_cpu(CpuSpec::new(
             BatchKind::DramAggressor,
             TRACE_AGGRESSOR_THREADS,
         ));
     }
-    let result = builder.run();
-    result
-        .ml_workload
-        .as_ref()
-        .and_then(|w| w.trace())
-        .cloned()
-        .expect("trace enabled")
+    spec
 }
 
 /// The service-level tail: the paper's "+70%" number comes from the
 /// *pipelined* production configuration, where queueing amplifies the CPU
 /// phase stretch.
-fn pipelined_tail(config: &ExperimentConfig, colocated: bool) -> f64 {
-    let mut builder =
-        Experiment::builder(MlWorkloadKind::Rnn1, PolicyKind::Baseline).config(config.clone());
+fn pipelined_spec(config: &ExperimentConfig, colocated: bool) -> RunSpec {
+    let mut spec = RunSpec::new(MlWorkloadKind::Rnn1, PolicyKind::Baseline, config);
     if colocated {
-        builder = builder.add_cpu_workload(BatchWorkload::new(
+        spec = spec.with_cpu(CpuSpec::new(
             BatchKind::DramAggressor,
             TAIL_AGGRESSOR_THREADS,
         ));
     }
-    builder.run().ml_performance.tail_latency_ms.unwrap_or(0.0)
+    spec
 }
 
-/// Runs the Figure 3 experiment.
-pub fn figure3(config: &ExperimentConfig) -> TimelineResult {
-    let standalone = run_traced(config, false);
-    let colocated = run_traced(config, true);
-    let tail_s = pipelined_tail(config, false);
-    let tail_c = pipelined_tail(config, true);
+/// Enumerates the Figure 3 runs: traced serial standalone/colocated, then
+/// pipelined standalone/colocated for the service-level tail.
+pub fn specs(config: &ExperimentConfig) -> Vec<RunSpec> {
+    vec![
+        traced_spec(config, false),
+        traced_spec(config, true),
+        pipelined_spec(config, false),
+        pipelined_spec(config, true),
+    ]
+}
+
+/// Folds batch records (in [`specs`] order) into the Figure 3 result.
+pub fn fold(config: &ExperimentConfig, records: &[RunRecord]) -> TimelineResult {
+    let standalone = records[0].trace.clone().expect("trace enabled");
+    let colocated = records[1].trace.clone().expect("trace enabled");
+    let tail_s = records[2].ml_performance.tail_latency_ms.unwrap_or(0.0);
+    let tail_c = records[3].ml_performance.tail_latency_ms.unwrap_or(0.0);
     let to_ms = |m: BTreeMap<String, kelp_simcore::time::SimDuration>| -> BTreeMap<String, f64> {
-        m.into_iter()
-            .map(|(k, v)| (k, v.as_millis_f64()))
-            .collect()
+        m.into_iter().map(|(k, v)| (k, v.as_millis_f64())).collect()
     };
     let expansion = colocated.mean_expansion_vs(&standalone);
     let window_start = SimTime::ZERO + config.warmup;
@@ -106,6 +105,16 @@ pub fn figure3(config: &ExperimentConfig) -> TimelineResult {
         standalone_window: standalone.window(window_start, window_end),
         colocated_window: colocated.window(window_start, window_end),
     }
+}
+
+/// Runs the Figure 3 experiment through the given engine.
+pub fn figure3_with(runner: &Runner, config: &ExperimentConfig) -> TimelineResult {
+    fold(config, &runner.run_batch(&specs(config)))
+}
+
+/// Serial convenience wrapper around [`figure3_with`].
+pub fn figure3(config: &ExperimentConfig) -> TimelineResult {
+    figure3_with(&Runner::serial(), config)
 }
 
 impl TimelineResult {

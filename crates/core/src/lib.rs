@@ -44,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod algorithm;
+pub mod config;
 pub mod driver;
 pub mod experiments;
 pub mod measure;
@@ -51,9 +52,12 @@ pub mod metrics;
 pub mod policy;
 pub mod profile;
 pub mod report;
+pub mod runner;
 
 pub use algorithm::{Action, KelpController, KelpControllerConfig};
-pub use driver::{Experiment, ExperimentConfig, ExperimentResult};
+pub use config::ExperimentConfig;
+pub use driver::{Experiment, ExperimentResult};
 pub use measure::Measurements;
 pub use policy::{Policy, PolicyKind};
 pub use profile::WatermarkProfile;
+pub use runner::{RunRecord, RunSpec, Runner};

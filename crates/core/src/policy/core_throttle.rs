@@ -11,7 +11,9 @@
 //! latency: above the high watermark, shrink the low-priority cpuset by one
 //! core; below both low watermarks, grow it by one.
 
-use super::{apply_lp_allocations, apply_standard_cat, Policy, PolicyCtx, PolicyKind, PolicySnapshot};
+use super::{
+    apply_lp_allocations, apply_standard_cat, Policy, PolicyCtx, PolicyKind, PolicySnapshot,
+};
 use crate::measure::Measurements;
 use crate::profile::WatermarkProfile;
 use kelp_host::HostMachine;
@@ -102,9 +104,9 @@ impl Policy for CoreThrottlePolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kelp_host::machine::Actuator;
     use kelp_host::placement::CpuAllocation;
     use kelp_host::task::{Priority, TaskSpec, ThreadProfile};
-    use kelp_host::machine::Actuator;
     use kelp_mem::topology::{DomainId, MachineSpec, SocketId};
 
     fn setup() -> (HostMachine, CoreThrottlePolicy, PolicyCtx) {
@@ -145,7 +147,10 @@ mod tests {
         let (machine, p, _ctx) = setup();
         assert_eq!(p.snapshot().lp_cores_max, 20);
         assert_eq!(p.snapshot().lp_cores, 20);
-        assert_eq!(machine.mem().cat().high_priority_ways, super::super::DEDICATED_HP_WAYS);
+        assert_eq!(
+            machine.mem().cat().high_priority_ways,
+            super::super::DEDICATED_HP_WAYS
+        );
     }
 
     #[test]
@@ -180,7 +185,7 @@ mod tests {
     fn hysteresis_band_is_stable() {
         let (mut machine, mut p, ctx) = setup();
         let mid = Measurements {
-            socket_bw_gbps: 90.0,  // between 0.55*127.8 and 0.78*127.8
+            socket_bw_gbps: 90.0, // between 0.55*127.8 and 0.78*127.8
             socket_latency_ns: 120.0,
             socket_saturation: 0.0,
             hp_domain_bw_gbps: 0.0,

@@ -276,9 +276,6 @@ mod tests {
             KelpPolicy::channel_partitioned().snc_mode(),
             SncMode::ChannelPartition
         );
-        assert_eq!(
-            KelpPolicy::channel_partitioned().kind(),
-            PolicyKind::Mcp
-        );
+        assert_eq!(KelpPolicy::channel_partitioned().kind(), PolicyKind::Mcp);
     }
 }

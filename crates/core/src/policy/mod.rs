@@ -155,26 +155,10 @@ pub trait Policy: fmt::Debug {
     /// `(hp_domain, lp_domain)` placement on the given socket.
     fn domains(&self, socket: SocketId) -> (DomainId, DomainId) {
         match self.snc_mode() {
-            SncMode::Disabled => (
-                DomainId {
-                    socket,
-                    sub: 0,
-                },
-                DomainId {
-                    socket,
-                    sub: 0,
-                },
-            ),
-            SncMode::Enabled | SncMode::ChannelPartition => (
-                DomainId {
-                    socket,
-                    sub: 0,
-                },
-                DomainId {
-                    socket,
-                    sub: 1,
-                },
-            ),
+            SncMode::Disabled => (DomainId { socket, sub: 0 }, DomainId { socket, sub: 0 }),
+            SncMode::Enabled | SncMode::ChannelPartition => {
+                (DomainId { socket, sub: 0 }, DomainId { socket, sub: 1 })
+            }
         }
     }
 
@@ -216,9 +200,7 @@ pub fn split_cores(total: u32, weights: &[usize]) -> Vec<u32> {
     }
     if total as usize >= weights.len() {
         while let Some(zero) = out.iter().position(|&c| c == 0) {
-            let donor = (0..out.len())
-                .max_by_key(|&i| out[i])
-                .expect("non-empty");
+            let donor = (0..out.len()).max_by_key(|&i| out[i]).expect("non-empty");
             if out[donor] <= 1 {
                 break;
             }

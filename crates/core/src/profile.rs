@@ -31,7 +31,10 @@ impl Watermark {
     ///
     /// Panics if `low > high`.
     pub fn new(low: f64, high: f64) -> Self {
-        assert!(low <= high, "watermark low {low} must not exceed high {high}");
+        assert!(
+            low <= high,
+            "watermark low {low} must not exceed high {high}"
+        );
         Watermark { low, high }
     }
 
@@ -119,7 +122,6 @@ impl WatermarkProfile {
         self.socket_saturation.is_low(m.socket_saturation)
     }
 }
-
 
 /// A per-application profile, the unit the node runtime loads when a job is
 /// scheduled (§IV-D: "When applications are first scheduled onto the server,
@@ -319,7 +321,10 @@ mod tests {
         let m = MachineSpec::dual_socket();
         let lib = ProfileLibrary::new();
         let w = lib.watermarks_for("UNKNOWN", &m, SncMode::Disabled, SocketId(0));
-        assert_eq!(w, WatermarkProfile::for_machine(&m, SncMode::Disabled, SocketId(0)));
+        assert_eq!(
+            w,
+            WatermarkProfile::for_machine(&m, SncMode::Disabled, SocketId(0))
+        );
         assert!(lib.is_empty());
     }
 

@@ -65,8 +65,7 @@ impl BarChart {
             }
             for (label, value) in bars {
                 let v = if value.is_finite() { *value } else { 0.0 };
-                let filled =
-                    ((v / scale_max).clamp(0.0, 1.2) * width as f64).round() as usize;
+                let filled = ((v / scale_max).clamp(0.0, 1.2) * width as f64).round() as usize;
                 let (solid, overflow) = if filled > width {
                     (width, filled - width)
                 } else {
@@ -94,7 +93,11 @@ mod tests {
         let mut c = BarChart::new("demo").with_max(1.0);
         c.group(
             "g",
-            vec![("full".into(), 1.0), ("half".into(), 0.5), ("zero".into(), 0.0)],
+            vec![
+                ("full".into(), 1.0),
+                ("half".into(), 0.5),
+                ("zero".into(), 0.0),
+            ],
         );
         let s = c.render(10);
         assert!(s.contains("demo"));

@@ -1,0 +1,638 @@
+//! Declarative run specifications and the parallel, memoizing run engine.
+//!
+//! Every experiment harness in [`crate::experiments`] describes its runs as
+//! a batch of [`RunSpec`]s — plain serializable data naming the ML workload,
+//! the colocated CPU workloads, the policy, the timing configuration, and a
+//! seed — and folds the resulting [`RunRecord`]s into its figure struct.
+//! The [`Runner`] executes batches:
+//!
+//! * **in parallel** on a `std::thread::scope` worker pool (`--jobs N`),
+//!   bit-identical to serial execution because every run is a pure function
+//!   of its spec (seeds are derived per-spec, never shared);
+//! * **memoized** through an optional content-addressed cache: each spec's
+//!   canonical JSON encoding is hashed (FNV-1a 64) to
+//!   `results/cache/<hash>.json`, and a warm rerun loads the record instead
+//!   of re-simulating.
+//!
+//! The engine records per-run wall time and simulation throughput in
+//! [`RunMeta`] so `repro_all` can report where the time goes.
+
+use crate::config::ExperimentConfig;
+use crate::driver::{Experiment, ExperimentBuilder, ExperimentResult};
+use crate::experiments::backpressure::FixedPrefetchPolicy;
+use crate::measure::Measurements;
+use crate::policy::{KelpPolicy, PolicyKind, PolicySnapshot};
+use crate::profile::{ApplicationProfile, ProfileLibrary, Watermark, WatermarkProfile};
+use kelp_mem::topology::{SncMode, SocketId};
+use kelp_simcore::rng::derive_seed;
+use kelp_simcore::trace::PhaseTrace;
+use kelp_workloads::model::PerfSnapshot;
+use kelp_workloads::MlWorkloadKind;
+use kelp_workloads::{calib, BatchKind, BatchWorkload, InferenceParams, InferenceServer};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The accelerated ML side of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MlSpec {
+    /// No ML workload (CPU tasks only).
+    None,
+    /// One of the Table I workloads with its calibrated parameters.
+    Standard(MlWorkloadKind),
+    /// RNN1 in closed-loop serial mode with phase tracing enabled
+    /// (the Figure 3 timeline).
+    TracedSerialRnn1,
+    /// RNN1 at a custom offered load in QPS (the knee sweep).
+    Rnn1AtLoad(f64),
+}
+
+impl MlSpec {
+    /// The machine topology this ML spec runs on.
+    fn machine_spec(&self) -> kelp_mem::topology::MachineSpec {
+        match self {
+            MlSpec::None => kelp_mem::topology::MachineSpec::dual_socket(),
+            MlSpec::Standard(kind) => kind.platform().host_machine(),
+            MlSpec::TracedSerialRnn1 | MlSpec::Rnn1AtLoad(_) => {
+                MlWorkloadKind::Rnn1.platform().host_machine()
+            }
+        }
+    }
+}
+
+/// One colocated low-priority CPU workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Workload shape.
+    pub kind: BatchKind,
+    /// Thread count.
+    pub threads: usize,
+    /// Display-label override (e.g. `"Stitch#2"` for multi-instance mixes).
+    pub label: Option<String>,
+    /// Fraction of data placed on the local socket (§VI-A remote sweeps).
+    pub local_data_fraction: Option<f64>,
+    /// Fraction of threads placed on the local socket (§VI-A remote sweeps).
+    pub local_thread_fraction: Option<f64>,
+}
+
+impl CpuSpec {
+    /// A plain workload of `kind` with `threads` threads.
+    pub fn new(kind: BatchKind, threads: usize) -> Self {
+        CpuSpec {
+            kind,
+            threads,
+            label: None,
+            local_data_fraction: None,
+            local_thread_fraction: None,
+        }
+    }
+
+    /// Overrides the display label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Sets the local-socket data fraction.
+    pub fn with_local_data_fraction(mut self, local: f64) -> Self {
+        self.local_data_fraction = Some(local);
+        self
+    }
+
+    /// Sets the local-socket thread fraction.
+    pub fn with_local_thread_fraction(mut self, local: f64) -> Self {
+        self.local_thread_fraction = Some(local);
+        self
+    }
+
+    fn build(&self) -> BatchWorkload {
+        let mut w = BatchWorkload::new(self.kind, self.threads);
+        if let Some(label) = &self.label {
+            w = w.with_label(label.clone());
+        }
+        if let Some(f) = self.local_data_fraction {
+            w = w.with_local_data_fraction(f);
+        }
+        if let Some(f) = self.local_thread_fraction {
+            w = w.with_local_thread_fraction(f);
+        }
+        w
+    }
+}
+
+/// The policy side of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// One of the named runtime configurations.
+    Kind(PolicyKind),
+    /// Subdomains with a *fixed* fraction of LP prefetchers disabled
+    /// (Figure 7's backpressure sweep). The payload is the disabled
+    /// fraction in `[0, 1]`.
+    FixedPrefetch(f64),
+    /// Full Kelp with the saturation high-watermark overridden and the
+    /// bandwidth/latency watermarks neutralized (the watermark ablation).
+    KelpSatWatermark(f64),
+}
+
+impl From<PolicyKind> for PolicySpec {
+    fn from(kind: PolicyKind) -> Self {
+        PolicySpec::Kind(kind)
+    }
+}
+
+/// A declarative, serializable, hashable description of one experiment run.
+///
+/// Two specs that compare equal produce bit-identical [`RunRecord`]s; the
+/// cache and the parallel engine both rely on this.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// The accelerated ML workload (or none).
+    pub ml: MlSpec,
+    /// Colocated CPU workloads, installed in order.
+    pub cpu: Vec<CpuSpec>,
+    /// The runtime policy.
+    pub policy: PolicySpec,
+    /// Timing parameters.
+    pub config: ExperimentConfig,
+    /// Seed selector: `0` keeps every workload's calibrated default seed
+    /// (the paper-reproduction setting); any other value decorrelates the
+    /// stochastic workloads via [`derive_seed`].
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A run of a Table I workload under a named policy, no CPU workloads.
+    pub fn new(ml: MlWorkloadKind, policy: PolicyKind, config: &ExperimentConfig) -> Self {
+        RunSpec {
+            ml: MlSpec::Standard(ml),
+            cpu: Vec::new(),
+            policy: PolicySpec::Kind(policy),
+            config: config.clone(),
+            seed: 0,
+        }
+    }
+
+    /// A CPU-only run (no ML workload).
+    pub fn cpu_only(policy: PolicyKind, config: &ExperimentConfig) -> Self {
+        RunSpec {
+            ml: MlSpec::None,
+            cpu: Vec::new(),
+            policy: PolicySpec::Kind(policy),
+            config: config.clone(),
+            seed: 0,
+        }
+    }
+
+    /// Replaces the ML workload spec.
+    pub fn with_ml(mut self, ml: MlSpec) -> Self {
+        self.ml = ml;
+        self
+    }
+
+    /// Adds a colocated CPU workload.
+    pub fn with_cpu(mut self, cpu: CpuSpec) -> Self {
+        self.cpu.push(cpu);
+        self
+    }
+
+    /// Replaces the policy spec.
+    pub fn with_policy(mut self, policy: impl Into<PolicySpec>) -> Self {
+        self.policy = policy.into();
+        self
+    }
+
+    /// Sets the seed selector.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The content hash identifying this spec in the result cache: FNV-1a 64
+    /// over the spec's canonical (compact) JSON encoding.
+    pub fn hash(&self) -> u64 {
+        let bytes = serde_json::to_vec(self).expect("run specs always serialize");
+        fnv1a64(&bytes)
+    }
+
+    /// RNN1 inference parameters with this spec's seed applied.
+    fn seeded_rnn1(&self, mut params: InferenceParams) -> InferenceParams {
+        if self.seed != 0 {
+            params.seed = derive_seed(params.seed, self.seed);
+        }
+        params
+    }
+
+    /// Materializes the spec into a ready-to-run experiment builder.
+    pub fn build(&self) -> ExperimentBuilder {
+        let policy_kind = match &self.policy {
+            PolicySpec::Kind(k) => *k,
+            PolicySpec::FixedPrefetch(_) => PolicyKind::KelpSubdomain,
+            PolicySpec::KelpSatWatermark(_) => PolicyKind::Kelp,
+        };
+        let mut builder = match &self.ml {
+            MlSpec::None => Experiment::builder_cpu_only(policy_kind),
+            MlSpec::Standard(kind) => {
+                if self.seed != 0 && *kind == MlWorkloadKind::Rnn1 {
+                    Experiment::builder_with_ml(
+                        Box::new(InferenceServer::new(self.seeded_rnn1(calib::rnn1_params()))),
+                        self.ml.machine_spec(),
+                        policy_kind,
+                    )
+                } else {
+                    Experiment::builder(*kind, policy_kind)
+                }
+            }
+            MlSpec::TracedSerialRnn1 => {
+                let mut server =
+                    InferenceServer::new(self.seeded_rnn1(calib::rnn1_serial_params()));
+                server.enable_trace();
+                Experiment::builder_with_ml(Box::new(server), self.ml.machine_spec(), policy_kind)
+            }
+            MlSpec::Rnn1AtLoad(qps) => {
+                let params = InferenceParams {
+                    target_qps: *qps,
+                    ..self.seeded_rnn1(calib::rnn1_params())
+                };
+                Experiment::builder_with_ml(
+                    Box::new(InferenceServer::new(params)),
+                    self.ml.machine_spec(),
+                    policy_kind,
+                )
+            }
+        };
+        builder = match &self.policy {
+            PolicySpec::Kind(_) => builder,
+            PolicySpec::FixedPrefetch(disabled) => builder.custom_policy(Box::new(
+                FixedPrefetchPolicy::with_disabled_fraction(*disabled),
+            )),
+            PolicySpec::KelpSatWatermark(sat_high) => {
+                let MlSpec::Standard(ml) = &self.ml else {
+                    panic!("KelpSatWatermark requires a standard ML workload")
+                };
+                let machine = ml.platform().host_machine();
+                let base = WatermarkProfile::for_machine(&machine, SncMode::Enabled, SocketId(0));
+                let mut lib = ProfileLibrary::new();
+                lib.insert(ApplicationProfile {
+                    workload: ml.name().to_string(),
+                    // Neutralize the bandwidth/latency signals so the sweep
+                    // isolates the saturation watermark (otherwise hi_lat_s
+                    // triggers the same throttle path and masks it).
+                    watermarks: WatermarkProfile {
+                        socket_saturation: Watermark::new((sat_high / 5.0).min(0.9), *sat_high),
+                        socket_bw: Watermark::new(0.0, f64::MAX),
+                        socket_latency: Watermark::new(0.0, f64::MAX),
+                        ..base
+                    },
+                    notes: format!("ablation point sat_high={sat_high}"),
+                });
+                builder.custom_policy(Box::new(KelpPolicy::full().with_profile_library(lib)))
+            }
+        };
+        for cpu in &self.cpu {
+            builder = builder.add_cpu_workload(cpu.build());
+        }
+        builder.config(self.config.clone())
+    }
+
+    /// Runs the spec to completion, recording wall time and throughput.
+    pub fn execute(&self) -> RunRecord {
+        let start = Instant::now();
+        let result = self.build().run();
+        RunRecord::from_result(&result, &self.config, start.elapsed().as_secs_f64() * 1e3)
+    }
+}
+
+/// Execution metadata recorded by the engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMeta {
+    /// Wall-clock time of the simulation in milliseconds.
+    pub wall_ms: f64,
+    /// Number of simulation steps ((warmup + duration) / dt).
+    pub sim_steps: u64,
+    /// Simulation steps per wall-clock second.
+    pub steps_per_sec: f64,
+    /// Whether the record was loaded from the result cache.
+    pub cached: bool,
+}
+
+/// The serializable outcome of one run: everything the figure folds consume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// ML workload name, if one was present.
+    pub ml_name: Option<String>,
+    /// ML workload performance over the measurement window.
+    pub ml_performance: PerfSnapshot,
+    /// Per-CPU-workload performance `(name, snapshot)`.
+    pub cpu_performance: Vec<(String, PerfSnapshot)>,
+    /// Average of the four measurements over the measurement window.
+    pub avg_measurements: Measurements,
+    /// The final policy snapshot.
+    pub final_policy: PolicySnapshot,
+    /// The ML workload's phase trace, when tracing was enabled.
+    pub trace: Option<PhaseTrace>,
+    /// Engine metadata (wall time, throughput, cache status).
+    pub meta: RunMeta,
+}
+
+impl RunRecord {
+    /// Extracts the serializable subset of an [`ExperimentResult`].
+    pub fn from_result(result: &ExperimentResult, config: &ExperimentConfig, wall_ms: f64) -> Self {
+        let sim_steps = (config.warmup + config.duration).div_duration(config.dt);
+        RunRecord {
+            ml_name: result.ml_name.clone(),
+            ml_performance: result.ml_performance,
+            cpu_performance: result.cpu_performance.clone(),
+            avg_measurements: result.avg_measurements,
+            final_policy: result.final_policy_snapshot(),
+            trace: result.ml_workload.as_ref().and_then(|w| w.trace()).cloned(),
+            meta: RunMeta {
+                wall_ms,
+                sim_steps,
+                steps_per_sec: if wall_ms > 0.0 {
+                    sim_steps as f64 / (wall_ms / 1e3)
+                } else {
+                    0.0
+                },
+                cached: false,
+            },
+        }
+    }
+
+    /// Sum of CPU workload throughputs.
+    pub fn cpu_total_throughput(&self) -> f64 {
+        self.cpu_performance.iter().map(|(_, p)| p.throughput).sum()
+    }
+}
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// On-disk cache entry: the spec is stored alongside the record so a hash
+/// collision (or a stale file from an older spec schema) is detected by
+/// equality instead of silently returning the wrong result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CacheEntry {
+    spec: RunSpec,
+    record: RunRecord,
+}
+
+/// The batch execution engine.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::serial()
+    }
+}
+
+impl Runner {
+    /// A serial engine with no cache — semantically the seed's inline loops.
+    pub fn serial() -> Self {
+        Runner {
+            jobs: 1,
+            cache_dir: None,
+        }
+    }
+
+    /// An engine with `jobs` worker threads (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Runner {
+            jobs: jobs.max(1),
+            cache_dir: None,
+        }
+    }
+
+    /// Enables the content-addressed result cache rooted at `dir`.
+    pub fn with_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs one spec (through the cache when enabled).
+    pub fn run_one(&self, spec: &RunSpec) -> RunRecord {
+        self.run_batch(std::slice::from_ref(spec))
+            .pop()
+            .expect("one spec yields one record")
+    }
+
+    /// Runs a batch of specs and returns their records in batch order.
+    ///
+    /// Identical specs within the batch are executed once and their record
+    /// cloned. Output order — and content — is independent of `jobs`.
+    pub fn run_batch(&self, specs: &[RunSpec]) -> Vec<RunRecord> {
+        // Dedup by content hash (verified by spec equality), keeping the
+        // first occurrence as the canonical executor.
+        let mut unique: Vec<usize> = Vec::new();
+        let mut assignment: Vec<usize> = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            match unique.iter().position(|&u| specs[u] == *spec) {
+                Some(slot) => assignment.push(slot),
+                None => {
+                    unique.push(i);
+                    assignment.push(unique.len() - 1);
+                }
+            }
+        }
+
+        // Resolve cache hits up front; collect the rest for execution.
+        let mut records: Vec<Option<RunRecord>> = vec![None; unique.len()];
+        let mut pending: Vec<usize> = Vec::new(); // indices into `unique`
+        for (slot, &spec_idx) in unique.iter().enumerate() {
+            match self.cache_lookup(&specs[spec_idx]) {
+                Some(record) => records[slot] = Some(record),
+                None => pending.push(slot),
+            }
+        }
+
+        // Execute what remains, on a worker pool when it pays off.
+        let workers = self.jobs.min(pending.len());
+        if workers <= 1 {
+            for &slot in &pending {
+                records[slot] = Some(specs[unique[slot]].execute());
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let done: Mutex<Vec<(usize, RunRecord)>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&slot) = pending.get(i) else {
+                            break;
+                        };
+                        let record = specs[unique[slot]].execute();
+                        done.lock().unwrap().push((slot, record));
+                    });
+                }
+            });
+            for (slot, record) in done.into_inner().unwrap() {
+                records[slot] = Some(record);
+            }
+        }
+
+        // Persist freshly executed records.
+        if self.cache_dir.is_some() {
+            for &slot in &pending {
+                if let Some(record) = &records[slot] {
+                    self.cache_store(&specs[unique[slot]], record);
+                }
+            }
+        }
+
+        assignment
+            .into_iter()
+            .map(|slot| records[slot].clone().expect("all slots executed"))
+            .collect()
+    }
+
+    fn cache_path(dir: &Path, spec: &RunSpec) -> PathBuf {
+        dir.join(format!("{:016x}.json", spec.hash()))
+    }
+
+    /// Loads a cached record for `spec`, verifying the stored spec matches.
+    /// Stale entries (hash collision or schema drift) are treated as misses
+    /// so the spec re-executes.
+    fn cache_lookup(&self, spec: &RunSpec) -> Option<RunRecord> {
+        let dir = self.cache_dir.as_ref()?;
+        let text = std::fs::read_to_string(Self::cache_path(dir, spec)).ok()?;
+        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+        if entry.spec != *spec {
+            return None;
+        }
+        let mut record = entry.record;
+        record.meta.cached = true;
+        Some(record)
+    }
+
+    fn cache_store(&self, spec: &RunSpec, record: &RunRecord) {
+        let Some(dir) = self.cache_dir.as_ref() else {
+            return;
+        };
+        let entry = CacheEntry {
+            spec: spec.clone(),
+            record: record.clone(),
+        };
+        let Ok(text) = serde_json::to_string(&entry) else {
+            return;
+        };
+        // Cache writes are best-effort: an unwritable directory degrades to
+        // re-execution, never to failure.
+        if std::fs::create_dir_all(dir).is_ok() {
+            let _ = std::fs::write(Self::cache_path(dir, spec), text);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> RunSpec {
+        RunSpec::new(
+            MlWorkloadKind::Cnn1,
+            PolicyKind::Baseline,
+            &ExperimentConfig::quick(),
+        )
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = quick_spec()
+            .with_cpu(CpuSpec::new(BatchKind::Stitch, 4).with_label("Stitch#1"))
+            .with_policy(PolicySpec::FixedPrefetch(0.5))
+            .with_seed(3);
+        let text = serde_json::to_string(&spec).unwrap();
+        let back: RunSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.hash(), spec.hash());
+    }
+
+    #[test]
+    fn hash_distinguishes_specs() {
+        let a = quick_spec();
+        let b = quick_spec().with_seed(1);
+        let c = quick_spec().with_cpu(CpuSpec::new(BatchKind::Stream, 16));
+        assert_ne!(a.hash(), b.hash());
+        assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn spec_run_matches_builder_run() {
+        let spec = quick_spec().with_cpu(CpuSpec::new(BatchKind::Stream, 8));
+        let via_spec = spec.execute();
+        let via_builder = Experiment::builder(MlWorkloadKind::Cnn1, PolicyKind::Baseline)
+            .add_cpu_workload(BatchWorkload::new(BatchKind::Stream, 8))
+            .config(ExperimentConfig::quick())
+            .run();
+        assert_eq!(
+            via_spec.ml_performance.throughput,
+            via_builder.ml_performance.throughput
+        );
+        assert_eq!(
+            via_spec.cpu_total_throughput(),
+            via_builder.cpu_total_throughput()
+        );
+    }
+
+    #[test]
+    fn batch_dedupes_identical_specs() {
+        let spec = quick_spec();
+        let records = Runner::serial().run_batch(&[spec.clone(), spec.clone()]);
+        assert_eq!(records.len(), 2);
+        assert_eq!(
+            records[0].ml_performance.throughput,
+            records[1].ml_performance.throughput
+        );
+    }
+
+    #[test]
+    fn seed_zero_keeps_calibrated_params_and_nonzero_perturbs_rnn1() {
+        let base = RunSpec::new(
+            MlWorkloadKind::Rnn1,
+            PolicyKind::Baseline,
+            &ExperimentConfig::quick(),
+        );
+        let a = base.clone().execute();
+        let b = base.clone().execute();
+        assert_eq!(a.ml_performance.throughput, b.ml_performance.throughput);
+        let c = base.with_seed(99).execute();
+        // A different arrival-process seed produces a different (but still
+        // valid) trajectory.
+        assert_ne!(
+            a.ml_performance.tail_latency_ms,
+            c.ml_performance.tail_latency_ms
+        );
+        assert!(c.ml_performance.throughput > 0.0);
+    }
+
+    #[test]
+    fn meta_records_wall_time_and_steps() {
+        let record = quick_spec().execute();
+        let cfg = ExperimentConfig::quick();
+        assert_eq!(
+            record.meta.sim_steps,
+            (cfg.warmup + cfg.duration).div_duration(cfg.dt)
+        );
+        assert!(record.meta.wall_ms > 0.0);
+        assert!(record.meta.steps_per_sec > 0.0);
+        assert!(!record.meta.cached);
+    }
+}

@@ -67,7 +67,10 @@ pub struct MachineReport {
 impl MachineReport {
     /// The result for a task (zeros if unknown).
     pub fn task(&self, id: HostTaskId) -> TaskStepResult {
-        self.tasks.get(&id).copied().unwrap_or(TaskStepResult::zero())
+        self.tasks
+            .get(&id)
+            .copied()
+            .unwrap_or(TaskStepResult::zero())
     }
 }
 
@@ -358,7 +361,9 @@ impl HostMachine {
             }
         }
         for (res, &(ti, _ai)) in output.tasks.iter().zip(&keys) {
-            let entry = results.entry(HostTaskId(ti)).or_insert(TaskStepResult::zero());
+            let entry = results
+                .entry(HostTaskId(ti))
+                .or_insert(TaskStepResult::zero());
             // Threads the solver actually ran for this sub-task (after SMT
             // scaling and intensity).
             let w = sub_eff[res.key.0];
@@ -528,7 +533,10 @@ mod tests {
         m.set_desired_threads(a, 24);
         let heavy = m.solve().task(a).units_per_sec;
         assert!(heavy > light * 1.1, "SMT should still add throughput");
-        assert!(heavy < light * 1.6, "but far less than 2x: {heavy} vs {light}");
+        assert!(
+            heavy < light * 1.6,
+            "but far less than 2x: {heavy} vs {light}"
+        );
     }
 
     #[test]
@@ -616,11 +624,12 @@ mod tests {
         let before = m.solve().task(id).units_per_sec;
         // A memory-system change that alters results without changing the
         // solver input: a much slower latency curve.
-        m.mem_mut().set_latency_curve(kelp_mem::latency::LatencyCurve {
-            amplitude: 5.0,
-            exponent: 1.0,
-            rho_cap: 0.9,
-        });
+        m.mem_mut()
+            .set_latency_curve(kelp_mem::latency::LatencyCurve {
+                amplitude: 5.0,
+                exponent: 1.0,
+                rho_cap: 0.9,
+            });
         let after = m.solve().task(id).units_per_sec;
         assert!(
             after < before,

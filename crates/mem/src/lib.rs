@@ -42,5 +42,7 @@ pub use distress::{DistressModel, DistressScope};
 pub use latency::LatencyCurve;
 pub use llc::{CatAllocation, LlcModel};
 pub use prefetch::{PrefetchProfile, PrefetchSetting};
-pub use solver::{AdaptivePrefetch, FixedFlow, MemSystem, SolverInput, SolverOutput, SolverTask, TaskKey};
+pub use solver::{
+    AdaptivePrefetch, FixedFlow, MemSystem, SolverInput, SolverOutput, SolverTask, TaskKey,
+};
 pub use topology::{DomainId, MachineSpec, SncMode, SocketId, SocketSpec};

@@ -135,9 +135,8 @@ impl LlcModel {
                 .map(occupancy_weight)
                 .sum()
         };
-        let pool_count = |class: CacheClass| -> usize {
-            tasks.iter().filter(|t| t.class == class).count()
-        };
+        let pool_count =
+            |class: CacheClass| -> usize { tasks.iter().filter(|t| t.class == class).count() };
         let hp_rate = pool_rate(CacheClass::HighPriority);
         let shared_rate = pool_rate(CacheClass::Shared);
         let hp_n = pool_count(CacheClass::HighPriority);
@@ -172,7 +171,10 @@ impl LlcModel {
                     pool_cap * occupancy_weight(t) / rate_sum
                 };
                 let hit_ratio = hit_ratio(t.working_set, capacity, t.hit_max);
-                CacheShare { capacity, hit_ratio }
+                CacheShare {
+                    capacity,
+                    hit_ratio,
+                }
             })
             .collect()
     }

@@ -362,9 +362,11 @@ impl MemSystem {
         let initial: Vec<f64> = tasks
             .iter()
             .map(|t| {
-                let base = self
-                    .machine
-                    .base_latency_ns(self.canonical_domain(t.home), self.canonical_domain(t.home), self.snc);
+                let base = self.machine.base_latency_ns(
+                    self.canonical_domain(t.home),
+                    self.canonical_domain(t.home),
+                    self.snc,
+                );
                 let stall = t.accesses_per_unit * (1.0 - t.hit_max.clamp(0.0, 1.0)) * base / t.mlp;
                 1e9 / (t.compute_ns_per_unit + stall).max(1e-3)
             })
@@ -372,7 +374,14 @@ impl MemSystem {
 
         // The fixed-point map.
         let eval = |rates: &[f64]| -> Evaluation {
-            self.evaluate(rates, input, &domains, &domain_index, &capacities, &upi_resource)
+            self.evaluate(
+                rates,
+                input,
+                &domains,
+                &domain_index,
+                &capacities,
+                &upi_resource,
+            )
         };
 
         let outcome = solve_fixed_point(
@@ -507,10 +516,7 @@ impl MemSystem {
             for (j, f) in input.fixed_flows.iter().enumerate() {
                 let dd = self.canonical_domain(f.target);
                 let di = domain_index(dd);
-                let crosses = f
-                    .source_socket
-                    .map(|s| s != dd.socket)
-                    .unwrap_or(false);
+                let crosses = f.source_socket.map(|s| s != dd.socket).unwrap_or(false);
                 let mut usage = vec![(
                     di,
                     if crosses {
@@ -556,9 +562,8 @@ impl MemSystem {
                 let di = domain_index(self.canonical_domain(t.home));
                 let factor = ap.factor(pre.utilization(di, capacities[di]));
                 if factor < 1.0 {
-                    let scaled = PrefetchSetting::fraction(
-                        t.prefetch_setting.enabled_fraction * factor,
-                    );
+                    let scaled =
+                        PrefetchSetting::fraction(t.prefetch_setting.enabled_fraction * factor);
                     task_effects[i] = prefetch::effect(t.prefetch_profile, scaled);
                 }
             }
@@ -841,7 +846,11 @@ mod tests {
         });
         assert!(out.converged);
         let r = &out.tasks[0];
-        assert!((r.rate_per_thread - 1e7).abs() / 1e7 < 1e-3, "{}", r.rate_per_thread);
+        assert!(
+            (r.rate_per_thread - 1e7).abs() / 1e7 < 1e-3,
+            "{}",
+            r.rate_per_thread
+        );
         assert_eq!(r.bw_gbps, 0.0);
         assert_eq!(r.speed_factor, 1.0);
     }
@@ -1032,7 +1041,11 @@ mod tests {
             tasks: vec![t],
             fixed_flows: vec![],
         });
-        assert!(out.tasks[0].bw_gbps <= 5.0 + 0.25, "bw {}", out.tasks[0].bw_gbps);
+        assert!(
+            out.tasks[0].bw_gbps <= 5.0 + 0.25,
+            "bw {}",
+            out.tasks[0].bw_gbps
+        );
     }
 
     #[test]

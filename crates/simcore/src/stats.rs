@@ -137,7 +137,9 @@ pub struct SampleSet {
 impl SampleSet {
     /// Creates an empty sample set.
     pub fn new() -> Self {
-        SampleSet { samples: Vec::new() }
+        SampleSet {
+            samples: Vec::new(),
+        }
     }
 
     /// Records one observation. Non-finite values are ignored.
@@ -296,12 +298,12 @@ impl P2Quantile {
             if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
                 let sign = d.signum();
                 let candidate = self.parabolic(i, sign);
-                let new_height = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, sign)
-                };
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, sign)
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += sign;
             }
@@ -319,8 +321,7 @@ impl P2Quantile {
     fn linear(&self, i: usize, sign: f64) -> f64 {
         let j = (i as f64 + sign) as usize;
         self.heights[i]
-            + sign * (self.heights[j] - self.heights[i])
-                / (self.positions[j] - self.positions[i])
+            + sign * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
     /// Current quantile estimate.

@@ -103,7 +103,11 @@ impl PhaseTrace {
     pub fn end(&mut self, t: SimTime) {
         if let Some((kind, start)) = self.open.take() {
             if self.events.len() < self.capacity && t > start {
-                self.events.push(TraceEvent { kind, start, end: t });
+                self.events.push(TraceEvent {
+                    kind,
+                    start,
+                    end: t,
+                });
             }
         }
     }

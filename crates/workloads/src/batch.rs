@@ -19,9 +19,10 @@ use kelp_host::{HostMachine, HostTaskId};
 use kelp_mem::prefetch::PrefetchProfile;
 use kelp_mem::topology::DomainId;
 use kelp_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 
 /// The built-in low-priority workload shapes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BatchKind {
     /// Large-array traversal (synthetic, §V-A).
     Stream,
@@ -257,13 +258,21 @@ impl Workload for BatchWorkload {
     }
 
     fn task_ids(&self) -> Vec<HostTaskId> {
-        self.task.iter().chain(self.remote_task.iter()).copied().collect()
+        self.task
+            .iter()
+            .chain(self.remote_task.iter())
+            .copied()
+            .collect()
     }
 
     fn performance(&self) -> PerfSnapshot {
         let secs = self.measured_ns / 1e9;
         PerfSnapshot {
-            throughput: if secs > 0.0 { self.work_done / secs } else { 0.0 },
+            throughput: if secs > 0.0 {
+                self.work_done / secs
+            } else {
+                0.0
+            },
             tail_latency_ms: None,
         }
     }
@@ -343,7 +352,11 @@ mod tests {
         let mut w = BatchWorkload::new(BatchKind::RemoteDramAggressor, 16);
         w.install(&mut machine, ctx());
         let report = machine.solve();
-        assert!(report.counters.upi_gbps > 1.0, "upi {}", report.counters.upi_gbps);
+        assert!(
+            report.counters.upi_gbps > 1.0,
+            "upi {}",
+            report.counters.upi_gbps
+        );
     }
 
     #[test]

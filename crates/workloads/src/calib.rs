@@ -33,11 +33,9 @@ pub fn standalone_rate(profile: &ThreadProfile, base_latency_ns: f64) -> f64 {
         profile.prefetch,
         kelp_mem::prefetch::PrefetchSetting::all_on(),
     );
-    let stall = profile.accesses_per_unit
-        * (1.0 - profile.hit_max)
-        * (1.0 - pf.coverage)
-        * base_latency_ns
-        / (profile.mlp * pf.mlp_multiplier);
+    let stall =
+        profile.accesses_per_unit * (1.0 - profile.hit_max) * (1.0 - pf.coverage) * base_latency_ns
+            / (profile.mlp * pf.mlp_multiplier);
     1e9 / (profile.compute_ns_per_unit + stall).max(1e-3)
 }
 
@@ -180,7 +178,7 @@ pub fn cnn3_params() -> TrainerParams {
     TrainerParams {
         name: "CNN3".into(),
         platform: Platform::Gpu,
-        accel_ns: 120e6, // 120 ms GPU step (lock-step with PS)
+        accel_ns: 120e6,                     // 120 ms GPU step (lock-step with PS)
         serial_work: rate * threads * 60e-3, // PS aggregation, serial
         overlap_work: rate * threads * 25e-3,
         pcie_ns: 2e6,
@@ -240,7 +238,11 @@ mod tests {
     fn rnn1_knee_sits_below_device_capacity() {
         let p = rnn1_params();
         let device_cap = 1e9 / (p.iterations_per_query as f64 * p.accel_ns_per_iteration);
-        assert!(p.target_qps < device_cap, "{} vs {device_cap}", p.target_qps);
+        assert!(
+            p.target_qps < device_cap,
+            "{} vs {device_cap}",
+            p.target_qps
+        );
         assert!(p.target_qps > 0.7 * device_cap);
     }
 

@@ -142,10 +142,7 @@ mod tests {
             .iter()
             .all(|&x| (0.0..=1.0).contains(&x)));
         // Sorted ascending.
-        assert!(result
-            .p99_per_machine
-            .windows(2)
-            .all(|w| w[0] <= w[1]));
+        assert!(result.p99_per_machine.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

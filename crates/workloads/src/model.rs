@@ -11,6 +11,7 @@ use kelp_host::{HostMachine, HostTaskId};
 use kelp_mem::topology::DomainId;
 use kelp_simcore::time::{SimDuration, SimTime};
 use kelp_simcore::trace::PhaseTrace;
+use serde::{Deserialize, Serialize};
 
 /// Whether a workload is the accelerated ML task or colocated CPU work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,7 +32,7 @@ pub struct InstallCtx {
 }
 
 /// A performance reading since the last [`Workload::reset_metrics`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PerfSnapshot {
     /// Primary throughput metric (steps/s, QPS, or work units/s).
     pub throughput: f64,
@@ -239,9 +240,7 @@ mod tests {
                 lp_domain: kelp_mem::topology::DomainId::new(0, 0),
             },
         );
-        let step = |w: &mut WindowedWorkload<BatchWorkload>,
-                    machine: &mut HostMachine,
-                    ms: u64| {
+        let step = |w: &mut WindowedWorkload<BatchWorkload>, machine: &mut HostMachine, ms: u64| {
             let now = SimTime::from_millis(ms);
             w.pre_step(now, machine);
             let report = machine.solve();

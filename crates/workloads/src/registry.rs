@@ -47,7 +47,10 @@ impl Intensity {
 }
 
 /// One row of Table I.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `&'static str` fields cannot be deserialized from
+/// owned JSON text, and nothing reads this table back in.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Table1Row {
     /// Workload name.
     pub workload: String,

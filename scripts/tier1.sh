@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must stay green on every commit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "tier-1 OK"

@@ -12,7 +12,8 @@ use kelp_workloads::model::WindowedWorkload;
 use kelp_workloads::{BatchKind, BatchWorkload, MlWorkloadKind};
 
 fn quick() -> ExperimentConfig {
-    ExperimentConfig::quick()
+    // Honors KELP_QUICK (default quick; KELP_QUICK=0 runs at full scale).
+    ExperimentConfig::from_env()
 }
 
 /// §VI-C: with per-domain distress delivery, subdomains alone are enough —
@@ -60,7 +61,10 @@ fn adaptive_prefetch_beats_software_toggling_on_throughput() {
     let hardware = run(0.0, true);
     let sw_ml = software.ml_performance.throughput / standalone.throughput;
     let hw_ml = hardware.ml_performance.throughput / standalone.throughput;
-    assert!(hw_ml > sw_ml - 0.06, "HW must protect comparably: {hw_ml} vs {sw_ml}");
+    assert!(
+        hw_ml > sw_ml - 0.06,
+        "HW must protect comparably: {hw_ml} vs {sw_ml}"
+    );
     assert!(
         hardware.cpu_total_throughput() > software.cpu_total_throughput(),
         "HW throttling is finer-grained, so LP work keeps more throughput: {} vs {}",
@@ -92,7 +96,10 @@ fn profile_library_is_consulted() {
         .run();
     let norm_lib = with_lib.ml_performance.throughput / standalone.throughput;
     let norm_def = default.ml_performance.throughput / standalone.throughput;
-    assert!(norm_lib > 0.8, "profile-backed run protects CNN3: {norm_lib}");
+    assert!(
+        norm_lib > 0.8,
+        "profile-backed run protects CNN3: {norm_lib}"
+    );
     assert!(
         (norm_lib - norm_def).abs() < 0.1,
         "profiles tune, not break: {norm_lib} vs {norm_def}"
@@ -138,7 +145,10 @@ fn kelp_adapts_to_windowed_bursts() {
     let after = pf_at(1500);
     assert_eq!(before, 12, "all prefetchers on before the burst");
     assert!(during < before, "burst forces prefetchers off: {during}");
-    assert!(after > during, "recovery after departure: {after} vs {during}");
+    assert!(
+        after > during,
+        "recovery after departure: {after} vs {during}"
+    );
 }
 
 /// The mem_tweak hook composes with ordinary runs and does not disturb an

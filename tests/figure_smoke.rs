@@ -6,7 +6,8 @@ use kelp::experiments;
 use kelp_workloads::{BatchKind, MlWorkloadKind};
 
 fn quick() -> ExperimentConfig {
-    ExperimentConfig::quick()
+    // Honors KELP_QUICK (default quick; KELP_QUICK=0 runs at full scale).
+    ExperimentConfig::from_env()
 }
 
 #[test]
@@ -44,12 +45,8 @@ fn figure5_structure() {
 
 #[test]
 fn figure9_structure() {
-    let r = experiments::mix::run_mix_sweep(
-        MlWorkloadKind::Cnn1,
-        BatchKind::Stitch,
-        &[1, 2],
-        &quick(),
-    );
+    let r =
+        experiments::mix::run_mix_sweep(MlWorkloadKind::Cnn1, BatchKind::Stitch, &[1, 2], &quick());
     assert_eq!(r.series.len(), 4);
     assert!(r.avg_ml_norm(kelp::policy::PolicyKind::Kelp) > 0.0);
     assert!(r.avg_cpu_norm(kelp::policy::PolicyKind::Kelp) > 0.0);
@@ -58,12 +55,7 @@ fn figure9_structure() {
 
 #[test]
 fn figure10_reports_tail() {
-    let r = experiments::mix::run_mix_sweep(
-        MlWorkloadKind::Rnn1,
-        BatchKind::CpuMl,
-        &[4],
-        &quick(),
-    );
+    let r = experiments::mix::run_mix_sweep(MlWorkloadKind::Rnn1, BatchKind::CpuMl, &[4], &quick());
     for s in &r.series {
         assert!(
             s.points[0].ml_tail_norm.is_some(),

@@ -23,7 +23,12 @@ fn medium() -> ExperimentConfig {
     }
 }
 
-fn run_mix(ml: MlWorkloadKind, cpu: BatchKind, threads: usize, policy: PolicyKind) -> ExperimentResult {
+fn run_mix(
+    ml: MlWorkloadKind,
+    cpu: BatchKind,
+    threads: usize,
+    policy: PolicyKind,
+) -> ExperimentResult {
     Experiment::builder(ml, policy)
         .add_cpu_workload(BatchWorkload::new(cpu, threads))
         .config(medium())
@@ -95,12 +100,7 @@ fn kelp_efficiency_beats_subdomain() {
     let bl_ml = m.ml_norm(&m.bl);
     let bl_cpu = m.bl.cpu_total_throughput();
     let eff = |r: &ExperimentResult| {
-        efficiency(
-            m.ml_norm(r),
-            bl_ml,
-            r.cpu_total_throughput() / bl_cpu,
-            1.0,
-        )
+        efficiency(m.ml_norm(r), bl_ml, r.cpu_total_throughput() / bl_cpu, 1.0)
     };
     let e_kp = eff(&m.kp).expect("KP costs some CPU throughput here");
     let e_sd = eff(&m.kpsd).expect("KP-SD costs CPU throughput");
@@ -124,7 +124,10 @@ fn rnn1_tail_latency_ordering() {
     };
     let bl = tail(PolicyKind::Baseline);
     let kp = tail(PolicyKind::Kelp);
-    assert!(bl > base_tail * 1.1, "baseline tail must grow: {bl} vs {base_tail}");
+    assert!(
+        bl > base_tail * 1.1,
+        "baseline tail must grow: {bl} vs {base_tail}"
+    );
     assert!(kp < bl, "Kelp must cut the tail: {kp} vs {bl}");
 }
 
@@ -141,7 +144,10 @@ fn fine_grained_extension_holds_the_upper_bound_shape() {
     );
     let fg_ml = m.ml_norm(&fg);
     let bl_ml = m.ml_norm(&m.bl);
-    assert!(fg_ml > bl_ml + 0.1, "FG must protect: {fg_ml} vs BL {bl_ml}");
+    assert!(
+        fg_ml > bl_ml + 0.1,
+        "FG must protect: {fg_ml} vs BL {bl_ml}"
+    );
     assert!(
         fg.cpu_total_throughput() > 0.5 * m.bl.cpu_total_throughput(),
         "FG must keep meaningful CPU throughput"
