@@ -17,6 +17,7 @@ fn main() {
         Ok(Command::Run(run)) => execute(run, false),
         Ok(Command::Counters(run)) => execute(run, true),
         Ok(Command::Profiles { save }) => profiles(save),
+        Ok(Command::Cache { prune }) => cache(prune),
         Err(e) => {
             eprintln!("error: {e}\n");
             eprint!("{}", cli::HELP);
@@ -40,7 +41,7 @@ fn list() {
     }
     t.print();
     println!("CPU workloads: stream, stitch, cpuml, llc, dram, remote-dram (spec: KIND[:THREADS])");
-    println!("Policies: BL (baseline), CT (core throttle), KP-SD (subdomains), KP (Kelp), FG (fine-grained), MCP (channel partitioning)");
+    println!("Policies: BL (baseline), CT (core throttle), KP-SD (subdomains), KP (Kelp), KP-H (hardened Kelp), FG (fine-grained), MCP (channel partitioning)");
 }
 
 fn execute(run: RunArgs, counters_only: bool) {
@@ -114,6 +115,71 @@ fn execute(run: RunArgs, counters_only: bool) {
         "final actuators: {} LP cores, {} prefetchers, {} backfilled cores",
         snap.lp_cores, snap.lp_prefetchers, snap.hp_backfill_cores
     );
+}
+
+fn cache(prune: bool) {
+    let dir = kelp_bench::cache_dir();
+    let mut entries: Vec<(std::path::PathBuf, u64)> = Vec::new();
+    if let Ok(read) = std::fs::read_dir(&dir) {
+        for entry in read.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "json") {
+                let size = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                entries.push((path, size));
+            }
+        }
+    }
+    let total: u64 = entries.iter().map(|(_, s)| s).sum();
+    println!(
+        "{}: {} entries, {}",
+        dir.display(),
+        entries.len(),
+        human_bytes(total)
+    );
+    if !prune {
+        return;
+    }
+    // Keep exactly the entries a standard sweep would touch, at either of
+    // the two standard timing configurations.
+    let mut keep = std::collections::HashSet::new();
+    for config in [ExperimentConfig::default(), ExperimentConfig::quick()] {
+        for spec in kelp::experiments::repro_specs(&config) {
+            keep.insert(format!("{:016x}.json", spec.hash()));
+        }
+    }
+    let mut pruned = 0usize;
+    let mut freed = 0u64;
+    for (path, size) in &entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if !keep.contains(&name) && std::fs::remove_file(path).is_ok() {
+            pruned += 1;
+            freed += size;
+        }
+    }
+    println!(
+        "pruned {} entries ({}), kept {}",
+        pruned,
+        human_bytes(freed),
+        entries.len() - pruned
+    );
+}
+
+fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
 }
 
 fn profiles(save: Option<String>) {

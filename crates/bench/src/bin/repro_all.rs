@@ -134,6 +134,24 @@ fn main() {
     }
     let _ = write_json(&dir, "fig16_remote_sweep", &fig16);
 
+    println!("=== Fault matrix (extension) ===");
+    let fault_matrix = timed(&mut times, "ext_fault_matrix", || {
+        kelp::experiments::faults::run_fault_matrix_with(&runner, &config)
+    });
+    fault_matrix.table().print();
+    for (cell, message) in fault_matrix.errors() {
+        eprintln!("fault-matrix error in {cell}: {message}");
+    }
+    println!(
+        "hardened controller {} the acceptance bands\n",
+        if fault_matrix.hardened_in_band() {
+            "satisfies"
+        } else {
+            "LEAVES"
+        }
+    );
+    let _ = write_json(&dir, "ext_fault_matrix", &fault_matrix);
+
     println!("=== Wall-clock (jobs = {}) ===", runner.jobs());
     for (name, secs) in &times {
         println!("{name:<28} {secs:>8.2} s");

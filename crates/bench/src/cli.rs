@@ -20,6 +20,12 @@ pub enum Command {
         /// Destination path for the JSON dump (stdout when absent).
         save: Option<String>,
     },
+    /// `kelp-sim cache [--prune]` — report (and optionally prune) the
+    /// content-addressed result cache.
+    Cache {
+        /// Delete entries no current sweep would touch.
+        prune: bool,
+    },
     /// `kelp-sim help`.
     Help,
 }
@@ -69,10 +75,11 @@ pub fn parse_policy(name: &str) -> Result<PolicyKind, ParseError> {
         "CT" | "CORETHROTTLE" => Ok(PolicyKind::CoreThrottle),
         "KP-SD" | "KPSD" | "SUBDOMAIN" => Ok(PolicyKind::KelpSubdomain),
         "KP" | "KELP" => Ok(PolicyKind::Kelp),
+        "KP-H" | "KPH" | "HARDENED" => Ok(PolicyKind::KelpHardened),
         "FG" | "FINEGRAINED" => Ok(PolicyKind::FineGrained),
         "MCP" | "CHANNEL" => Ok(PolicyKind::Mcp),
         other => Err(ParseError(format!(
-            "unknown policy '{other}' (expected BL|CT|KP-SD|KP|FG|MCP)"
+            "unknown policy '{other}' (expected BL|CT|KP-SD|KP|KP-H|FG|MCP)"
         ))),
     }
 }
@@ -143,6 +150,16 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             };
             Ok(Command::Profiles { save })
         }
+        "cache" => {
+            let mut prune = false;
+            for flag in &args[1..] {
+                match flag.as_str() {
+                    "--prune" => prune = true,
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Cache { prune })
+        }
         "run" | "counters" => {
             let mut run = RunArgs {
                 ml: None,
@@ -182,7 +199,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
         }
         other => Err(ParseError(format!(
-            "unknown command '{other}' (expected list|run|counters|profiles|help)"
+            "unknown command '{other}' (expected list|run|counters|profiles|cache|help)"
         ))),
     }
 }
@@ -200,6 +217,9 @@ USAGE:
       Run and print the four Kelp runtime measurements.
   kelp-sim profiles [--save PATH]
       Print (or save as JSON) the default per-application profile library.
+  kelp-sim cache [--prune]
+      Report the result cache's entry count and size; with --prune, delete
+      entries that no standard sweep (default or quick config) would touch.
 
 EXAMPLES:
   kelp-sim run --ml CNN1 --policy KP --cpu stream:16
@@ -255,6 +275,8 @@ mod tests {
     fn policy_aliases() {
         assert_eq!(parse_policy("kelp").unwrap(), PolicyKind::Kelp);
         assert_eq!(parse_policy("KP-SD").unwrap(), PolicyKind::KelpSubdomain);
+        assert_eq!(parse_policy("KP-H").unwrap(), PolicyKind::KelpHardened);
+        assert_eq!(parse_policy("hardened").unwrap(), PolicyKind::KelpHardened);
         assert_eq!(parse_policy("fg").unwrap(), PolicyKind::FineGrained);
         assert_eq!(parse_policy("mcp").unwrap(), PolicyKind::Mcp);
         assert!(parse_policy("nope").is_err());
@@ -293,5 +315,18 @@ mod tests {
             }
         );
         assert!(parse(&argv(&["profiles", "--save"])).is_err());
+    }
+
+    #[test]
+    fn cache_command() {
+        assert_eq!(
+            parse(&argv(&["cache"])).unwrap(),
+            Command::Cache { prune: false }
+        );
+        assert_eq!(
+            parse(&argv(&["cache", "--prune"])).unwrap(),
+            Command::Cache { prune: true }
+        );
+        assert!(parse(&argv(&["cache", "--bogus"])).is_err());
     }
 }

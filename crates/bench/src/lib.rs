@@ -48,8 +48,13 @@ pub fn config_from(args: &[String]) -> ExperimentConfig {
 }
 
 /// Directory where `repro_all` and the figure binaries drop JSON results.
+/// `KELP_RESULTS_DIR` overrides the default `results/` so smoke runs (e.g.
+/// the tier-1 fault-matrix gate) can write somewhere disposable instead of
+/// clobbering the checked-in default-config artifacts.
 pub fn results_dir() -> std::path::PathBuf {
-    std::path::PathBuf::from("results")
+    std::env::var_os("KELP_RESULTS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results"))
 }
 
 /// Directory of the content-addressed run cache (`results/cache/`).

@@ -186,6 +186,18 @@ impl KelpController {
         (action_h, action_l)
     }
 
+    /// Drops into the conservative Subdomain safe state: backfill fully
+    /// withdrawn, low-priority prefetchers disabled, low-priority tasks
+    /// keeping (only) their own subdomain cores. This is the KP-SD posture
+    /// the hardened policy falls back to when it can no longer trust its
+    /// sensors or actuators: it cannot hurt the ML task, whatever the
+    /// (unknown) true contention is.
+    pub fn enter_safe_state(&mut self) {
+        self.cores_hp = self.config.min_cores_hp;
+        self.cores_lp = self.config.max_cores_lp;
+        self.prefetchers_lp = 0;
+    }
+
     /// Invariant check used by tests: all values within bounds.
     pub fn invariants_hold(&self) -> bool {
         (self.config.min_cores_hp..=self.config.max_cores_hp).contains(&self.cores_hp)
@@ -360,6 +372,17 @@ mod tests {
             min_cores_lp: 1,
             max_cores_lp: 12,
         });
+    }
+
+    #[test]
+    fn safe_state_is_the_subdomain_posture() {
+        let mut c = KelpController::new(config());
+        c.config_low_priority(Action::Throttle);
+        c.enter_safe_state();
+        assert_eq!(c.cores_hp(), 0);
+        assert_eq!(c.cores_lp(), 12);
+        assert_eq!(c.prefetchers_lp(), 0);
+        assert!(c.invariants_hold());
     }
 
     #[test]

@@ -10,7 +10,10 @@
 use crate::measure::{MeasurementAvg, Measurements};
 use crate::policy::{Policy, PolicyCtx, PolicyKind, PolicySnapshot};
 use kelp_host::{HostMachine, HostTaskId};
+use kelp_mem::solver::FixedFlow;
 use kelp_mem::topology::{MachineSpec, SocketId};
+use kelp_mem::MemCounters;
+use kelp_simcore::fault::{CounterFault, FaultInjector, FaultKind, FaultPlan};
 use kelp_simcore::time::SimTime;
 use kelp_workloads::model::{InstallCtx, PerfSnapshot, Workload, WorkloadKind};
 use kelp_workloads::MlWorkloadKind;
@@ -72,6 +75,7 @@ pub struct ExperimentBuilder {
     policy: Box<dyn Policy>,
     config: ExperimentConfig,
     mem_tweak: Option<MemTweak>,
+    faults: Option<FaultInjector>,
 }
 
 impl std::fmt::Debug for ExperimentBuilder {
@@ -97,6 +101,7 @@ impl Experiment {
             policy: policy.build(),
             config: ExperimentConfig::default(),
             mem_tweak: None,
+            faults: None,
         }
     }
 
@@ -114,6 +119,7 @@ impl Experiment {
             policy: policy.build(),
             config: ExperimentConfig::default(),
             mem_tweak: None,
+            faults: None,
         }
     }
 
@@ -126,6 +132,7 @@ impl Experiment {
             policy: policy.build(),
             config: ExperimentConfig::default(),
             mem_tweak: None,
+            faults: None,
         }
     }
 }
@@ -170,6 +177,17 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Injects a fault plan, deterministically bound to `seed`. An empty
+    /// plan is a no-op: the run is bit-identical to one with no plan at all.
+    pub fn fault_plan(mut self, plan: FaultPlan, seed: u64) -> Self {
+        self.faults = if plan.is_empty() {
+            None
+        } else {
+            Some(plan.injector(seed))
+        };
+        self
+    }
+
     /// Runs the experiment to completion.
     pub fn run(self) -> ExperimentResult {
         let ExperimentBuilder {
@@ -179,6 +197,7 @@ impl ExperimentBuilder {
             mut policy,
             config,
             mem_tweak,
+            faults,
         } = self;
 
         let socket = SocketId(0);
@@ -226,15 +245,87 @@ impl ExperimentBuilder {
         let mut policy_series = Vec::new();
         let mut warmed_up = false;
 
+        // Fault-injection state. All of it is driven by pure functions of
+        // (plan, seed, now), so the faulty trajectory is as deterministic as
+        // the healthy one.
+        let churn_flow = faults
+            .as_ref()
+            .filter(|inj| inj.plan().has(FaultKind::WorkloadChurn))
+            .map(|_| {
+                machine.add_flow(FixedFlow {
+                    target: lp_domain,
+                    source_socket: None,
+                    gbps: 0.0,
+                    weight: 1.0,
+                })
+            });
+        let track_stale = faults
+            .as_ref()
+            .is_some_and(|inj| inj.plan().has(FaultKind::CounterStale));
+        let mut last_churn = 0.0_f64;
+        let mut last_derate = 1.0_f64;
+        let mut last_live: Option<MemCounters> = None;
+        let mut frozen: Option<MemCounters> = None;
+
         while now < end {
             for w in ml.iter_mut().chain(cpu.iter_mut()) {
                 w.pre_step(now, &mut machine);
             }
+            if let Some(inj) = &faults {
+                // Physical faults first: they change what the solver sees.
+                let derate = inj.channel_derate(now);
+                if derate != last_derate {
+                    machine.mem_mut().set_channel_derate(socket, derate);
+                    last_derate = derate;
+                }
+                if let Some(flow) = churn_flow {
+                    let gbps = inj.churn_gbps(now);
+                    if gbps != last_churn {
+                        machine.set_flow_gbps(flow, gbps);
+                        last_churn = gbps;
+                    }
+                }
+            }
             let report = machine.solve();
-            let m = Measurements::from_counters(&report.counters, socket, hp_domain, lp_domain);
-            sample_avg.add(m);
+            // What the memory system actually did this step (reporting).
+            let true_m =
+                Measurements::from_counters(&report.counters, socket, hp_domain, lp_domain);
+            // What the runtime's counter read returned (policy input).
+            match faults.as_ref().map(|inj| inj.counter_fault(now)) {
+                None | Some(CounterFault::Live) => {
+                    if track_stale {
+                        last_live = Some(report.counters.clone());
+                        frozen = None;
+                    }
+                    sample_avg.add(true_m);
+                }
+                Some(CounterFault::Dropped) => {
+                    frozen = None;
+                    sample_avg.add_invalid(Measurements::default());
+                }
+                Some(CounterFault::Stale) => {
+                    let snap = frozen.get_or_insert_with(|| {
+                        last_live.clone().unwrap_or_else(|| report.counters.clone())
+                    });
+                    let m = Measurements::from_counters(snap, socket, hp_domain, lp_domain);
+                    sample_avg.add_stale(m);
+                }
+                Some(CounterFault::Spiked(factor)) => {
+                    if track_stale {
+                        last_live = Some(report.counters.clone());
+                        frozen = None;
+                    }
+                    let m = Measurements::from_counters(
+                        &report.counters.scaled(factor),
+                        socket,
+                        hp_domain,
+                        lp_domain,
+                    );
+                    sample_avg.add(m);
+                }
+            }
             if now >= warmup_end {
-                window_avg.add(m);
+                window_avg.add(true_m);
             }
             for w in ml.iter_mut().chain(cpu.iter_mut()) {
                 w.post_step(now, config.dt, &report);
@@ -248,7 +339,16 @@ impl ExperimentBuilder {
                 }
             }
             if now >= next_sample {
-                policy.on_sample(sample_avg.take(), &mut machine, &ctx);
+                let sample = sample_avg.take_sample();
+                if let Some(inj) = &faults {
+                    // The silent-actuation coin is drawn once per sampling
+                    // period, keyed on the period boundary.
+                    machine.set_actuation_fault(inj.actuation_noop(now));
+                    policy.on_sample_checked(&sample, &mut machine, &ctx);
+                    machine.set_actuation_fault(false);
+                } else {
+                    policy.on_sample_checked(&sample, &mut machine, &ctx);
+                }
                 policy_series.push((now, policy.snapshot()));
                 next_sample += config.sample_period;
             }

@@ -14,6 +14,7 @@
 //! | [`ablation`] | sampling-period / backfill / watermark ablations |
 //! | [`cluster`] | §II-D tail amplification at cluster scale |
 //! | [`scorecard`] | programmatic check of every headline claim |
+//! | [`faults`] | fault matrix — KP vs KP-H under injected faults |
 //!
 //! Each harness returns a serializable result struct and can render itself
 //! as a text table; the `kelp-bench` binaries are thin wrappers.
@@ -21,6 +22,7 @@
 pub mod ablation;
 pub mod backpressure;
 pub mod cluster;
+pub mod faults;
 pub mod fleet;
 pub mod knee;
 pub mod mix;
@@ -56,6 +58,56 @@ pub fn standalone_reference_with(
 /// Serial convenience wrapper around [`standalone_reference_with`].
 pub fn standalone_reference(ml: MlWorkloadKind, config: &ExperimentConfig) -> PerfSnapshot {
     standalone_reference_with(&Runner::serial(), ml, config)
+}
+
+/// The union of every spec the `repro_all` sweep enumerates at `config`.
+///
+/// `kelp-sim cache --prune` keeps exactly these entries (plus the scorecard
+/// extras, which are a subset of [`overall::specs`]) and deletes the rest,
+/// so the cache never accumulates entries from abandoned configurations.
+/// The literal grids here mirror the defaults baked into each figure's
+/// `figureN_with` wrapper.
+pub fn repro_specs(config: &ExperimentConfig) -> Vec<RunSpec> {
+    use kelp_workloads::BatchKind;
+    let mut specs = Vec::new();
+    specs.extend(timeline::specs(config));
+    // Figure 5 and Figure 15 share the sensitivity harness.
+    specs.extend(sensitivity::specs(
+        &[BatchKind::LlcAggressor, BatchKind::DramAggressor],
+        config,
+    ));
+    specs.extend(sensitivity::specs(
+        &[
+            BatchKind::LlcAggressor,
+            BatchKind::DramAggressor,
+            BatchKind::RemoteDramAggressor,
+        ],
+        config,
+    ));
+    specs.extend(backpressure::specs(config));
+    // Figures 9/11 and 10/12 (the mix sweeps' default grids).
+    specs.extend(mix::specs(
+        MlWorkloadKind::Cnn1,
+        BatchKind::Stitch,
+        &[1, 2, 3, 4, 5, 6],
+        config,
+    ));
+    specs.extend(mix::specs(
+        MlWorkloadKind::Rnn1,
+        BatchKind::CpuMl,
+        &[2, 4, 6, 8, 10, 12, 14, 16],
+        config,
+    ));
+    specs.extend(overall::specs(config));
+    // The knee sweep's default offered loads.
+    let offered: Vec<f64> = (0..10).map(|i| 100.0 + 40.0 * i as f64).collect();
+    specs.extend(knee::specs(&offered, config));
+    specs.extend(remote::specs(
+        &[MlWorkloadKind::Cnn1, MlWorkloadKind::Cnn2],
+        config,
+    ));
+    specs.extend(faults::specs(config));
+    specs
 }
 
 #[cfg(test)]

@@ -6,6 +6,12 @@
 //! that sample, extracted from a [`MemCounters`] snapshot; [`MeasurementAvg`]
 //! averages the per-step snapshots between two runtime sampling points, the
 //! way hardware counters integrate over the sampling interval.
+//!
+//! On real hardware those counter reads are not always healthy: reads drop,
+//! collection daemons wedge, and transient spikes corrupt individual values.
+//! [`Sample`] carries the interval average together with validity/staleness
+//! flags, and [`SampleFilter`] provides the hardened controller's input
+//! conditioning: windowed outlier rejection followed by EWMA smoothing.
 
 use kelp_mem::topology::{DomainId, SocketId};
 use kelp_mem::MemCounters;
@@ -47,11 +53,40 @@ impl Measurements {
     }
 }
 
-/// Accumulates per-step measurements into an interval average.
+/// One sampling-period reading handed to a policy, with sensor health.
+///
+/// `measurements` is always the average of whatever the PMU reads returned
+/// over the period — zeros for dropped reads, frozen values for stale ones —
+/// exactly what a runtime that does not check health would consume.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// The interval-averaged measurements (possibly garbage; see flags).
+    pub measurements: Measurements,
+    /// False when the majority of the period's counter reads failed.
+    pub valid: bool,
+    /// True when the majority of the period's reads returned stale data.
+    pub stale: bool,
+}
+
+impl Sample {
+    /// A sample from a fully healthy sensor path.
+    pub fn healthy(measurements: Measurements) -> Self {
+        Sample {
+            measurements,
+            valid: true,
+            stale: false,
+        }
+    }
+}
+
+/// Accumulates per-step measurements into an interval average, tracking how
+/// many of the contributing counter reads were dropped or stale.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MeasurementAvg {
     sum: Measurements,
     count: u64,
+    invalid: u64,
+    stale: u64,
 }
 
 impl MeasurementAvg {
@@ -60,8 +95,25 @@ impl MeasurementAvg {
         MeasurementAvg::default()
     }
 
-    /// Adds one step's sample.
+    /// Adds one step's sample from a healthy counter read.
     pub fn add(&mut self, m: Measurements) {
+        self.accumulate(m);
+    }
+
+    /// Adds one step's reading from a *failed* counter read (`m` is what the
+    /// runtime saw instead of real data — typically zeros).
+    pub fn add_invalid(&mut self, m: Measurements) {
+        self.accumulate(m);
+        self.invalid += 1;
+    }
+
+    /// Adds one step's reading served from a stale snapshot.
+    pub fn add_stale(&mut self, m: Measurements) {
+        self.accumulate(m);
+        self.stale += 1;
+    }
+
+    fn accumulate(&mut self, m: Measurements) {
         self.sum.socket_bw_gbps += m.socket_bw_gbps;
         self.sum.socket_latency_ns += m.socket_latency_ns;
         self.sum.socket_saturation += m.socket_saturation;
@@ -76,6 +128,13 @@ impl MeasurementAvg {
 
     /// Returns the average and resets the accumulator.
     pub fn take(&mut self) -> Measurements {
+        self.take_sample().measurements
+    }
+
+    /// Returns the average with sensor-health flags and resets the
+    /// accumulator. The period is invalid when most reads failed, stale when
+    /// most reads were served from a frozen snapshot.
+    pub fn take_sample(&mut self) -> Sample {
         let n = self.count.max(1) as f64;
         let avg = Measurements {
             socket_bw_gbps: self.sum.socket_bw_gbps / n,
@@ -83,8 +142,118 @@ impl MeasurementAvg {
             socket_saturation: self.sum.socket_saturation / n,
             hp_domain_bw_gbps: self.sum.hp_domain_bw_gbps / n,
         };
+        let sample = Sample {
+            measurements: avg,
+            valid: self.invalid * 2 <= self.count,
+            stale: self.stale * 2 > self.count,
+        };
         *self = MeasurementAvg::default();
-        avg
+        sample
+    }
+}
+
+/// Per-field absolute floors below which relative deviation is meaningless
+/// (idle readings jitter around zero).
+const OUTLIER_FLOORS: Measurements = Measurements {
+    socket_bw_gbps: 2.0,
+    socket_latency_ns: 30.0,
+    socket_saturation: 0.08,
+    hp_domain_bw_gbps: 1.0,
+};
+
+/// Verdict from [`SampleFilter::offer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FilterVerdict {
+    /// The sample is consistent with the recent window; carries the
+    /// EWMA-smoothed measurements to act on.
+    Accepted(Measurements),
+    /// The sample deviates too far from the window median — treat it as a
+    /// transient outlier and hold state.
+    Rejected,
+}
+
+/// Windowed outlier rejection followed by EWMA smoothing.
+///
+/// Every offered sample enters the history window — including rejected ones
+/// — so a genuine level shift (workload phase change) moves the median
+/// within half a window and subsequent samples are accepted again. Only
+/// accepted samples advance the EWMA.
+#[derive(Debug, Clone)]
+pub struct SampleFilter {
+    window: Vec<Measurements>,
+    window_len: usize,
+    threshold: f64,
+    alpha: f64,
+    smoothed: Option<Measurements>,
+}
+
+impl SampleFilter {
+    /// Creates a filter with the given history window length, relative
+    /// outlier threshold (a sample is rejected when any field deviates from
+    /// the window median by more than `threshold ×` the median, subject to
+    /// per-field absolute floors), and EWMA coefficient `alpha` (weight of
+    /// the newest accepted sample).
+    pub fn new(window_len: usize, threshold: f64, alpha: f64) -> Self {
+        SampleFilter {
+            window: Vec::new(),
+            window_len: window_len.max(3),
+            threshold: threshold.max(0.0),
+            alpha: alpha.clamp(0.0, 1.0),
+            smoothed: None,
+        }
+    }
+
+    /// Resets all history (used when leaving the safe state).
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.smoothed = None;
+    }
+
+    /// Offers one period's measurements; returns whether to act on them.
+    pub fn offer(&mut self, m: Measurements) -> FilterVerdict {
+        let outlier = self.window.len() >= 3 && self.is_outlier(&m);
+        self.push(m);
+        if outlier {
+            return FilterVerdict::Rejected;
+        }
+        let a = self.alpha;
+        let s = match self.smoothed {
+            None => m,
+            Some(prev) => Measurements {
+                socket_bw_gbps: a * m.socket_bw_gbps + (1.0 - a) * prev.socket_bw_gbps,
+                socket_latency_ns: a * m.socket_latency_ns + (1.0 - a) * prev.socket_latency_ns,
+                socket_saturation: a * m.socket_saturation + (1.0 - a) * prev.socket_saturation,
+                hp_domain_bw_gbps: a * m.hp_domain_bw_gbps + (1.0 - a) * prev.hp_domain_bw_gbps,
+            },
+        };
+        self.smoothed = Some(s);
+        FilterVerdict::Accepted(s)
+    }
+
+    fn push(&mut self, m: Measurements) {
+        if self.window.len() == self.window_len {
+            self.window.remove(0);
+        }
+        self.window.push(m);
+    }
+
+    fn is_outlier(&self, m: &Measurements) -> bool {
+        let fields: [(fn(&Measurements) -> f64, f64); 4] = [
+            (|x| x.socket_bw_gbps, OUTLIER_FLOORS.socket_bw_gbps),
+            (|x| x.socket_latency_ns, OUTLIER_FLOORS.socket_latency_ns),
+            (|x| x.socket_saturation, OUTLIER_FLOORS.socket_saturation),
+            (|x| x.hp_domain_bw_gbps, OUTLIER_FLOORS.hp_domain_bw_gbps),
+        ];
+        for (get, floor) in fields {
+            let mut vals: Vec<f64> = self.window.iter().map(|w| get(w)).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).expect("finite measurement"));
+            let median = vals[vals.len() / 2];
+            let scale = median.abs().max(floor);
+            if (get(m) - median).abs() > self.threshold * scale {
+                return true;
+            }
+        }
+        false
     }
 }
 
@@ -177,5 +346,72 @@ mod tests {
     fn empty_take_is_zero() {
         let mut avg = MeasurementAvg::new();
         assert_eq!(avg.take(), Measurements::default());
+    }
+
+    fn m(bw: f64) -> Measurements {
+        Measurements {
+            socket_bw_gbps: bw,
+            socket_latency_ns: 100.0,
+            socket_saturation: 0.2,
+            hp_domain_bw_gbps: 8.0,
+        }
+    }
+
+    #[test]
+    fn validity_tracks_the_majority_of_reads() {
+        let mut avg = MeasurementAvg::new();
+        avg.add(m(10.0));
+        avg.add_invalid(Measurements::default());
+        let s = avg.take_sample();
+        assert!(s.valid, "one bad read of two is still a valid period");
+        assert!(!s.stale);
+
+        avg.add(m(10.0));
+        avg.add_invalid(Measurements::default());
+        avg.add_invalid(Measurements::default());
+        let s = avg.take_sample();
+        assert!(!s.valid, "majority-failed period must be invalid");
+
+        avg.add_stale(m(10.0));
+        avg.add_stale(m(10.0));
+        avg.add(m(12.0));
+        let s = avg.take_sample();
+        assert!(s.valid);
+        assert!(s.stale, "majority-stale period must be flagged");
+    }
+
+    #[test]
+    fn filter_rejects_spikes_but_follows_level_shifts() {
+        let mut f = SampleFilter::new(6, 2.0, 1.0);
+        for _ in 0..6 {
+            assert!(matches!(f.offer(m(10.0)), FilterVerdict::Accepted(_)));
+        }
+        // A 10x spike against a 10 GB/s median is an outlier.
+        assert_eq!(f.offer(m(100.0)), FilterVerdict::Rejected);
+        // Back to normal: accepted again.
+        assert!(matches!(f.offer(m(10.0)), FilterVerdict::Accepted(_)));
+        // A persistent level shift is rejected at first...
+        let mut accepted = 0;
+        for _ in 0..8 {
+            if matches!(f.offer(m(45.0)), FilterVerdict::Accepted(_)) {
+                accepted += 1;
+            }
+        }
+        // ...but once the window median moves, the new level is accepted.
+        assert!(accepted >= 4, "level shift must be adopted: {accepted}/8");
+    }
+
+    #[test]
+    fn ewma_smooths_accepted_samples() {
+        let mut f = SampleFilter::new(4, 10.0, 0.5);
+        f.offer(m(10.0));
+        let FilterVerdict::Accepted(s) = f.offer(m(20.0)) else {
+            panic!("expected acceptance");
+        };
+        assert!(
+            (s.socket_bw_gbps - 15.0).abs() < 1e-12,
+            "{}",
+            s.socket_bw_gbps
+        );
     }
 }

@@ -1,0 +1,495 @@
+//! Kelp-Hardened (KP-H): the Kelp controller wrapped in the defensive layer
+//! a production runtime needs when its sensor/actuator loop degrades.
+//!
+//! The as-shipped [`KelpPolicy`](super::KelpPolicy) assumes every counter
+//! read is fresh and every actuation lands. On real hardware neither holds:
+//! counter reads drop or go stale, transient spikes corrupt samples, and
+//! MSR writes or cpuset migrations silently fail. KP-H adds, in order of
+//! the control path:
+//!
+//! 1. **Sample validity** — periods whose counter reads mostly failed or
+//!    froze ([`Sample`] flags) are discarded; the controller holds state.
+//! 2. **Outlier rejection + EWMA smoothing** — a [`SampleFilter`] rejects
+//!    samples far from the recent window median and smooths the rest, so a
+//!    single corrupt sample cannot whipsaw the actuators.
+//! 3. **Debounced watermark transitions** — Algorithm 1's Throttle/Boost
+//!    decisions must repeat for `debounce` consecutive periods before
+//!    Algorithm 2 acts, and a direction reversal restarts the count.
+//! 4. **Actuation read-back verification** — after every apply, the next
+//!    period reads the machine state back; on mismatch the write is
+//!    re-issued with capped exponential backoff (in sampling periods).
+//! 5. **Safe-state fallback** — after `safe_after` consecutive
+//!    invalid/failed periods the controller drops to the conservative
+//!    Subdomain posture (no backfill, prefetchers off) and stays there
+//!    until `recover_after` consecutive healthy periods pass.
+
+use super::{
+    apply_lp_allocations, apply_standard_cat, Policy, PolicyCtx, PolicyKind, PolicySnapshot,
+};
+use crate::algorithm::{
+    decide_high_priority, decide_low_priority, Action, KelpController, KelpControllerConfig,
+};
+use crate::measure::{FilterVerdict, Measurements, Sample, SampleFilter};
+use crate::profile::{ProfileLibrary, WatermarkProfile};
+use kelp_host::machine::Actuator;
+use kelp_host::HostMachine;
+use kelp_mem::prefetch::PrefetchSetting;
+use kelp_mem::topology::SncMode;
+
+/// Tunables for the hardened control loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardenedConfig {
+    /// History window length for outlier rejection.
+    pub outlier_window: usize,
+    /// Relative deviation from the window median that marks an outlier.
+    pub outlier_threshold: f64,
+    /// EWMA weight of the newest accepted sample.
+    pub ewma_alpha: f64,
+    /// Consecutive periods a Throttle/Boost decision must repeat before the
+    /// controller acts on it.
+    pub debounce: u32,
+    /// Cap (in sampling periods) on the exponential retry backoff after a
+    /// failed actuation.
+    pub backoff_cap: u32,
+    /// Consecutive invalid/failed periods before the safe-state fallback.
+    pub safe_after: u32,
+    /// Consecutive healthy periods before leaving the safe state.
+    pub recover_after: u32,
+}
+
+impl Default for HardenedConfig {
+    fn default() -> Self {
+        HardenedConfig {
+            outlier_window: 8,
+            outlier_threshold: 2.5,
+            ewma_alpha: 0.6,
+            debounce: 2,
+            backoff_cap: 4,
+            safe_after: 4,
+            recover_after: 3,
+        }
+    }
+}
+
+/// Actuator state we believe we programmed, for read-back verification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Expected {
+    lp_cores: u32,
+    backfill: u32,
+    prefetch_fraction: f64,
+}
+
+/// The hardened Kelp runtime (KP-H). Full Kelp mechanisms (subdomains +
+/// prefetcher toggling + backfill) behind the defensive layer.
+#[derive(Debug)]
+pub struct HardenedKelpPolicy {
+    cfg: HardenedConfig,
+    library: Option<ProfileLibrary>,
+    profile: Option<WatermarkProfile>,
+    controller: Option<KelpController>,
+    filter: SampleFilter,
+    /// Candidate action + consecutive-period count, per subdomain.
+    pending_h: Option<(Action, u32)>,
+    pending_l: Option<(Action, u32)>,
+    expected: Option<Expected>,
+    retry_attempts: u32,
+    retry_cooldown: u32,
+    bad_periods: u32,
+    good_periods: u32,
+    safe: bool,
+}
+
+impl HardenedKelpPolicy {
+    /// Creates the policy with the given tunables.
+    pub fn new(cfg: HardenedConfig) -> Self {
+        HardenedKelpPolicy {
+            filter: SampleFilter::new(cfg.outlier_window, cfg.outlier_threshold, cfg.ewma_alpha),
+            cfg,
+            library: None,
+            profile: None,
+            controller: None,
+            pending_h: None,
+            pending_l: None,
+            expected: None,
+            retry_attempts: 0,
+            retry_cooldown: 0,
+            bad_periods: 0,
+            good_periods: 0,
+            safe: false,
+        }
+    }
+
+    /// Attaches a per-application profile library (§IV-D).
+    pub fn with_profile_library(mut self, library: ProfileLibrary) -> Self {
+        self.library = Some(library);
+        self
+    }
+
+    /// Whether the policy is currently in the safe-state fallback.
+    pub fn in_safe_state(&self) -> bool {
+        self.safe
+    }
+
+    /// Programs the controller state into the machine and records what we
+    /// expect the next read-back to show.
+    fn apply(&mut self, machine: &mut HostMachine, ctx: &PolicyCtx) {
+        let Some(c) = self.controller else {
+            return;
+        };
+        apply_lp_allocations(machine, ctx, c.cores_lp(), c.cores_hp());
+        let setting = PrefetchSetting::fraction(c.prefetcher_fraction());
+        for &(task, _) in &ctx.lp_tasks {
+            machine.set_prefetchers(task, setting);
+        }
+        self.expected = if ctx.lp_tasks.is_empty() {
+            None
+        } else {
+            Some(Expected {
+                lp_cores: c.cores_lp(),
+                backfill: c.cores_hp(),
+                prefetch_fraction: c.prefetcher_fraction(),
+            })
+        };
+    }
+
+    /// Reads the actuator state back and compares against what we wrote.
+    fn verify(&self, machine: &HostMachine, ctx: &PolicyCtx) -> bool {
+        let Some(exp) = self.expected else {
+            return true;
+        };
+        let (mut lp, mut bf) = (0u32, 0u32);
+        for &(task, _) in &ctx.lp_tasks {
+            for a in machine.allocations(task) {
+                if a.domain == ctx.lp_domain {
+                    lp += a.cores as u32;
+                } else if a.domain == ctx.hp_domain {
+                    bf += a.cores as u32;
+                }
+            }
+        }
+        let pf = ctx
+            .lp_tasks
+            .first()
+            .map(|&(task, _)| machine.prefetchers(task).enabled_fraction)
+            .unwrap_or(exp.prefetch_fraction);
+        lp == exp.lp_cores && bf == exp.backfill && (pf - exp.prefetch_fraction).abs() < 1e-9
+    }
+
+    /// Debounces one subdomain's decision: `action` must repeat `need`
+    /// consecutive periods before it is passed through; a reversal restarts
+    /// the count; Nop clears it.
+    fn debounce(pending: &mut Option<(Action, u32)>, action: Action, need: u32) -> Action {
+        if action == Action::Nop {
+            *pending = None;
+            return Action::Nop;
+        }
+        match pending {
+            Some((a, n)) if *a == action => {
+                *n = n.saturating_add(1);
+                if *n >= need {
+                    action
+                } else {
+                    Action::Nop
+                }
+            }
+            _ => {
+                *pending = Some((action, 1));
+                if need <= 1 {
+                    action
+                } else {
+                    Action::Nop
+                }
+            }
+        }
+    }
+}
+
+impl Policy for HardenedKelpPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::KelpHardened
+    }
+
+    fn snc_mode(&self) -> SncMode {
+        SncMode::Enabled
+    }
+
+    fn setup(&mut self, machine: &mut HostMachine, ctx: &PolicyCtx) {
+        apply_standard_cat(machine, ctx.socket);
+        let watermarks = match (&self.library, &ctx.ml_name) {
+            (Some(lib), Some(name)) => {
+                lib.watermarks_for(name, machine.mem().machine(), SncMode::Enabled, ctx.socket)
+            }
+            _ => {
+                WatermarkProfile::for_machine(machine.mem().machine(), SncMode::Enabled, ctx.socket)
+            }
+        };
+        self.profile = Some(watermarks);
+        let lp_cores = machine.domain_cores(ctx.lp_domain) as u32;
+        let hp_cores = machine.domain_cores(ctx.hp_domain) as u32;
+        let reserved = ctx
+            .hp_task
+            .map(|t| machine.task_spec(t).desired_threads as u32)
+            .unwrap_or(0);
+        self.controller = Some(KelpController::new(KelpControllerConfig {
+            min_cores_hp: 0,
+            max_cores_hp: hp_cores.saturating_sub(reserved),
+            min_cores_lp: 1,
+            max_cores_lp: lp_cores,
+        }));
+        self.apply(machine, ctx);
+    }
+
+    fn on_sample(&mut self, m: Measurements, machine: &mut HostMachine, ctx: &PolicyCtx) {
+        // Without health flags, treat the reading as healthy.
+        self.on_sample_checked(&Sample::healthy(m), machine, ctx);
+    }
+
+    fn on_sample_checked(&mut self, sample: &Sample, machine: &mut HostMachine, ctx: &PolicyCtx) {
+        let (Some(profile), Some(_)) = (self.profile, self.controller) else {
+            return;
+        };
+
+        // 1. Read back the previous period's actuation. On mismatch,
+        //    re-issue with capped exponential backoff (in periods).
+        let verified = self.verify(machine, ctx);
+        if verified {
+            self.retry_attempts = 0;
+            self.retry_cooldown = 0;
+        } else if self.retry_cooldown > 0 {
+            self.retry_cooldown -= 1;
+        } else {
+            self.retry_attempts = self.retry_attempts.saturating_add(1);
+            let backoff = 1u32 << (self.retry_attempts - 1).min(8);
+            self.retry_cooldown = backoff.min(self.cfg.backoff_cap).saturating_sub(1);
+            self.apply(machine, ctx);
+        }
+
+        // 2. Condition the sample: discard invalid/stale periods outright,
+        //    then filter outliers and smooth.
+        let conditioned = if !sample.valid || sample.stale {
+            None
+        } else {
+            match self.filter.offer(sample.measurements) {
+                FilterVerdict::Accepted(m) => Some(m),
+                FilterVerdict::Rejected => None,
+            }
+        };
+
+        let healthy = verified && conditioned.is_some();
+        if healthy {
+            self.good_periods = self.good_periods.saturating_add(1);
+            self.bad_periods = 0;
+        } else {
+            self.bad_periods = self.bad_periods.saturating_add(1);
+            self.good_periods = 0;
+        }
+
+        // 3. Safe-state transitions.
+        if self.safe {
+            if self.good_periods < self.cfg.recover_after {
+                return; // hold the safe posture
+            }
+            // Sensors and actuators have been healthy long enough: resume.
+            self.safe = false;
+            self.pending_h = None;
+            self.pending_l = None;
+        } else if self.bad_periods >= self.cfg.safe_after {
+            self.safe = true;
+            self.pending_h = None;
+            self.pending_l = None;
+            self.filter.reset();
+            if let Some(c) = self.controller.as_mut() {
+                c.enter_safe_state();
+            }
+            self.apply(machine, ctx);
+            return;
+        }
+
+        // 4. Normal operation: hold state unless this period produced a
+        //    trustworthy, debounced decision.
+        let Some(m) = conditioned else {
+            return;
+        };
+        let a_h = Self::debounce(
+            &mut self.pending_h,
+            decide_high_priority(&profile, &m),
+            self.cfg.debounce,
+        );
+        let a_l = Self::debounce(
+            &mut self.pending_l,
+            decide_low_priority(&profile, &m),
+            self.cfg.debounce,
+        );
+        let controller = self.controller.as_mut().expect("controller set in setup");
+        let before = *controller;
+        controller.config_high_priority(a_h);
+        controller.config_low_priority(a_l);
+        if *controller != before {
+            self.apply(machine, ctx);
+        }
+    }
+
+    fn snapshot(&self) -> PolicySnapshot {
+        let Some(c) = &self.controller else {
+            return PolicySnapshot::default();
+        };
+        PolicySnapshot {
+            lp_cores: c.cores_lp(),
+            lp_cores_max: 12.max(c.cores_lp()),
+            lp_prefetchers: c.prefetchers_lp(),
+            hp_backfill_cores: c.cores_hp(),
+            hp_backfill_max: 12,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kelp_host::placement::CpuAllocation;
+    use kelp_host::task::{Priority, TaskSpec, ThreadProfile};
+    use kelp_mem::topology::{DomainId, MachineSpec, SocketId};
+
+    fn setup() -> (HostMachine, HardenedKelpPolicy, PolicyCtx) {
+        let mut machine = HostMachine::new(MachineSpec::dual_socket(), SncMode::Enabled);
+        let hp = DomainId::new(0, 0);
+        let lp = DomainId::new(0, 1);
+        let ml = machine.add_task(
+            TaskSpec::new("ml", Priority::High, ThreadProfile::compute_bound(100.0), 4),
+            vec![CpuAllocation::local(hp, 4)],
+        );
+        let batch = machine.add_task(
+            TaskSpec::new("batch", Priority::Low, ThreadProfile::streaming(1e9), 16),
+            vec![CpuAllocation::local(lp, 12)],
+        );
+        let ctx = PolicyCtx {
+            socket: SocketId(0),
+            ml_name: None,
+            hp_domain: hp,
+            lp_domain: lp,
+            hp_task: Some(ml),
+            lp_tasks: vec![(batch, 16)],
+        };
+        let mut p = HardenedKelpPolicy::new(HardenedConfig::default());
+        p.setup(&mut machine, &ctx);
+        (machine, p, ctx)
+    }
+
+    fn hot() -> Measurements {
+        Measurements {
+            socket_bw_gbps: 120.0,
+            socket_latency_ns: 200.0,
+            socket_saturation: 0.3,
+            hp_domain_bw_gbps: 50.0,
+        }
+    }
+
+    fn invalid() -> Sample {
+        Sample {
+            measurements: Measurements::default(),
+            valid: false,
+            stale: false,
+        }
+    }
+
+    #[test]
+    fn holds_state_on_invalid_samples() {
+        let (mut machine, mut p, ctx) = setup();
+        let before = p.snapshot();
+        for _ in 0..3 {
+            p.on_sample_checked(&invalid(), &mut machine, &ctx);
+        }
+        assert_eq!(
+            p.snapshot(),
+            before,
+            "invalid samples must not move actuators"
+        );
+    }
+
+    #[test]
+    fn falls_back_to_safe_state_and_recovers() {
+        let (mut machine, mut p, ctx) = setup();
+        let cfg = HardenedConfig::default();
+        for _ in 0..cfg.safe_after {
+            p.on_sample_checked(&invalid(), &mut machine, &ctx);
+        }
+        assert!(p.in_safe_state());
+        let s = p.snapshot();
+        assert_eq!(s.hp_backfill_cores, 0, "safe state withdraws backfill");
+        assert_eq!(s.lp_prefetchers, 0, "safe state disables prefetchers");
+        assert_eq!(s.lp_cores, 12, "safe state keeps the lp subdomain");
+
+        // Healthy again: the policy re-enters normal operation.
+        let calm = Measurements {
+            socket_bw_gbps: 10.0,
+            socket_latency_ns: 80.0,
+            socket_saturation: 0.0,
+            hp_domain_bw_gbps: 5.0,
+        };
+        for _ in 0..cfg.recover_after + cfg.debounce as u32 + 2 {
+            p.on_sample_checked(&Sample::healthy(calm), &mut machine, &ctx);
+        }
+        assert!(!p.in_safe_state());
+        assert!(
+            p.snapshot().lp_prefetchers > 0,
+            "boosting resumes after recovery"
+        );
+    }
+
+    #[test]
+    fn debounce_requires_consecutive_decisions() {
+        let (mut machine, mut p, ctx) = setup();
+        let before = p.snapshot();
+        // One hot sample is not enough under debounce = 2.
+        p.on_sample_checked(&Sample::healthy(hot()), &mut machine, &ctx);
+        assert_eq!(p.snapshot(), before);
+        // The second consecutive hot sample acts.
+        p.on_sample_checked(&Sample::healthy(hot()), &mut machine, &ctx);
+        assert_ne!(p.snapshot(), before);
+    }
+
+    #[test]
+    fn failed_actuation_is_detected_and_retried() {
+        let (mut machine, mut p, ctx) = setup();
+        // Drive a throttle through the debounce while actuations fail.
+        machine.set_actuation_fault(true);
+        for _ in 0..3 {
+            p.on_sample_checked(&Sample::healthy(hot()), &mut machine, &ctx);
+        }
+        let want = p.snapshot();
+        let observed = machine.prefetchers(ctx.lp_tasks[0].0);
+        assert!(
+            (observed.enabled_fraction - 1.0).abs() < 1e-9,
+            "writes were dropped, machine still at full prefetch"
+        );
+        assert!(want.lp_prefetchers < 12, "controller wanted a throttle");
+        // Writes land again: the retry path reprograms the machine.
+        machine.set_actuation_fault(false);
+        for _ in 0..6 {
+            p.on_sample_checked(&Sample::healthy(hot()), &mut machine, &ctx);
+        }
+        let observed = machine.prefetchers(ctx.lp_tasks[0].0);
+        assert!(
+            observed.enabled_fraction < 1.0,
+            "retry must reprogram the machine once writes land"
+        );
+    }
+
+    #[test]
+    fn outlier_sample_does_not_move_actuators() {
+        let (mut machine, mut p, ctx) = setup();
+        let calm = Measurements {
+            socket_bw_gbps: 10.0,
+            socket_latency_ns: 80.0,
+            socket_saturation: 0.0,
+            hp_domain_bw_gbps: 5.0,
+        };
+        for _ in 0..8 {
+            p.on_sample_checked(&Sample::healthy(calm), &mut machine, &ctx);
+        }
+        let before = p.snapshot();
+        // A single wild spike: rejected, state held.
+        p.on_sample_checked(&Sample::healthy(hot()), &mut machine, &ctx);
+        assert_eq!(p.snapshot(), before, "outlier must be rejected");
+    }
+}

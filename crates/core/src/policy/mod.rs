@@ -16,14 +16,16 @@
 mod baseline;
 mod core_throttle;
 mod finegrained;
+mod hardened;
 mod kelp_policy;
 
 pub use baseline::BaselinePolicy;
 pub use core_throttle::CoreThrottlePolicy;
 pub use finegrained::FineGrainedPolicy;
+pub use hardened::{HardenedConfig, HardenedKelpPolicy};
 pub use kelp_policy::KelpPolicy;
 
-use crate::measure::Measurements;
+use crate::measure::{Measurements, Sample};
 use kelp_host::machine::Actuator;
 use kelp_host::placement::CpuAllocation;
 use kelp_host::{HostMachine, HostTaskId};
@@ -48,6 +50,11 @@ pub enum PolicyKind {
     /// The Kelp controller on software memory channel partitioning
     /// (Muralidhara et al., paper reference \[32\]) instead of SNC.
     Mcp,
+    /// Kelp hardened against degraded telemetry and failed actuations:
+    /// outlier rejection, EWMA smoothing, decision debouncing, actuation
+    /// read-back verification with retries, and a conservative safe state
+    /// after repeated sensor/actuator failures (KP-H).
+    KelpHardened,
 }
 
 impl PolicyKind {
@@ -70,6 +77,7 @@ impl PolicyKind {
             PolicyKind::Kelp => "KP",
             PolicyKind::FineGrained => "FG",
             PolicyKind::Mcp => "MCP",
+            PolicyKind::KelpHardened => "KP-H",
         }
     }
 
@@ -82,6 +90,9 @@ impl PolicyKind {
             PolicyKind::Kelp => Box::new(KelpPolicy::full()),
             PolicyKind::FineGrained => Box::new(FineGrainedPolicy::new()),
             PolicyKind::Mcp => Box::new(KelpPolicy::channel_partitioned()),
+            PolicyKind::KelpHardened => {
+                Box::new(HardenedKelpPolicy::new(HardenedConfig::default()))
+            }
         }
     }
 }
@@ -167,6 +178,16 @@ pub trait Policy: fmt::Debug {
 
     /// Reacts to one sampling period's averaged measurements.
     fn on_sample(&mut self, m: Measurements, machine: &mut HostMachine, ctx: &PolicyCtx);
+
+    /// Reacts to one sampling period's reading *with sensor-health flags*.
+    ///
+    /// The default forwards the raw measurements to [`Policy::on_sample`]
+    /// unconditionally — exactly what a runtime that never checks counter
+    /// health does (it will happily act on zeros from a dropped read).
+    /// Hardened policies override this to hold state on bad samples.
+    fn on_sample_checked(&mut self, sample: &Sample, machine: &mut HostMachine, ctx: &PolicyCtx) {
+        self.on_sample(sample.measurements, machine, ctx);
+    }
 
     /// Current actuator state for the parameter plots.
     fn snapshot(&self) -> PolicySnapshot;

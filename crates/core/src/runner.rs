@@ -24,16 +24,23 @@ use crate::measure::Measurements;
 use crate::policy::{KelpPolicy, PolicyKind, PolicySnapshot};
 use crate::profile::{ApplicationProfile, ProfileLibrary, Watermark, WatermarkProfile};
 use kelp_mem::topology::{SncMode, SocketId};
+use kelp_simcore::fault::FaultPlan;
 use kelp_simcore::rng::derive_seed;
+use kelp_simcore::time::SimTime;
 use kelp_simcore::trace::PhaseTrace;
 use kelp_workloads::model::PerfSnapshot;
 use kelp_workloads::MlWorkloadKind;
 use kelp_workloads::{calib, BatchKind, BatchWorkload, InferenceParams, InferenceServer};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Salt decorrelating the fault-injection RNG stream from the workload
+/// seed streams derived from the same spec seed.
+const FAULT_STREAM: u64 = 0xFA17_C0DE;
 
 /// The accelerated ML side of a run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -160,6 +167,9 @@ pub struct RunSpec {
     /// (the paper-reproduction setting); any other value decorrelates the
     /// stochastic workloads via [`derive_seed`].
     pub seed: u64,
+    /// Scheduled fault-injection plan. The empty plan (the default) leaves
+    /// the run bit-identical to a fault-free one.
+    pub faults: FaultPlan,
 }
 
 impl RunSpec {
@@ -171,6 +181,7 @@ impl RunSpec {
             policy: PolicySpec::Kind(policy),
             config: config.clone(),
             seed: 0,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -182,6 +193,7 @@ impl RunSpec {
             policy: PolicySpec::Kind(policy),
             config: config.clone(),
             seed: 0,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -209,6 +221,23 @@ impl RunSpec {
         self
     }
 
+    /// Replaces the fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Checks the spec for combinations the engine cannot materialize,
+    /// returning a structured error instead of panicking mid-batch.
+    pub fn validate(&self) -> Result<(), RunError> {
+        match &self.policy {
+            PolicySpec::KelpSatWatermark(_) if !matches!(self.ml, MlSpec::Standard(_)) => Err(
+                RunError::invalid("KelpSatWatermark requires a standard ML workload"),
+            ),
+            _ => Ok(()),
+        }
+    }
+
     /// The content hash identifying this spec in the result cache: FNV-1a 64
     /// over the spec's canonical (compact) JSON encoding.
     pub fn hash(&self) -> u64 {
@@ -224,8 +253,9 @@ impl RunSpec {
         params
     }
 
-    /// Materializes the spec into a ready-to-run experiment builder.
-    pub fn build(&self) -> ExperimentBuilder {
+    /// Materializes the spec into a ready-to-run experiment builder, or a
+    /// structured error when [`RunSpec::validate`] would reject it.
+    pub fn build(&self) -> Result<ExperimentBuilder, RunError> {
         let policy_kind = match &self.policy {
             PolicySpec::Kind(k) => *k,
             PolicySpec::FixedPrefetch(_) => PolicyKind::KelpSubdomain,
@@ -269,7 +299,9 @@ impl RunSpec {
             )),
             PolicySpec::KelpSatWatermark(sat_high) => {
                 let MlSpec::Standard(ml) = &self.ml else {
-                    panic!("KelpSatWatermark requires a standard ML workload")
+                    return Err(RunError::invalid(
+                        "KelpSatWatermark requires a standard ML workload",
+                    ));
                 };
                 let machine = ml.platform().host_machine();
                 let base = WatermarkProfile::for_machine(&machine, SncMode::Enabled, SocketId(0));
@@ -293,15 +325,141 @@ impl RunSpec {
         for cpu in &self.cpu {
             builder = builder.add_cpu_workload(cpu.build());
         }
-        builder.config(self.config.clone())
+        builder = builder.fault_plan(self.faults.clone(), derive_seed(self.seed, FAULT_STREAM));
+        Ok(builder.config(self.config.clone()))
     }
 
     /// Runs the spec to completion, recording wall time and throughput.
+    ///
+    /// Never panics: validation failures and caught simulation panics both
+    /// produce an error-carrying record (see [`RunRecord::error`]) so one
+    /// bad spec cannot take down a batch or poison the worker pool.
     pub fn execute(&self) -> RunRecord {
         let start = Instant::now();
-        let result = self.build().run();
-        RunRecord::from_result(&result, &self.config, start.elapsed().as_secs_f64() * 1e3)
+        if let Err(error) = self.validate() {
+            return RunRecord::from_error(error, start.elapsed().as_secs_f64() * 1e3);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.build().map(|b| b.run())));
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        match outcome {
+            Ok(Ok(result)) => RunRecord::from_result(&result, &self.config, wall_ms),
+            Ok(Err(error)) => RunRecord::from_error(error, wall_ms),
+            Err(payload) => {
+                RunRecord::from_error(RunError::panicked(panic_message(payload.as_ref())), wall_ms)
+            }
+        }
     }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// A structured failure carried by a [`RunRecord`] instead of crashing the
+/// batch: either the spec was rejected by [`RunSpec::validate`] before
+/// execution, or the simulation panicked and the engine caught it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunError {
+    /// Human-readable description (validation message or panic payload).
+    pub message: String,
+    /// `true` when the error was a caught panic, `false` for pre-execution
+    /// validation failures.
+    pub panicked: bool,
+}
+
+impl RunError {
+    /// A pre-execution spec validation error.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        RunError {
+            message: message.into(),
+            panicked: false,
+        }
+    }
+
+    /// A caught simulation panic.
+    pub fn panicked(message: impl Into<String>) -> Self {
+        RunError {
+            message: message.into(),
+            panicked: true,
+        }
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = if self.panicked {
+            "panicked"
+        } else {
+            "invalid spec"
+        };
+        write!(f, "{kind}: {}", self.message)
+    }
+}
+
+/// Actuator-movement statistics extracted from the per-sample policy
+/// timeline. The fault matrix's oscillation band is expressed in these
+/// terms: a hardened controller must not reverse an actuator's direction
+/// more than twice per ten sampling periods.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ActuatorStats {
+    /// Number of policy samples in the timeline.
+    pub samples: u64,
+    /// Direction reversals of the total LP core allocation (LP domain plus
+    /// HP backfill).
+    pub core_reversals: u64,
+    /// Direction reversals of the LP prefetcher count.
+    pub prefetch_reversals: u64,
+}
+
+impl ActuatorStats {
+    /// Extracts movement statistics from a policy timeline.
+    pub fn from_series(series: &[(SimTime, PolicySnapshot)]) -> Self {
+        ActuatorStats {
+            samples: series.len() as u64,
+            core_reversals: reversals(
+                series
+                    .iter()
+                    .map(|(_, s)| i64::from(s.lp_cores) + i64::from(s.hp_backfill_cores)),
+            ),
+            prefetch_reversals: reversals(series.iter().map(|(_, s)| i64::from(s.lp_prefetchers))),
+        }
+    }
+
+    /// The worse of the two reversal counts, normalized to a ten-sample
+    /// window (the unit of the oscillation acceptance band).
+    pub fn reversals_per_10(&self) -> f64 {
+        let worst = self.core_reversals.max(self.prefetch_reversals) as f64;
+        worst * 10.0 / self.samples.max(1) as f64
+    }
+}
+
+/// Counts direction reversals in a value sequence: zero deltas are skipped,
+/// and a reversal is a nonzero delta whose sign differs from the previous
+/// nonzero delta's.
+fn reversals(values: impl Iterator<Item = i64>) -> u64 {
+    let mut prev: Option<i64> = None;
+    let mut last_dir = 0i64;
+    let mut count = 0;
+    for v in values {
+        if let Some(p) = prev {
+            let d = (v - p).signum();
+            if d != 0 {
+                if last_dir != 0 && d != last_dir {
+                    count += 1;
+                }
+                last_dir = d;
+            }
+        }
+        prev = Some(v);
+    }
+    count
 }
 
 /// Execution metadata recorded by the engine.
@@ -332,6 +490,11 @@ pub struct RunRecord {
     pub final_policy: PolicySnapshot,
     /// The ML workload's phase trace, when tracing was enabled.
     pub trace: Option<PhaseTrace>,
+    /// Actuator-movement statistics over the policy timeline.
+    pub actuators: ActuatorStats,
+    /// Present when the run failed (validation rejection or caught panic);
+    /// every performance field is zeroed in that case.
+    pub error: Option<RunError>,
     /// Engine metadata (wall time, throughput, cache status).
     pub meta: RunMeta,
 }
@@ -347,6 +510,8 @@ impl RunRecord {
             avg_measurements: result.avg_measurements,
             final_policy: result.final_policy_snapshot(),
             trace: result.ml_workload.as_ref().and_then(|w| w.trace()).cloned(),
+            actuators: ActuatorStats::from_series(&result.policy_series),
+            error: None,
             meta: RunMeta {
                 wall_ms,
                 sim_steps,
@@ -358,6 +523,31 @@ impl RunRecord {
                 cached: false,
             },
         }
+    }
+
+    /// A record carrying a structured error in place of results.
+    pub fn from_error(error: RunError, wall_ms: f64) -> Self {
+        RunRecord {
+            ml_name: None,
+            ml_performance: PerfSnapshot::zero(),
+            cpu_performance: Vec::new(),
+            avg_measurements: Measurements::default(),
+            final_policy: PolicySnapshot::default(),
+            trace: None,
+            actuators: ActuatorStats::default(),
+            error: Some(error),
+            meta: RunMeta {
+                wall_ms,
+                sim_steps: 0,
+                steps_per_sec: 0.0,
+                cached: false,
+            },
+        }
+    }
+
+    /// Whether this record carries an error instead of results.
+    pub fn is_error(&self) -> bool {
+        self.error.is_some()
     }
 
     /// Sum of CPU workload throughputs.
@@ -479,20 +669,32 @@ impl Runner {
                             break;
                         };
                         let record = specs[unique[slot]].execute();
-                        done.lock().unwrap().push((slot, record));
+                        // `execute` never panics, but stay poison-tolerant
+                        // anyway: a poisoned collector only means some other
+                        // worker died mid-push, and recovering the partial
+                        // vector is strictly better than cascading the panic.
+                        done.lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .push((slot, record));
                     });
                 }
             });
-            for (slot, record) in done.into_inner().unwrap() {
+            for (slot, record) in done
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+            {
                 records[slot] = Some(record);
             }
         }
 
-        // Persist freshly executed records.
+        // Persist freshly executed records. Error records are never cached:
+        // a fixed spec should re-execute, not replay its failure.
         if self.cache_dir.is_some() {
             for &slot in &pending {
                 if let Some(record) = &records[slot] {
-                    self.cache_store(&specs[unique[slot]], record);
+                    if record.error.is_none() {
+                        self.cache_store(&specs[unique[slot]], record);
+                    }
                 }
             }
         }
@@ -621,6 +823,62 @@ mod tests {
             c.ml_performance.tail_latency_ms
         );
         assert!(c.ml_performance.throughput > 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_sat_watermark_without_standard_ml() {
+        let spec = RunSpec::cpu_only(PolicyKind::Baseline, &ExperimentConfig::quick())
+            .with_policy(PolicySpec::KelpSatWatermark(0.5));
+        let err = spec.validate().unwrap_err();
+        assert!(!err.panicked);
+        assert!(err.message.contains("standard ML workload"));
+        // Execution surfaces the same error as a record, not a panic.
+        let record = spec.execute();
+        let error = record.error.expect("validation error should be recorded");
+        assert!(!error.panicked);
+        assert_eq!(record.ml_performance.throughput, 0.0);
+        assert_eq!(record.meta.sim_steps, 0);
+    }
+
+    #[test]
+    fn caught_panic_becomes_error_record() {
+        // An inverted saturation watermark (low > high) trips the Watermark
+        // constructor's assertion during policy setup; the engine must turn
+        // that into an error record instead of unwinding through the batch.
+        let spec = quick_spec().with_policy(PolicySpec::KelpSatWatermark(-1.0));
+        let record = spec.execute();
+        let error = record.error.expect("panic should be caught");
+        assert!(error.panicked);
+        assert!(error.message.contains("watermark"));
+    }
+
+    #[test]
+    fn fault_plan_changes_spec_hash() {
+        use kelp_simcore::fault::{FaultEvent, FaultKind};
+        use kelp_simcore::time::SimDuration;
+        let base = quick_spec();
+        let faulty = quick_spec().with_faults(FaultPlan::new().with(FaultEvent::new(
+            FaultKind::CounterDropout,
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(50),
+            1.0,
+        )));
+        assert_ne!(base.hash(), faulty.hash());
+        // An explicitly empty plan is the same spec as the default.
+        assert_eq!(
+            base.hash(),
+            quick_spec().with_faults(FaultPlan::new()).hash()
+        );
+    }
+
+    #[test]
+    fn reversal_counter_ignores_monotone_motion() {
+        let mk = |vals: &[i64]| reversals(vals.iter().copied());
+        assert_eq!(mk(&[0, 1, 2, 3, 4]), 0);
+        assert_eq!(mk(&[4, 3, 3, 2, 2]), 0);
+        assert_eq!(mk(&[0, 2, 1, 3, 0]), 3);
+        assert_eq!(mk(&[1, 1, 1, 1]), 0);
+        assert_eq!(mk(&[0, 3, 3, 1]), 1);
     }
 
     #[test]

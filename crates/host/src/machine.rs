@@ -125,6 +125,11 @@ pub struct HostMachine {
     /// Memoized solves: workload phases alternate among a small set of
     /// configurations, so most steps hit this cache.
     cache: std::cell::RefCell<Vec<(SolverInput, MachineReport)>>,
+    /// While true, actuation writes (cpuset moves, prefetcher MSR writes,
+    /// bandwidth caps) are silently dropped — the fault injector's model of
+    /// a failed migration or MSR write. Read-backs still report the true
+    /// state, so a policy that verifies can detect the failure.
+    actuation_fault: bool,
 }
 
 /// Capacity of the solve memoization cache.
@@ -139,7 +144,20 @@ impl HostMachine {
             tasks: Vec::new(),
             flows: Vec::new(),
             cache: std::cell::RefCell::new(Vec::new()),
+            actuation_fault: false,
         }
+    }
+
+    /// Arms or clears the actuation fault: while armed, task-level actuation
+    /// writes ([`Actuator::set_allocations`], [`Actuator::set_prefetchers`],
+    /// [`Actuator::set_bw_cap`]) are silently dropped.
+    pub fn set_actuation_fault(&mut self, dropped: bool) {
+        self.actuation_fault = dropped;
+    }
+
+    /// Whether actuation writes are currently being dropped.
+    pub fn actuation_fault(&self) -> bool {
+        self.actuation_fault
     }
 
     /// Mutable access to the memory system (calibration hooks, SNC, CAT).
@@ -408,18 +426,27 @@ impl Actuator for HostMachine {
         for a in &allocations {
             a.policy.validate().expect("invalid memory policy");
         }
+        if self.actuation_fault {
+            return;
+        }
         if let Some(t) = self.tasks.get_mut(task.0) {
             t.allocations = allocations;
         }
     }
 
     fn set_prefetchers(&mut self, task: HostTaskId, setting: PrefetchSetting) {
+        if self.actuation_fault {
+            return;
+        }
         if let Some(t) = self.tasks.get_mut(task.0) {
             t.prefetch = setting;
         }
     }
 
     fn set_bw_cap(&mut self, task: HostTaskId, cap_gbps: Option<f64>) {
+        if self.actuation_fault {
+            return;
+        }
         if let Some(t) = self.tasks.get_mut(task.0) {
             t.bw_cap = cap_gbps;
         }

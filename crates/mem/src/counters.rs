@@ -88,6 +88,29 @@ impl MemCounters {
     pub fn socket_saturation(&self, s: SocketId) -> f64 {
         self.socket(s).map_or(0.0, |c| c.distress_duty)
     }
+
+    /// A corrupted snapshot with every observed reading multiplied by
+    /// `factor` (duty cycles capped at 1.0). Models a transient measurement
+    /// outlier: the structure (domain/socket lists) is preserved so lookups
+    /// still resolve, but the values are garbage.
+    pub fn scaled(&self, factor: f64) -> MemCounters {
+        let f = factor.max(0.0);
+        let mut c = self.clone();
+        for d in &mut c.domains {
+            d.bw_gbps *= f;
+            d.utilization = (d.utilization * f).min(1.0);
+            d.latency_ns *= f;
+            d.distress_duty = (d.distress_duty * f).min(1.0);
+        }
+        for s in &mut c.sockets {
+            s.bw_gbps *= f;
+            s.avg_latency_ns *= f;
+            s.distress_duty = (s.distress_duty * f).min(1.0);
+        }
+        c.upi_gbps *= f;
+        c.upi_utilization = (c.upi_utilization * f).min(1.0);
+        c
+    }
 }
 
 #[cfg(test)]

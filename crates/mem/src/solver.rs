@@ -178,6 +178,9 @@ pub struct MemSystem {
     adaptive_prefetch: Option<AdaptivePrefetch>,
     cat: CatAllocation,
     fp_config: FixedPointConfig,
+    /// Per-socket retained fraction of peak channel bandwidth (DIMM thermal
+    /// throttling / fault injection). 1.0 everywhere when healthy.
+    channel_derate: Vec<f64>,
 }
 
 /// Hardware QoS-aware prefetch throttling (paper §VI-B).
@@ -237,6 +240,7 @@ impl MemSystem {
                 tolerance: 5e-4,
                 damping: 0.45,
             },
+            channel_derate: Vec::new(),
         }
     }
 
@@ -302,6 +306,25 @@ impl MemSystem {
         self.adaptive_prefetch
     }
 
+    /// Sets the retained fraction of `socket`'s peak channel bandwidth
+    /// (clamped to `[0, 1]`; 1.0 restores full speed). Models transient
+    /// channel-bandwidth loss such as DIMM thermal throttling.
+    pub fn set_channel_derate(&mut self, socket: SocketId, retained: f64) {
+        let n = self.machine.socket_count();
+        if socket.0 >= n {
+            return;
+        }
+        if self.channel_derate.len() < n {
+            self.channel_derate.resize(n, 1.0);
+        }
+        self.channel_derate[socket.0] = retained.clamp(0.0, 1.0);
+    }
+
+    /// The retained channel-bandwidth fraction for `socket`.
+    pub fn channel_derate(&self, socket: SocketId) -> f64 {
+        self.channel_derate.get(socket.0).copied().unwrap_or(1.0)
+    }
+
     /// All allocation domains under the current SNC mode.
     pub fn domains(&self) -> Vec<DomainId> {
         self.machine.domains(self.snc)
@@ -344,7 +367,8 @@ impl MemSystem {
         let n_pairs = n_sockets * (n_sockets.saturating_sub(1)) / 2;
         let mut capacities = Vec::with_capacity(n_domains + n_pairs);
         for &d in &domains {
-            capacities.push(self.machine.domain_peak_gbps(d, self.snc));
+            capacities
+                .push(self.machine.domain_peak_gbps(d, self.snc) * self.channel_derate(d.socket));
         }
         for _ in 0..n_pairs {
             capacities.push(self.machine.upi_gbps);

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fault;
 pub mod fixedpoint;
 pub mod rng;
 pub mod series;
@@ -35,6 +36,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use fixedpoint::{solve_fixed_point, FixedPointConfig, FixedPointOutcome};
 pub use rng::SimRng;
 pub use series::TimeSeries;

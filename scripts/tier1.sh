@@ -12,4 +12,14 @@ cargo test -q
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== fault-matrix smoke (KELP_QUICK=1) =="
+# Any escaped panic, error record, or hardened band violation exits nonzero.
+# Results go to a throwaway dir so the smoke never clobbers the checked-in
+# default-config artifacts under results/.
+smoke_results="$(mktemp -d)"
+trap 'rm -rf "$smoke_results"' EXIT
+KELP_QUICK=1 KELP_RESULTS_DIR="$smoke_results" \
+  cargo run --release -q -p kelp-bench --bin ext_fault_matrix -- \
+  --quick --strict --no-cache >/dev/null
+
 echo "tier-1 OK"
