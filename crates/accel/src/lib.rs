@@ -16,6 +16,7 @@
 //! are modelled as fixed-rate compute engines plus PCIe DMA traffic into
 //! host memory — the part that does interact with the memory system.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -47,7 +47,7 @@ fn main() {
         if in_band { "satisfies" } else { "LEAVES" }
     );
 
-    let _ = write_json(&kelp_bench::results_dir(), "ext_fault_matrix", &matrix);
+    let _ = write_json(kelp_bench::results_dir(), "ext_fault_matrix", &matrix);
 
     let errors = matrix.errors();
     for (cell, message) in &errors {

@@ -11,18 +11,39 @@ use kelp_workloads::{BatchWorkload, MlWorkloadKind};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match cli::parse(&args) {
-        Ok(Command::Help) => print!("{}", cli::HELP),
-        Ok(Command::List) => list(),
-        Ok(Command::Run(run)) => execute(run, false),
-        Ok(Command::Counters(run)) => execute(run, true),
-        Ok(Command::Profiles { save }) => profiles(save),
-        Ok(Command::Cache { prune }) => cache(prune),
-        Err(e) => {
-            eprintln!("error: {e}\n");
-            eprint!("{}", cli::HELP);
-            std::process::exit(2);
+    let outcome = match cli::parse(&args) {
+        Ok(Command::Help) => {
+            print!("{}", cli::HELP);
+            Ok(())
         }
+        Ok(Command::List) => {
+            list();
+            Ok(())
+        }
+        Ok(Command::Run(run)) => {
+            execute(run, false);
+            Ok(())
+        }
+        Ok(Command::Counters(run)) => {
+            execute(run, true);
+            Ok(())
+        }
+        Ok(Command::Profiles { save }) => profiles(save),
+        Ok(Command::Cache { prune }) => {
+            cache(prune);
+            Ok(())
+        }
+        Err(e) => Err(e),
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        match e.usage() {
+            // A subcommand-specific mistake gets its one usage line; only a
+            // mistyped command shows the full help.
+            Some(usage) => eprintln!("usage: {usage}"),
+            None => eprint!("\n{}", cli::HELP),
+        }
+        std::process::exit(2);
     }
 }
 
@@ -141,7 +162,7 @@ fn cache(prune: bool) {
     }
     // Keep exactly the entries a standard sweep would touch, at either of
     // the two standard timing configurations.
-    let mut keep = std::collections::HashSet::new();
+    let mut keep = std::collections::BTreeSet::new();
     for config in [ExperimentConfig::default(), ExperimentConfig::quick()] {
         for spec in kelp::experiments::repro_specs(&config) {
             keep.insert(format!("{:016x}.json", spec.hash()));
@@ -182,7 +203,7 @@ fn human_bytes(bytes: u64) -> String {
     }
 }
 
-fn profiles(save: Option<String>) {
+fn profiles(save: Option<String>) -> Result<(), cli::CliError> {
     let lib = ProfileLibrary::default_for_machine(
         &MachineSpec::dual_socket(),
         SncMode::Enabled,
@@ -190,12 +211,18 @@ fn profiles(save: Option<String>) {
     );
     match save {
         Some(path) => {
-            lib.save(&path).expect("write profile library");
+            lib.save(&path).map_err(|e| {
+                cli::CliError::new(format!("cannot write profile library to '{path}': {e}"))
+                    .with_usage(cli::USAGE_PROFILES)
+            })?;
             println!("wrote {path}");
         }
         None => {
-            let json = serde_json::to_string_pretty(&lib).expect("serialize");
+            let json = serde_json::to_string_pretty(&lib).map_err(|e| {
+                cli::CliError::new(format!("cannot serialize profile library: {e}"))
+            })?;
             println!("{json}");
         }
     }
+    Ok(())
 }

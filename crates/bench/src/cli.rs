@@ -43,33 +43,72 @@ pub struct RunArgs {
     pub quick: bool,
 }
 
-/// Parse errors, with a user-facing message.
+/// A structured CLI error: a user-facing message plus the usage line of the
+/// subcommand it concerns, so the binary can show targeted help instead of
+/// the full text.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ParseError(pub String);
+pub struct CliError {
+    message: String,
+    usage: Option<&'static str>,
+}
 
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+/// Usage line shown for `run`/`counters` argument errors.
+pub const USAGE_RUN: &str =
+    "kelp-sim run|counters [--ml ML] [--policy P] [--cpu KIND[:THREADS]]... [--quick]";
+/// Usage line shown for `profiles` argument errors.
+pub const USAGE_PROFILES: &str = "kelp-sim profiles [--save PATH]";
+/// Usage line shown for `cache` argument errors.
+pub const USAGE_CACHE: &str = "kelp-sim cache [--prune]";
+
+impl CliError {
+    /// Creates an error with no usage hint.
+    pub fn new(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            usage: None,
+        }
+    }
+
+    /// Attaches the usage line of the subcommand being parsed.
+    pub fn with_usage(mut self, usage: &'static str) -> Self {
+        self.usage = Some(usage);
+        self
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The usage hint, when the error concerns a specific subcommand.
+    pub fn usage(&self) -> Option<&'static str> {
+        self.usage
     }
 }
 
-impl std::error::Error for ParseError {}
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
 
 /// Parses an ML workload name (case-insensitive).
-pub fn parse_ml(name: &str) -> Result<MlWorkloadKind, ParseError> {
+pub fn parse_ml(name: &str) -> Result<MlWorkloadKind, CliError> {
     match name.to_ascii_uppercase().as_str() {
         "RNN1" => Ok(MlWorkloadKind::Rnn1),
         "CNN1" => Ok(MlWorkloadKind::Cnn1),
         "CNN2" => Ok(MlWorkloadKind::Cnn2),
         "CNN3" => Ok(MlWorkloadKind::Cnn3),
-        other => Err(ParseError(format!(
+        other => Err(CliError::new(format!(
             "unknown ML workload '{other}' (expected RNN1|CNN1|CNN2|CNN3)"
         ))),
     }
 }
 
 /// Parses a policy label (paper abbreviation, case-insensitive).
-pub fn parse_policy(name: &str) -> Result<PolicyKind, ParseError> {
+pub fn parse_policy(name: &str) -> Result<PolicyKind, CliError> {
     match name.to_ascii_uppercase().as_str() {
         "BL" | "BASELINE" => Ok(PolicyKind::Baseline),
         "CT" | "CORETHROTTLE" => Ok(PolicyKind::CoreThrottle),
@@ -78,21 +117,23 @@ pub fn parse_policy(name: &str) -> Result<PolicyKind, ParseError> {
         "KP-H" | "KPH" | "HARDENED" => Ok(PolicyKind::KelpHardened),
         "FG" | "FINEGRAINED" => Ok(PolicyKind::FineGrained),
         "MCP" | "CHANNEL" => Ok(PolicyKind::Mcp),
-        other => Err(ParseError(format!(
+        other => Err(CliError::new(format!(
             "unknown policy '{other}' (expected BL|CT|KP-SD|KP|KP-H|FG|MCP)"
         ))),
     }
 }
 
 /// Parses a CPU workload spec `KIND[:THREADS]` (default 8 threads).
-pub fn parse_cpu(spec: &str) -> Result<(BatchKind, usize), ParseError> {
+pub fn parse_cpu(spec: &str) -> Result<(BatchKind, usize), CliError> {
     let (name, threads) = match spec.split_once(':') {
         Some((n, t)) => {
             let threads: usize = t
                 .parse()
-                .map_err(|_| ParseError(format!("bad thread count in '{spec}'")))?;
+                .map_err(|_| CliError::new(format!("bad thread count in '{spec}'")))?;
             if threads == 0 {
-                return Err(ParseError(format!("thread count must be > 0 in '{spec}'")));
+                return Err(CliError::new(format!(
+                    "thread count must be > 0 in '{spec}'"
+                )));
             }
             (n, threads)
         }
@@ -105,7 +146,7 @@ pub fn parse_cpu(spec: &str) -> Result<(BatchKind, usize), ParseError> {
         "llc" => BatchKind::LlcAggressor,
         "dram" => BatchKind::DramAggressor,
         "remote-dram" | "remotedram" => BatchKind::RemoteDramAggressor,
-        other => Err(ParseError(format!(
+        other => Err(CliError::new(format!(
             "unknown CPU workload '{other}' (expected stream|stitch|cpuml|llc|dram|remote-dram)"
         )))?,
     };
@@ -114,24 +155,24 @@ pub fn parse_cpu(spec: &str) -> Result<(BatchKind, usize), ParseError> {
 
 /// Parses a `--jobs N` flag anywhere in an argument vector. Absent flag
 /// means serial (`1`); `--jobs 0` is rejected.
-pub fn parse_jobs(args: &[String]) -> Result<usize, ParseError> {
+pub fn parse_jobs(args: &[String]) -> Result<usize, CliError> {
     let Some(pos) = args.iter().position(|a| a == "--jobs") else {
         return Ok(1);
     };
     let v = args
         .get(pos + 1)
-        .ok_or_else(|| ParseError("--jobs needs a value".into()))?;
+        .ok_or_else(|| CliError::new("--jobs needs a value"))?;
     let jobs: usize = v
         .parse()
-        .map_err(|_| ParseError(format!("bad --jobs value '{v}'")))?;
+        .map_err(|_| CliError::new(format!("bad --jobs value '{v}'")))?;
     if jobs == 0 {
-        return Err(ParseError("--jobs must be > 0".into()));
+        return Err(CliError::new("--jobs must be > 0"));
     }
     Ok(jobs)
 }
 
 /// Parses a full argument vector (without the program name).
-pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let Some(cmd) = args.first() else {
         return Ok(Command::Help);
     };
@@ -142,10 +183,16 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let save = match args.get(1).map(String::as_str) {
                 Some("--save") => Some(
                     args.get(2)
-                        .ok_or_else(|| ParseError("--save needs a path".into()))?
+                        .ok_or_else(|| {
+                            CliError::new("--save needs a path").with_usage(USAGE_PROFILES)
+                        })?
                         .clone(),
                 ),
-                Some(other) => return Err(ParseError(format!("unknown flag '{other}'"))),
+                Some(other) => {
+                    return Err(
+                        CliError::new(format!("unknown flag '{other}'")).with_usage(USAGE_PROFILES)
+                    )
+                }
                 None => None,
             };
             Ok(Command::Profiles { save })
@@ -155,7 +202,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             for flag in &args[1..] {
                 match flag.as_str() {
                     "--prune" => prune = true,
-                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                    other => {
+                        return Err(CliError::new(format!("unknown flag '{other}'"))
+                            .with_usage(USAGE_CACHE))
+                    }
                 }
             }
             Ok(Command::Cache { prune })
@@ -167,29 +217,30 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 cpu: Vec::new(),
                 quick: false,
             };
+            let hint = |e: CliError| e.with_usage(USAGE_RUN);
             let mut it = args[1..].iter();
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--ml" => {
                         let v = it
                             .next()
-                            .ok_or_else(|| ParseError("--ml needs a value".into()))?;
-                        run.ml = Some(parse_ml(v)?);
+                            .ok_or_else(|| hint(CliError::new("--ml needs a value")))?;
+                        run.ml = Some(parse_ml(v).map_err(hint)?);
                     }
                     "--policy" => {
                         let v = it
                             .next()
-                            .ok_or_else(|| ParseError("--policy needs a value".into()))?;
-                        run.policy = parse_policy(v)?;
+                            .ok_or_else(|| hint(CliError::new("--policy needs a value")))?;
+                        run.policy = parse_policy(v).map_err(hint)?;
                     }
                     "--cpu" => {
                         let v = it
                             .next()
-                            .ok_or_else(|| ParseError("--cpu needs a value".into()))?;
-                        run.cpu.push(parse_cpu(v)?);
+                            .ok_or_else(|| hint(CliError::new("--cpu needs a value")))?;
+                        run.cpu.push(parse_cpu(v).map_err(hint)?);
                     }
                     "--quick" => run.quick = true,
-                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                    other => return Err(hint(CliError::new(format!("unknown flag '{other}'")))),
                 }
             }
             if cmd == "run" {
@@ -198,7 +249,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 Ok(Command::Counters(run))
             }
         }
-        other => Err(ParseError(format!(
+        other => Err(CliError::new(format!(
             "unknown command '{other}' (expected list|run|counters|profiles|cache|help)"
         ))),
     }
@@ -315,6 +366,22 @@ mod tests {
             }
         );
         assert!(parse(&argv(&["profiles", "--save"])).is_err());
+    }
+
+    #[test]
+    fn errors_carry_subcommand_usage_hints() {
+        let err = parse(&argv(&["run", "--ml", "nope"])).unwrap_err();
+        assert_eq!(err.usage(), Some(USAGE_RUN));
+        let err = parse(&argv(&["run", "--bogus"])).unwrap_err();
+        assert_eq!(err.usage(), Some(USAGE_RUN));
+        let err = parse(&argv(&["profiles", "--save"])).unwrap_err();
+        assert_eq!(err.usage(), Some(USAGE_PROFILES));
+        let err = parse(&argv(&["cache", "--bogus"])).unwrap_err();
+        assert_eq!(err.usage(), Some(USAGE_CACHE));
+        // A mistyped top-level command has no single subcommand to hint at.
+        let err = parse(&argv(&["frobnicate"])).unwrap_err();
+        assert_eq!(err.usage(), None);
+        assert!(err.message().contains("unknown command"));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! cargo run --release -p kelp-bench --bin repro_all
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
@@ -52,6 +53,7 @@ pub fn config_from(args: &[String]) -> ExperimentConfig {
 /// the tier-1 fault-matrix gate) can write somewhere disposable instead of
 /// clobbering the checked-in default-config artifacts.
 pub fn results_dir() -> std::path::PathBuf {
+    // kelp-lint: allow(KL-D04): KELP_RESULTS_DIR only redirects output paths; file contents are unaffected.
     std::env::var_os("KELP_RESULTS_DIR")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::path::PathBuf::from("results"))

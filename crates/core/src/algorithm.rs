@@ -104,6 +104,7 @@ impl KelpController {
     ///
     /// Panics if the config is invalid.
     pub fn new(config: KelpControllerConfig) -> Self {
+        // kelp-lint: allow(KL-P01): documented constructor contract (see `# Panics` above).
         config.validate().expect("invalid controller config");
         KelpController {
             config,

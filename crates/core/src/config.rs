@@ -52,6 +52,7 @@ impl ExperimentConfig {
     ///
     /// [`quick`]: ExperimentConfig::quick
     pub fn from_env() -> Self {
+        // kelp-lint: allow(KL-D04): KELP_QUICK is the documented test-speed toggle; it selects a config, never leaks into results.
         match std::env::var("KELP_QUICK").as_deref() {
             Ok("0") | Ok("false") | Ok("off") => ExperimentConfig::default(),
             _ => ExperimentConfig::quick(),

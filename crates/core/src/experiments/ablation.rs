@@ -11,7 +11,7 @@
 use crate::driver::ExperimentConfig;
 use crate::policy::PolicyKind;
 use crate::report::Table;
-use crate::runner::{CpuSpec, PolicySpec, RunRecord, RunSpec, Runner};
+use crate::runner::{CpuSpec, PolicySpec, RecordCursor, RunRecord, RunSpec, Runner};
 use kelp_simcore::time::SimDuration;
 use kelp_workloads::{BatchKind, MlWorkloadKind};
 use serde::{Deserialize, Serialize};
@@ -49,14 +49,17 @@ pub fn sampling_specs(periods_ms: &[u64], base: &ExperimentConfig) -> Vec<RunSpe
 
 /// Folds batch records (in [`sampling_specs`] order) into sweep points.
 pub fn sampling_fold(periods_ms: &[u64], records: &[RunRecord]) -> Vec<SamplingPoint> {
-    let standalone = records[0].ml_performance;
+    let mut next = RecordCursor::new(records);
+    let standalone = next.take().ml_performance;
     periods_ms
         .iter()
-        .zip(&records[1..])
-        .map(|(&ms, r)| SamplingPoint {
-            period_ms: ms,
-            ml_norm: r.ml_performance.throughput / standalone.throughput,
-            cpu_throughput: r.cpu_total_throughput(),
+        .map(|&ms| {
+            let r = next.take();
+            SamplingPoint {
+                period_ms: ms,
+                ml_norm: r.ml_performance.throughput / standalone.throughput,
+                cpu_throughput: r.cpu_total_throughput(),
+            }
         })
         .collect()
 }
@@ -136,13 +139,13 @@ pub fn backfill_specs(config: &ExperimentConfig) -> Vec<RunSpec> {
 
 /// Folds batch records (in [`backfill_specs`] order) into ablation rows.
 pub fn backfill_fold(records: &[RunRecord]) -> Vec<BackfillRow> {
-    let mut next = records.iter();
-    let standalone = next.next().expect("standalone record").ml_performance;
+    let mut next = RecordCursor::new(records);
+    let standalone = next.take().ml_performance;
     backfill_kinds()
         .iter()
         .map(|&kind| {
-            let sd = next.next().expect("KP-SD record");
-            let kp = next.next().expect("KP record");
+            let sd = next.take();
+            let kp = next.take();
             BackfillRow {
                 cpu: kind.name().to_string(),
                 sd_ml: sd.ml_performance.throughput / standalone.throughput,
@@ -204,14 +207,17 @@ pub fn watermark_specs(sat_highs: &[f64], config: &ExperimentConfig) -> Vec<RunS
 
 /// Folds batch records (in [`watermark_specs`] order) into sweep points.
 pub fn watermark_fold(sat_highs: &[f64], records: &[RunRecord]) -> Vec<WatermarkPoint> {
-    let standalone = records[0].ml_performance;
+    let mut next = RecordCursor::new(records);
+    let standalone = next.take().ml_performance;
     sat_highs
         .iter()
-        .zip(&records[1..])
-        .map(|(&sat_high, r)| WatermarkPoint {
-            sat_high,
-            ml_norm: r.ml_performance.throughput / standalone.throughput,
-            cpu_throughput: r.cpu_total_throughput(),
+        .map(|&sat_high| {
+            let r = next.take();
+            WatermarkPoint {
+                sat_high,
+                ml_norm: r.ml_performance.throughput / standalone.throughput,
+                cpu_throughput: r.cpu_total_throughput(),
+            }
         })
         .collect()
 }

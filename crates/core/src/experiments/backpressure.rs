@@ -19,7 +19,7 @@ use crate::policy::{
     apply_lp_allocations, apply_standard_cat, Policy, PolicyCtx, PolicyKind, PolicySnapshot,
 };
 use crate::report::Table;
-use crate::runner::{CpuSpec, PolicySpec, RunRecord, RunSpec, Runner};
+use crate::runner::{CpuSpec, PolicySpec, RecordCursor, RunRecord, RunSpec, Runner};
 use kelp_host::machine::Actuator;
 use kelp_host::HostMachine;
 use kelp_mem::prefetch::PrefetchSetting;
@@ -229,15 +229,15 @@ pub fn specs(config: &ExperimentConfig) -> Vec<RunSpec> {
 /// Folds batch records (in [`specs`] order) into the Figure 7 result.
 pub fn fold(records: &[RunRecord]) -> BackpressureResult {
     let disabled_fractions = sweep_fractions();
-    let mut next = records.iter();
+    let mut next = RecordCursor::new(records);
     let mut panels = Vec::new();
     for ml in panel_workloads() {
-        let standalone = next.next().expect("standalone record").ml_performance;
+        let standalone = next.take().ml_performance;
         let mut series = Vec::new();
         for level in AggressorLevel::all() {
             let mut points = Vec::new();
             for &disabled in &disabled_fractions {
-                let r = next.next().expect("sweep record");
+                let r = next.take();
                 let normalized_tail =
                     match (r.ml_performance.tail_latency_ms, standalone.tail_latency_ms) {
                         (Some(t), Some(s)) if s > 0.0 => Some(t / s),

@@ -17,7 +17,7 @@
 use crate::driver::ExperimentConfig;
 use crate::policy::PolicyKind;
 use crate::report::Table;
-use crate::runner::{CpuSpec, RunRecord, RunSpec, Runner};
+use crate::runner::{CpuSpec, RecordCursor, RunRecord, RunSpec, Runner};
 use kelp_simcore::rng::SimRng;
 use kelp_workloads::{BatchKind, MlWorkloadKind};
 use serde::{Deserialize, Serialize};
@@ -167,12 +167,12 @@ pub fn fold(
     cluster: &ClusterConfig,
     records: &[RunRecord],
 ) -> ClusterResult {
-    let mut next = records.iter();
-    let standalone = next.next().expect("standalone record").ml_performance;
+    let mut next = RecordCursor::new(records);
+    let standalone = next.take().ml_performance;
     let mut rng = SimRng::seed_from(cluster.seed);
     let mut series = Vec::new();
     for &policy in policies {
-        let contended = next.next().expect("contended record");
+        let contended = next.take();
         let node_slowdown =
             (standalone.throughput / contended.ml_performance.throughput.max(1e-12)).max(1.0);
         let mut prng = rng.fork(policy.label().len() as u64);

@@ -18,7 +18,7 @@
 use crate::driver::ExperimentConfig;
 use crate::policy::PolicyKind;
 use crate::report::Table;
-use crate::runner::{CpuSpec, RunRecord, RunSpec, Runner};
+use crate::runner::{CpuSpec, RecordCursor, RunRecord, RunSpec, Runner};
 use kelp_simcore::fault::{FaultEvent, FaultKind, FaultPlan};
 use kelp_simcore::time::SimDuration;
 use kelp_workloads::{BatchKind, MlWorkloadKind};
@@ -254,11 +254,11 @@ impl FaultMatrixResult {
 
 /// Folds batch records (in [`specs`] order) into the matrix result.
 pub fn fold(records: &[RunRecord]) -> FaultMatrixResult {
-    let mut next = records.iter();
+    let mut next = RecordCursor::new(records);
     let mut references = Vec::new();
     let mut cells = Vec::new();
     for policy in policies() {
-        let reference = next.next().expect("fault-free reference record");
+        let reference = next.take();
         let ml_ref = reference.ml_performance.throughput.max(1e-12);
         let cpu_ref = reference.cpu_total_throughput().max(1e-12);
         references.push(FaultReference {
@@ -269,7 +269,7 @@ pub fn fold(records: &[RunRecord]) -> FaultMatrixResult {
         });
         for kind in FaultKind::all() {
             for intensity in Intensity::all() {
-                let r = next.next().expect("fault cell record");
+                let r = next.take();
                 cells.push(FaultCell {
                     policy: policy.label().to_string(),
                     fault: kind.name().to_string(),

@@ -13,7 +13,7 @@ use crate::driver::ExperimentConfig;
 use crate::metrics::normalized;
 use crate::policy::{PolicyKind, PolicySnapshot};
 use crate::report::Table;
-use crate::runner::{CpuSpec, RunRecord, RunSpec, Runner};
+use crate::runner::{CpuSpec, RecordCursor, RunRecord, RunSpec, Runner};
 use kelp_workloads::{BatchKind, MlWorkloadKind};
 use serde::{Deserialize, Serialize};
 
@@ -196,20 +196,16 @@ pub fn fold(
     params: &[usize],
     records: &[RunRecord],
 ) -> MixSweepResult {
-    let mut next = records.iter();
-    let standalone = next.next().expect("standalone record").ml_performance;
+    let mut next = RecordCursor::new(records);
+    let standalone = next.take().ml_performance;
     // CPU normalization reference: Baseline at the first sweep point.
-    let bl_ref = next
-        .next()
-        .expect("baseline reference record")
-        .cpu_total_throughput()
-        .max(1e-12);
+    let bl_ref = next.take().cpu_total_throughput().max(1e-12);
 
     let mut series = Vec::new();
     for policy in PolicyKind::paper_set() {
         let mut points = Vec::new();
         for &param in params {
-            let r = next.next().expect("grid record");
+            let r = next.take();
             let ml_tail_norm = match (r.ml_performance.tail_latency_ms, standalone.tail_latency_ms)
             {
                 (Some(t), Some(s)) if s > 0.0 => Some(t / s),

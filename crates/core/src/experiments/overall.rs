@@ -16,7 +16,7 @@ use crate::driver::ExperimentConfig;
 use crate::metrics::{efficiency, normalized};
 use crate::policy::PolicyKind;
 use crate::report::Table;
-use crate::runner::{CpuSpec, RunRecord, RunSpec, Runner};
+use crate::runner::{CpuSpec, RecordCursor, RunRecord, RunSpec, Runner};
 use kelp_workloads::{BatchKind, MlWorkloadKind};
 use serde::{Deserialize, Serialize};
 
@@ -104,9 +104,9 @@ impl OverallResult {
         let Some(i) = self.policy_index(policy) else {
             return Vec::new();
         };
-        let bl = self
-            .policy_index(PolicyKind::Baseline)
-            .expect("baseline present");
+        let Some(bl) = self.policy_index(PolicyKind::Baseline) else {
+            return Vec::new();
+        };
         self.mixes
             .iter()
             .map(|m| {
@@ -222,14 +222,11 @@ pub fn specs(config: &ExperimentConfig) -> Vec<RunSpec> {
 pub fn fold(records: &[RunRecord]) -> OverallResult {
     let policies = PolicyKind::paper_set();
     let mut mixes = Vec::new();
-    let mut next = records.iter();
+    let mut next = RecordCursor::new(records);
     for ml in MlWorkloadKind::all() {
-        let standalone = next.next().expect("standalone record").ml_performance;
+        let standalone = next.take().ml_performance;
         for (cpu_kind, _) in cpu_workload_set() {
-            let per_policy: Vec<&RunRecord> = policies
-                .iter()
-                .map(|_| next.next().expect("policy record"))
-                .collect();
+            let per_policy: Vec<&RunRecord> = policies.iter().map(|_| next.take()).collect();
             let bl = per_policy[0];
             let bl_cpu = bl.cpu_total_throughput().max(1e-12);
             let mut outcomes = Vec::new();

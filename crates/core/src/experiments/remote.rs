@@ -10,7 +10,7 @@
 use crate::driver::ExperimentConfig;
 use crate::policy::PolicyKind;
 use crate::report::Table;
-use crate::runner::{CpuSpec, RunRecord, RunSpec, Runner};
+use crate::runner::{CpuSpec, RecordCursor, RunRecord, RunSpec, Runner};
 use kelp_workloads::{BatchKind, MlWorkloadKind};
 use serde::{Deserialize, Serialize};
 
@@ -105,15 +105,15 @@ pub fn specs(workloads: &[MlWorkloadKind], config: &ExperimentConfig) -> Vec<Run
 
 /// Folds batch records (in [`specs`] order) into the sweep result.
 pub fn fold(workloads: &[MlWorkloadKind], records: &[RunRecord]) -> RemoteSweepResult {
-    let mut next = records.iter();
+    let mut next = RecordCursor::new(records);
     let mut panels = Vec::new();
     for &ml in workloads {
-        let standalone = next.next().expect("standalone record").ml_performance;
+        let standalone = next.take().ml_performance;
         let mut grid = Vec::new();
         for _ in &THREAD_FRACTIONS {
             let mut row = Vec::new();
             for _ in &DATA_FRACTIONS {
-                let r = next.next().expect("grid record");
+                let r = next.take();
                 let norm = r.ml_performance.throughput / standalone.throughput.max(1e-12);
                 row.push(if norm > 0.0 {
                     1.0 / norm

@@ -8,7 +8,7 @@
 use crate::driver::ExperimentConfig;
 use crate::policy::PolicyKind;
 use crate::report::Table;
-use crate::runner::{CpuSpec, RunSpec, Runner};
+use crate::runner::{CpuSpec, RecordCursor, RunSpec, Runner};
 use kelp_workloads::{BatchKind, MlWorkloadKind};
 use serde::{Deserialize, Serialize};
 
@@ -162,8 +162,9 @@ pub fn run_scorecard_with(runner: &Runner, config: &ExperimentConfig) -> Scoreca
         spec(PolicyKind::KelpSubdomain),
         spec(PolicyKind::Kelp),
     ]);
-    let standalone = records[0].ml_performance;
-    let (bl, kpsd, kp) = (&records[1], &records[2], &records[3]);
+    let mut next = RecordCursor::new(&records);
+    let standalone = next.take().ml_performance;
+    let (bl, kpsd, kp) = (next.take(), next.take(), next.take());
     claims.push(Claim {
         source: "Fig 13".into(),
         paper: "Kelp restores ML performance".into(),

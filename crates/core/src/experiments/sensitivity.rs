@@ -13,7 +13,7 @@ use crate::driver::ExperimentConfig;
 use crate::metrics::normalized;
 use crate::policy::PolicyKind;
 use crate::report::Table;
-use crate::runner::{CpuSpec, RunRecord, RunSpec, Runner};
+use crate::runner::{CpuSpec, RecordCursor, RunRecord, RunSpec, Runner};
 use kelp_workloads::{BatchKind, MlWorkloadKind};
 use serde::{Deserialize, Serialize};
 
@@ -102,13 +102,13 @@ pub fn specs(aggressors: &[BatchKind], config: &ExperimentConfig) -> Vec<RunSpec
 
 /// Folds batch records (in [`specs`] order) into the sensitivity result.
 pub fn fold(aggressors: &[BatchKind], records: &[RunRecord]) -> SensitivityResult {
-    let mut next = records.iter();
+    let mut next = RecordCursor::new(records);
     let mut rows = Vec::new();
     for ml in MlWorkloadKind::all() {
-        let standalone = next.next().expect("standalone record").ml_performance;
+        let standalone = next.take().ml_performance;
         let mut per_aggr = Vec::new();
         for _ in aggressors {
-            let r = next.next().expect("aggressor record");
+            let r = next.take();
             per_aggr.push(normalized(
                 r.ml_performance.throughput,
                 standalone.throughput,

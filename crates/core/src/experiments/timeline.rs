@@ -10,7 +10,7 @@
 use crate::driver::ExperimentConfig;
 use crate::policy::PolicyKind;
 use crate::report::Table;
-use crate::runner::{CpuSpec, MlSpec, RunRecord, RunSpec, Runner};
+use crate::runner::{CpuSpec, MlSpec, RecordCursor, RunRecord, RunSpec, Runner};
 use kelp_simcore::time::SimTime;
 use kelp_simcore::trace::TraceEvent;
 use kelp_workloads::{BatchKind, MlWorkloadKind};
@@ -87,10 +87,14 @@ pub fn specs(config: &ExperimentConfig) -> Vec<RunSpec> {
 
 /// Folds batch records (in [`specs`] order) into the Figure 3 result.
 pub fn fold(config: &ExperimentConfig, records: &[RunRecord]) -> TimelineResult {
-    let standalone = records[0].trace.clone().expect("trace enabled");
-    let colocated = records[1].trace.clone().expect("trace enabled");
-    let tail_s = records[2].ml_performance.tail_latency_ms.unwrap_or(0.0);
-    let tail_c = records[3].ml_performance.tail_latency_ms.unwrap_or(0.0);
+    let mut next = RecordCursor::new(records);
+    // A record without a trace only arises from a broken batch; an empty
+    // trace keeps the fold total and makes the breakage visible as flat
+    // zero timelines instead of a panic.
+    let standalone = next.take().trace.clone().unwrap_or_default();
+    let colocated = next.take().trace.clone().unwrap_or_default();
+    let tail_s = next.take().ml_performance.tail_latency_ms.unwrap_or(0.0);
+    let tail_c = next.take().ml_performance.tail_latency_ms.unwrap_or(0.0);
     let to_ms = |m: BTreeMap<String, kelp_simcore::time::SimDuration>| -> BTreeMap<String, f64> {
         m.into_iter().map(|(k, v)| (k, v.as_millis_f64())).collect()
     };

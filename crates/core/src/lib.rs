@@ -40,6 +40,7 @@
 //! config.duration = kelp_simcore::time::SimDuration::from_millis(50);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -154,6 +154,9 @@ impl MeasurementAvg {
 
 /// Per-field absolute floors below which relative deviation is meaningless
 /// (idle readings jitter around zero).
+/// Extracts one field of a [`Measurements`] for windowed statistics.
+type MeasurementProbe = fn(&Measurements) -> f64;
+
 const OUTLIER_FLOORS: Measurements = Measurements {
     socket_bw_gbps: 2.0,
     socket_latency_ns: 30.0,
@@ -238,15 +241,15 @@ impl SampleFilter {
     }
 
     fn is_outlier(&self, m: &Measurements) -> bool {
-        let fields: [(fn(&Measurements) -> f64, f64); 4] = [
+        let fields: [(MeasurementProbe, f64); 4] = [
             (|x| x.socket_bw_gbps, OUTLIER_FLOORS.socket_bw_gbps),
             (|x| x.socket_latency_ns, OUTLIER_FLOORS.socket_latency_ns),
             (|x| x.socket_saturation, OUTLIER_FLOORS.socket_saturation),
             (|x| x.hp_domain_bw_gbps, OUTLIER_FLOORS.hp_domain_bw_gbps),
         ];
         for (get, floor) in fields {
-            let mut vals: Vec<f64> = self.window.iter().map(|w| get(w)).collect();
-            vals.sort_by(|a, b| a.partial_cmp(b).expect("finite measurement"));
+            let mut vals: Vec<f64> = self.window.iter().map(get).collect();
+            vals.sort_by(|a, b| a.total_cmp(b));
             let median = vals[vals.len() / 2];
             let scale = median.abs().max(floor);
             if (get(m) - median).abs() > self.threshold * scale {

@@ -320,7 +320,11 @@ impl Policy for HardenedKelpPolicy {
             decide_low_priority(&profile, &m),
             self.cfg.debounce,
         );
-        let controller = self.controller.as_mut().expect("controller set in setup");
+        // The driver always runs setup() before sampling; before that the
+        // hardened layer simply has nothing to actuate.
+        let Some(controller) = self.controller.as_mut() else {
+            return;
+        };
         let before = *controller;
         controller.config_high_priority(a_h);
         controller.config_low_priority(a_l);
@@ -426,7 +430,7 @@ mod tests {
             socket_saturation: 0.0,
             hp_domain_bw_gbps: 5.0,
         };
-        for _ in 0..cfg.recover_after + cfg.debounce as u32 + 2 {
+        for _ in 0..cfg.recover_after + cfg.debounce + 2 {
             p.on_sample_checked(&Sample::healthy(calm), &mut machine, &ctx);
         }
         assert!(!p.in_safe_state());

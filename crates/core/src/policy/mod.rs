@@ -221,7 +221,11 @@ pub fn split_cores(total: u32, weights: &[usize]) -> Vec<u32> {
     }
     if total as usize >= weights.len() {
         while let Some(zero) = out.iter().position(|&c| c == 0) {
-            let donor = (0..out.len()).max_by_key(|&i| out[i]).expect("non-empty");
+            // `position` just returned Some, so `out` is non-empty and a
+            // donor exists; bail out rather than panic if that ever breaks.
+            let Some(donor) = (0..out.len()).max_by_key(|&i| out[i]) else {
+                break;
+            };
             if out[donor] <= 1 {
                 break;
             }

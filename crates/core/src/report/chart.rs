@@ -80,6 +80,7 @@ impl BarChart {
 
     /// Renders and prints with a 40-character bar width.
     pub fn print(&self) {
+        // kelp-lint: allow(KL-H02): this IS the report layer; print() is its stdout sink.
         println!("{}", self.render(40));
     }
 }

@@ -89,6 +89,7 @@ impl Table {
 
     /// Renders and prints to stdout.
     pub fn print(&self) {
+        // kelp-lint: allow(KL-H02): this IS the report layer; print() is its stdout sink.
         println!("{}", self.render());
     }
 }

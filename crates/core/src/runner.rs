@@ -241,7 +241,11 @@ impl RunSpec {
     /// The content hash identifying this spec in the result cache: FNV-1a 64
     /// over the spec's canonical (compact) JSON encoding.
     pub fn hash(&self) -> u64 {
-        let bytes = serde_json::to_vec(self).expect("run specs always serialize");
+        // Serializing a plain data struct cannot fail with the vendored
+        // serde; if it ever did, the empty-bytes hash degrades to a cache
+        // *miss* (lookups verify stored-spec equality before trusting an
+        // entry), never to a wrong result or a panic.
+        let bytes = serde_json::to_vec(self).unwrap_or_default();
         fnv1a64(&bytes)
     }
 
@@ -388,6 +392,15 @@ impl RunError {
         RunError {
             message: message.into(),
             panicked: true,
+        }
+    }
+
+    /// An engine-internal invariant failure (a batch slot with no record, a
+    /// fold consuming past its batch) surfaced as data instead of a panic.
+    pub fn internal(message: impl Into<String>) -> Self {
+        RunError {
+            message: message.into(),
+            panicked: false,
         }
     }
 }
@@ -556,6 +569,53 @@ impl RunRecord {
     }
 }
 
+/// Panic-free sequential consumer for `fold()` implementations.
+///
+/// Every experiment fold walks its batch's records in `specs()` order. With
+/// a plain iterator a miscounted batch panics mid-fold (`.expect("…
+/// record")`), unwinding through `repro_all`; the cursor instead yields a
+/// shared error record — zeroed performance plus a [`RunError::internal`] —
+/// so a length mismatch degrades to visibly-zero figure rows and an error
+/// count, in keeping with the engine's error-record path.
+#[derive(Debug)]
+pub struct RecordCursor<'a> {
+    iter: std::slice::Iter<'a, RunRecord>,
+    missing: u64,
+}
+
+/// The record yielded when a cursor is over-consumed. Built once, shared by
+/// every fold (it is immutable and identical everywhere).
+static MISSING_RECORD: std::sync::OnceLock<RunRecord> = std::sync::OnceLock::new();
+
+impl<'a> RecordCursor<'a> {
+    /// Wraps a batch's records for in-order consumption.
+    pub fn new(records: &'a [RunRecord]) -> Self {
+        RecordCursor {
+            iter: records.iter(),
+            missing: 0,
+        }
+    }
+
+    /// The next record, or the shared missing-record error sentinel when the
+    /// batch is exhausted.
+    pub fn take(&mut self) -> &'a RunRecord {
+        self.iter.next().unwrap_or_else(|| {
+            self.missing += 1;
+            MISSING_RECORD.get_or_init(|| {
+                RunRecord::from_error(
+                    RunError::internal("fold consumed more records than the batch produced"),
+                    0.0,
+                )
+            })
+        })
+    }
+
+    /// How many takes ran past the end of the batch.
+    pub fn missing(&self) -> u64 {
+        self.missing
+    }
+}
+
 /// FNV-1a 64-bit hash.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf29ce484222325u64;
@@ -620,7 +680,12 @@ impl Runner {
     pub fn run_one(&self, spec: &RunSpec) -> RunRecord {
         self.run_batch(std::slice::from_ref(spec))
             .pop()
-            .expect("one spec yields one record")
+            .unwrap_or_else(|| {
+                RunRecord::from_error(
+                    RunError::internal("run_batch returned no record for a one-spec batch"),
+                    0.0,
+                )
+            })
     }
 
     /// Runs a batch of specs and returns their records in batch order.
@@ -701,7 +766,14 @@ impl Runner {
 
         assignment
             .into_iter()
-            .map(|slot| records[slot].clone().expect("all slots executed"))
+            .map(|slot| {
+                records.get(slot).cloned().flatten().unwrap_or_else(|| {
+                    RunRecord::from_error(
+                        RunError::internal("worker pool left a batch slot unexecuted"),
+                        0.0,
+                    )
+                })
+            })
             .collect()
     }
 

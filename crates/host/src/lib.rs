@@ -10,6 +10,7 @@
 //! every task into solver form each step, and reports achieved work rates
 //! and performance counters.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

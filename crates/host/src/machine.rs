@@ -17,6 +17,16 @@ use kelp_mem::topology::{DomainId, SncMode};
 use kelp_mem::MemCounters;
 use std::collections::BTreeMap;
 
+/// Contract check at the machine's public API boundary: an invalid spec is a
+/// bug in the calling experiment code, not a runtime condition, so failing
+/// loudly and immediately is deliberate.
+fn assert_valid(result: Result<(), String>, what: &str) {
+    if let Err(e) = result {
+        // kelp-lint: allow(KL-P02): API-boundary contract; invalid specs are caller bugs.
+        panic!("{what}: {e}");
+    }
+}
+
 /// Identifier of a registered fixed flow (accelerator DMA / PCIe in-feed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(pub usize);
@@ -181,9 +191,9 @@ impl HostMachine {
 
     /// Registers a task with initial core allocations; returns its id.
     pub fn add_task(&mut self, spec: TaskSpec, allocations: Vec<CpuAllocation>) -> HostTaskId {
-        spec.profile.validate().expect("invalid thread profile");
+        assert_valid(spec.profile.validate(), "invalid thread profile");
         for a in &allocations {
-            a.policy.validate().expect("invalid memory policy");
+            assert_valid(a.policy.validate(), "invalid memory policy");
         }
         self.tasks.push(TaskEntry {
             spec,
@@ -424,7 +434,7 @@ impl HostMachine {
 impl Actuator for HostMachine {
     fn set_allocations(&mut self, task: HostTaskId, allocations: Vec<CpuAllocation>) {
         for a in &allocations {
-            a.policy.validate().expect("invalid memory policy");
+            assert_valid(a.policy.validate(), "invalid memory policy");
         }
         if self.actuation_fault {
             return;

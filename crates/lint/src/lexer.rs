@@ -1,0 +1,372 @@
+//! A small hand-rolled Rust lexer: just enough token structure for the
+//! kelp-lint rules, with full awareness of strings, raw strings, byte
+//! strings, character literals vs. lifetimes, and (nested) comments.
+//!
+//! The lexer is total: it never panics and never rejects input. Anything it
+//! does not recognize degrades to a single-character [`Tok::Punct`]. That
+//! property is load-bearing — the self-test suite feeds it arbitrary byte
+//! strings — so every branch below advances the cursor by at least one
+//! character and indexes only through checked accessors.
+
+/// A lexical token kind. Literal *content* is irrelevant to every rule, so
+/// string/char/number literals collapse into [`Tok::Literal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (raw identifiers are stored without `r#`).
+    Ident(String),
+    /// A single punctuation character.
+    Punct(char),
+    /// A string, byte-string, character, or numeric literal.
+    Literal,
+    /// A lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+}
+
+/// A token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+/// A comment (line or block, doc or plain) with its full text and the
+/// 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    /// Documentation comment (`///`, `//!`, `/**`, `/*!`). Doc comments are
+    /// prose *about* code — lint markers in them are never live, so the
+    /// allow-parser and the TODO rule skip them.
+    pub doc: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one character, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.peek(0) {
+            if !pred(c) {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+        out
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never panics, on any input.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let line = cur.line;
+        if c == '/' && cur.peek(1) == Some('/') {
+            let text = cur.eat_while(|c| c != '\n');
+            let doc =
+                (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+            out.comments.push(Comment { text, line, doc });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            out.comments.push(block_comment(&mut cur, line));
+            continue;
+        }
+        if c == '"' {
+            cur.bump();
+            quoted(&mut cur, '"');
+            out.tokens.push(Token {
+                kind: Tok::Literal,
+                line,
+            });
+            continue;
+        }
+        if c == '\'' {
+            out.tokens.push(Token {
+                kind: char_or_lifetime(&mut cur),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            number(&mut cur);
+            out.tokens.push(Token {
+                kind: Tok::Literal,
+                line,
+            });
+            continue;
+        }
+        if is_ident_start(c) {
+            let word = cur.eat_while(is_ident_continue);
+            out.tokens.push(Token {
+                kind: ident_or_prefixed(&mut cur, word),
+                line,
+            });
+            continue;
+        }
+        cur.bump();
+        out.tokens.push(Token {
+            kind: Tok::Punct(c),
+            line,
+        });
+    }
+    out
+}
+
+/// Consumes a `/* ... */` block comment with nesting.
+fn block_comment(cur: &mut Cursor, line: u32) -> Comment {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push('/');
+            text.push('*');
+            cur.bump();
+            cur.bump();
+        } else if c == '*' && cur.peek(1) == Some('/') {
+            depth = depth.saturating_sub(1);
+            text.push('*');
+            text.push('/');
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    let doc = (text.starts_with("/**") && !text.starts_with("/***") && text != "/**/")
+        || text.starts_with("/*!");
+    Comment { text, line, doc }
+}
+
+/// Consumes the body of a quoted literal after its opening quote, honoring
+/// backslash escapes. Unterminated literals end at end-of-input.
+fn quoted(cur: &mut Cursor, close: char) {
+    while let Some(c) = cur.bump() {
+        if c == '\\' {
+            cur.bump();
+        } else if c == close {
+            break;
+        }
+    }
+}
+
+/// Disambiguates `'c'` / `'\n'` character literals from `'a` lifetimes.
+fn char_or_lifetime(cur: &mut Cursor) -> Tok {
+    cur.bump(); // the opening quote
+    match (cur.peek(0), cur.peek(1)) {
+        // Escaped char literal: '\n', '\u{..}', '\''.
+        (Some('\\'), _) => {
+            quoted(cur, '\'');
+            Tok::Literal
+        }
+        // One-character literal: 'x', including quote-adjacent cases.
+        (Some(_), Some('\'')) => {
+            cur.bump();
+            cur.bump();
+            Tok::Literal
+        }
+        // Lifetime or label: consume the identifier, no closing quote.
+        (Some(c), _) if is_ident_start(c) => {
+            cur.eat_while(is_ident_continue);
+            Tok::Lifetime
+        }
+        _ => Tok::Punct('\''),
+    }
+}
+
+/// Consumes a numeric literal (loose: digits, `_`, type suffixes, and a
+/// fractional part when clearly a float — `1.max(2)` keeps `max` intact).
+fn number(cur: &mut Cursor) {
+    cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+    }
+}
+
+/// Resolves an identifier that may actually prefix a (raw) string literal
+/// (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`) or a raw identifier (`r#name`).
+fn ident_or_prefixed(cur: &mut Cursor, word: String) -> Tok {
+    let raw_capable = matches!(word.as_str(), "r" | "b" | "br" | "rb");
+    if !raw_capable {
+        return Tok::Ident(word);
+    }
+    match cur.peek(0) {
+        Some('"') => {
+            cur.bump();
+            quoted(cur, '"');
+            Tok::Literal
+        }
+        Some('#') => {
+            let mut hashes = 0usize;
+            while cur.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if cur.peek(hashes) == Some('"') {
+                for _ in 0..=hashes {
+                    cur.bump();
+                }
+                raw_string_body(cur, hashes);
+                Tok::Literal
+            } else if word == "r" && hashes == 1 && cur.peek(1).is_some_and(is_ident_start) {
+                cur.bump(); // '#'
+                let name = cur.eat_while(is_ident_continue);
+                Tok::Ident(name)
+            } else {
+                Tok::Ident(word)
+            }
+        }
+        _ => Tok::Ident(word),
+    }
+}
+
+/// Consumes a raw string body until `"` followed by `hashes` `#`s.
+fn raw_string_body(cur: &mut Cursor, hashes: usize) {
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut matched = 0usize;
+            while matched < hashes && cur.peek(0) == Some('#') {
+                cur.bump();
+                matched += 1;
+            }
+            if matched == hashes {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            let a = "HashMap::unwrap()"; // HashMap in comment
+            /* Instant::now() */
+            let b = r#"SystemTime "quoted" here"#;
+            let c = b"thread_rng";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let ids = idents("fn f<'a>(x: &'a str) { let v = 'q'; let w = '\\n'; }");
+        assert!(ids.contains(&"str".to_string()));
+        assert!(!ids.contains(&"q".to_string()));
+        assert!(!ids.contains(&"a".to_string()));
+        let lifetimes = lex("&'outer loop")
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Tok::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 1);
+    }
+
+    #[test]
+    fn raw_identifiers_are_plain_idents() {
+        assert_eq!(idents("r#type r#match"), vec!["type", "match"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let a = \"x\ny\";\nlet unwrap_here = 1;\n";
+        let lexed = lex(src);
+        let tok = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == Tok::Ident("unwrap_here".into()));
+        assert_eq!(tok.map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn number_does_not_swallow_method_calls() {
+        assert_eq!(idents("1.max(2); 1.0_f64.sqrt()"), vec!["max", "sqrt"]);
+    }
+
+    #[test]
+    fn total_on_adversarial_fragments() {
+        for src in [
+            "\"unterminated",
+            "r#\"unterminated raw",
+            "/* unterminated /* nested",
+            "'",
+            "'\\",
+            "b'",
+            "r#",
+            "r#\"\"# 'x' '' øπ∆ \u{7f}",
+        ] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! kelp-lint: an offline, dependency-free static-analysis pass guarding the
+//! two invariants the whole reproduction rests on:
+//!
+//! 1. **Determinism** — every run is a pure function of its `RunSpec`, so
+//!    the parallel Runner, the content-addressed `results/cache/`, and the
+//!    fault injector stay bit-identical. Hash-ordered collections, wall
+//!    clocks, ambient randomness, and environment reads all silently break
+//!    that (rules KL-D01…KL-D04).
+//! 2. **Panic-safety** — the Runner's `catch_unwind` containment must be a
+//!    last resort, so library crates may not use `unwrap`/`expect`/`panic!`
+//!    as control flow (rules KL-P01…KL-P03).
+//!
+//! Plus hygiene checks (KL-H01…KL-H05). See [`rules`] for the full catalog
+//! and the inline `// kelp-lint: allow(<rule>): <justification>` suppression
+//! syntax. The lexer is hand-rolled (no `syn`, consistent with the vendored
+//! no-registry constraint) and is total on arbitrary input.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use rules::{lint_source, Diagnostic, FileCtx};
+
+/// Lints every classifiable file under `root`, returning the diagnostics
+/// (sorted by file, then line, then rule) and the number of files scanned.
+pub fn lint_workspace(root: &std::path::Path) -> (Vec<Diagnostic>, usize) {
+    let files = scan::workspace_files(root);
+    let mut diags = Vec::new();
+    for (rel, path) in &files {
+        let Some(ctx) = scan::classify(rel) else {
+            continue;
+        };
+        let Ok(bytes) = std::fs::read(path) else {
+            continue;
+        };
+        let src = String::from_utf8_lossy(&bytes);
+        diags.extend(rules::lint_source(&ctx, &src));
+    }
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.rule)
+            .partial_cmp(&(&b.file, b.line, b.rule))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    (diags, files.len())
+}
+
+/// Inserts `#![forbid(unsafe_code)]` into crate roots that lack it (the
+/// `--fix-forbid` helper). The attribute lands after any leading `//!` doc
+/// header so rustdoc output is unchanged. Returns the files rewritten.
+pub fn fix_forbid(root: &std::path::Path) -> std::io::Result<Vec<String>> {
+    let mut fixed = Vec::new();
+    for (rel, path) in scan::workspace_files(root) {
+        let Some(ctx) = scan::classify(&rel) else {
+            continue;
+        };
+        if !ctx.crate_root {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path)?;
+        if !rules::lint_source(&ctx, &src)
+            .iter()
+            .any(|d| d.rule == "KL-H01")
+        {
+            continue;
+        }
+        let lines: Vec<&str> = src.lines().collect();
+        let doc_end = lines
+            .iter()
+            .take_while(|l| l.trim_start().starts_with("//!"))
+            .count();
+        let mut out = String::new();
+        for line in &lines[..doc_end] {
+            out.push_str(line);
+            out.push('\n');
+        }
+        if doc_end > 0 {
+            out.push('\n');
+        }
+        out.push_str("#![forbid(unsafe_code)]\n");
+        let rest = &lines[doc_end..];
+        if !rest.first().is_some_and(|l| l.trim().is_empty()) && !rest.is_empty() {
+            out.push('\n');
+        }
+        for line in rest {
+            out.push_str(line);
+            out.push('\n');
+        }
+        std::fs::write(&path, out)?;
+        fixed.push(rel);
+    }
+    Ok(fixed)
+}

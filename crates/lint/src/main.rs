@@ -1,0 +1,110 @@
+//! The `kelp-lint` command-line entry point.
+//!
+//! ```text
+//! kelp-lint [--deny] [--json] [--fix-forbid] [--root PATH]
+//! ```
+//!
+//! * `--deny`       exit non-zero when any diagnostic is emitted (the tier-1
+//!   gate; without it the run is advisory and always exits 0)
+//! * `--json`       machine-readable output
+//! * `--fix-forbid` insert `#![forbid(unsafe_code)]` into crate roots that
+//!   lack it, then lint
+//! * `--root PATH`  workspace root (default: walk up from the current
+//!   directory to the first `Cargo.toml` declaring `[workspace]`)
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+struct Options {
+    deny: bool,
+    json: bool,
+    fix_forbid: bool,
+    root: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        deny: false,
+        json: false,
+        fix_forbid: false,
+        root: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => opts.deny = true,
+            "--json" => opts.json = true,
+            "--fix-forbid" => opts.fix_forbid = true,
+            "--root" => {
+                let path = it.next().ok_or("--root needs a path")?;
+                opts.root = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` containing
+/// a `[workspace]` section.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+const USAGE: &str = "usage: kelp-lint [--deny] [--json] [--fix-forbid] [--root PATH]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return;
+            }
+            eprintln!("error: {msg}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let Some(root) = opts.root.or_else(find_root) else {
+        eprintln!("error: no workspace root found (pass --root PATH)");
+        std::process::exit(2);
+    };
+
+    if opts.fix_forbid {
+        match kelp_lint::fix_forbid(&root) {
+            Ok(fixed) => {
+                for f in &fixed {
+                    eprintln!("fix-forbid: {f}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: fix-forbid failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (diags, files_scanned) = kelp_lint::lint_workspace(&root);
+    if opts.json {
+        println!("{}", kelp_lint::report::json(&diags, files_scanned));
+    } else {
+        print!("{}", kelp_lint::report::human(&diags, files_scanned));
+    }
+    if opts.deny && !diags.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Diagnostic rendering: human-readable lines and a machine-readable JSON
+//! document (hand-rolled — the lint stays dependency-free so it can never
+//! be broken by the code it checks).
+
+use crate::rules::Diagnostic;
+
+/// Renders diagnostics as `file:line: RULE message` lines plus a summary.
+pub fn human(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!(
+            "{}:{}: {} {}\n",
+            d.file, d.line, d.rule, d.message
+        ));
+    }
+    out.push_str(&format!(
+        "kelp-lint: {} diagnostic{} across {} file{}\n",
+        diags.len(),
+        if diags.len() == 1 { "" } else { "s" },
+        files_scanned,
+        if files_scanned == 1 { "" } else { "s" },
+    ));
+    out
+}
+
+/// Renders diagnostics as a stable JSON document:
+/// `{"diagnostics":[{"rule":…,"file":…,"line":…,"message":…}],"count":N}`.
+pub fn json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::from("{\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            escape(d.rule),
+            escape(&d.file),
+            d.line,
+            escape(&d.message)
+        ));
+    }
+    out.push_str(&format!(
+        "],\"count\":{},\"files_scanned\":{}}}",
+        diags.len(),
+        files_scanned
+    ));
+    out
+}
+
+/// Minimal JSON string escaping.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let diags = vec![Diagnostic {
+            rule: "KL-D01",
+            file: "a\"b.rs".into(),
+            line: 7,
+            message: "x\ny".into(),
+        }];
+        let doc = json(&diags, 3);
+        assert!(doc.contains("\"a\\\"b.rs\""));
+        assert!(doc.contains("\"x\\ny\""));
+        assert!(doc.ends_with("\"count\":1,\"files_scanned\":3}"));
+    }
+}

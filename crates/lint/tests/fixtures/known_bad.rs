@@ -1,0 +1,34 @@
+//! Lint corpus: every rule family firing at a known line.
+//! This file is a fixture — it is read as text by `lint_corpus.rs`, never
+//! compiled, and lives under `tests/` so the workspace scan skips it.
+
+use std::collections::HashMap; // line 5: KL-D01
+use std::time::Instant; // line 6: KL-D02
+
+fn determinism_hazards() {
+    let started = Instant::now(); // line 9: KL-D02
+    let mut map: HashMap<String, u64> = HashMap::new(); // line 10: KL-D01 x2
+    map.insert(format!("{started:?}"), 0);
+    let _ = std::env::var("SOME_KNOB"); // line 12: KL-D04
+    let _ = thread_rng(); // line 13: KL-D03
+}
+
+fn panic_hazards(xs: &[u64]) -> u64 {
+    let first = xs.first().unwrap(); // line 17: KL-P01
+    let second = xs.get(1).expect("second"); // line 18: KL-P01
+    if *first > *second {
+        panic!("inverted"); // line 20: KL-P02
+    }
+    unsafe { *xs.get_unchecked(2) } // line 22: KL-P03
+}
+
+fn hygiene_hazards() {
+    // TODO: untracked marker -> line 26: KL-H03
+    println!("debug left behind"); // line 27: KL-H02
+    let x = dbg!(21 + 21); // line 28: KL-H02
+    let _ = x;
+}
+
+// kelp-lint: allow(KL-P01) <- malformed, missing justification: line 32: KL-H04
+// kelp-lint: allow(KL-D01): nothing on this or the next line uses it -> KL-H05
+fn trailing() {}

@@ -1,0 +1,39 @@
+//! Lint corpus: hazard-shaped code that must produce NO diagnostics.
+//! Read as text by `lint_corpus.rs`, never compiled.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+/// Doc comments may say unwrap(), HashMap, TODO, or even
+/// `kelp-lint: allow(bogus)` — prose about code is not code.
+fn strings_and_comments_are_inert() {
+    let msg = "call .unwrap() on a HashMap while Instant::now() ticks";
+    let re = r#"panic!("TODO: \d+")"#;
+    let mut map: BTreeMap<&str, &str> = BTreeMap::new();
+    map.insert(msg, re);
+}
+
+fn suppressed() -> u64 {
+    // kelp-lint: allow(KL-P01): corpus check that a justified allow suppresses.
+    Some(7).unwrap()
+}
+
+fn tracked_todo() {
+    // TODO(#7): tracked markers are fine.
+    let _ = "unwrap_or_else is not unwrap".len();
+}
+
+fn not_ambient_env() {
+    // env::args is explicit input, not ambient configuration.
+    let _ = std::env::args().count();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        Some(1).unwrap();
+        std::collections::HashMap::<u8, u8>::new().insert(1, 2);
+    }
+}

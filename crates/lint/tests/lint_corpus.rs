@@ -1,0 +1,149 @@
+//! Corpus self-test: the checked-in fixtures must produce exactly the
+//! expected diagnostics (rule IDs and line numbers), and the lexer must be
+//! total on arbitrary input.
+
+use kelp_lint::rules::{lint_source, FileCtx};
+use kelp_simcore::rng::SimRng;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn lib_ctx() -> FileCtx {
+    FileCtx {
+        path: "corpus.rs".into(),
+        panic_scope: true,
+        ..FileCtx::default()
+    }
+}
+
+#[test]
+fn known_bad_fires_every_family_at_exact_lines() {
+    let diags = lint_source(&lib_ctx(), &fixture("known_bad.rs"));
+    let got: Vec<(u32, &str)> = diags.iter().map(|d| (d.line, d.rule)).collect();
+    let want: Vec<(u32, &str)> = vec![
+        (5, "KL-D01"),
+        (6, "KL-D02"),
+        (9, "KL-D02"),
+        (10, "KL-D01"),
+        (10, "KL-D01"),
+        (12, "KL-D04"),
+        (13, "KL-D03"),
+        (17, "KL-P01"),
+        (18, "KL-P01"),
+        (20, "KL-P02"),
+        (22, "KL-P03"),
+        (26, "KL-H03"),
+        (27, "KL-H02"),
+        (28, "KL-H02"),
+        (32, "KL-H04"),
+        (33, "KL-H05"),
+    ];
+    assert_eq!(got, want, "diagnostics: {diags:#?}");
+}
+
+#[test]
+fn known_good_is_clean() {
+    let diags = lint_source(&lib_ctx(), &fixture("known_good.rs"));
+    assert!(diags.is_empty(), "unexpected diagnostics: {diags:#?}");
+}
+
+#[test]
+fn known_bad_under_binary_ctx_keeps_universal_rules_only() {
+    // Outside the panic-scope crates, the panic-safety and print rules stand
+    // down but the determinism rules still apply.
+    let ctx = FileCtx {
+        path: "corpus.rs".into(),
+        panic_scope: false,
+        ..FileCtx::default()
+    };
+    let diags = lint_source(&ctx, &fixture("known_bad.rs"));
+    let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    assert!(!rules.contains(&"KL-P01"));
+    assert!(!rules.contains(&"KL-P02"));
+    assert!(rules.contains(&"KL-D01"));
+    assert!(rules.contains(&"KL-P03")); // unchecked access is never fine
+    assert!(rules.contains(&"KL-H02")); // dbg! is never fine either
+    assert_eq!(rules.iter().filter(|r| **r == "KL-H02").count(), 1);
+}
+
+#[test]
+fn deleting_an_allow_resurfaces_the_diagnostic() {
+    let src = fixture("known_good.rs");
+    let stripped: String = src
+        .lines()
+        .filter(|l| !l.contains("kelp-lint: allow"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let diags = lint_source(&lib_ctx(), &stripped);
+    assert_eq!(diags.len(), 1, "diagnostics: {diags:#?}");
+    assert_eq!(diags[0].rule, "KL-P01");
+}
+
+/// The lexer (and the whole per-file pass) must never panic, whatever bytes
+/// it is fed. Drives it with seeded pseudo-random inputs: raw bytes, and
+/// token-soup built from the constructs the lexer special-cases.
+#[test]
+fn lexer_is_total_on_arbitrary_input() {
+    let fragments = [
+        "\"",
+        "\\",
+        "'",
+        "r#\"",
+        "\"#",
+        "r##",
+        "b\"",
+        "b'",
+        "//",
+        "/*",
+        "*/",
+        "///",
+        "//!",
+        "/*!",
+        "/**",
+        "'a",
+        "'\\n'",
+        "r#fn",
+        "#![",
+        "]",
+        "{",
+        "}",
+        "0x",
+        "1e",
+        "´",
+        "émoji🦀",
+        "\u{0}",
+        "\r\n",
+        "kelp-lint:",
+        "allow(",
+        "TODO",
+        "unwrap",
+        ".",
+        "!",
+    ];
+    let mut rng = SimRng::seed_from(0x11A7_C0FF);
+    for case in 0..500 {
+        let mut src = String::new();
+        for _ in 0..rng.below(64) {
+            if rng.chance(0.5) {
+                src.push_str(fragments[rng.below(fragments.len() as u64) as usize]);
+            } else {
+                // Arbitrary (possibly invalid) byte sequences, lossily decoded
+                // the same way lint_workspace decodes files.
+                let bytes: Vec<u8> = (0..rng.below(8)).map(|_| rng.below(256) as u8).collect();
+                src.push_str(&String::from_utf8_lossy(&bytes));
+            }
+        }
+        let lexed = kelp_lint::lexer::lex(&src);
+        // Token lines must be monotone non-decreasing (sanity, not totality).
+        let mut last = 0u32;
+        for t in &lexed.tokens {
+            assert!(t.line >= last, "case {case}: line order broke on {src:?}");
+            last = t.line;
+        }
+        let _ = lint_source(&lib_ctx(), &src);
+    }
+}

@@ -25,6 +25,7 @@
 //! allocation and memory latency by damped fixed-point iteration, using a
 //! generalized weighted max-min fair allocator ([`maxmin`]) for bandwidth.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -225,6 +225,7 @@ impl MemSystem {
     /// Creates a memory system with default latency/distress models and CAT
     /// disabled.
     pub fn new(machine: MachineSpec, snc: SncMode) -> Self {
+        // kelp-lint: allow(KL-P01): constructor contract; an invalid spec is a caller bug.
         machine.validate().expect("invalid machine spec");
         let ways = machine.sockets[0].llc_ways;
         MemSystem {
@@ -349,11 +350,11 @@ impl MemSystem {
     pub fn solve(&self, input: &SolverInput) -> SolverOutput {
         let domains = self.domains();
         let domain_index = |d: DomainId| -> usize {
+            // canonical_domain() clamps socket sub-index into the enumerated
+            // set, so the position is always found; fall back to domain 0 to
+            // keep the solver total for out-of-range socket ids.
             let d = self.canonical_domain(d);
-            domains
-                .iter()
-                .position(|&x| x == d)
-                .expect("domain out of range for machine")
+            domains.iter().position(|&x| x == d).unwrap_or(0)
         };
 
         // Resource table: one per domain, then one per socket pair (UPI).
@@ -540,7 +541,10 @@ impl MemSystem {
             for (j, f) in input.fixed_flows.iter().enumerate() {
                 let dd = self.canonical_domain(f.target);
                 let di = domain_index(dd);
-                let crosses = f.source_socket.map(|s| s != dd.socket).unwrap_or(false);
+                // A fixed flow crosses UPI only when it names a source socket
+                // different from its target's socket.
+                let cross_src = f.source_socket.filter(|&s| s != dd.socket);
+                let crosses = cross_src.is_some();
                 let mut usage = vec![(
                     di,
                     if crosses {
@@ -549,11 +553,8 @@ impl MemSystem {
                         1.0
                     },
                 )];
-                if crosses {
-                    usage.push((
-                        upi_resource(f.source_socket.expect("crosses implies source"), dd.socket),
-                        1.0,
-                    ));
+                if let Some(src) = cross_src {
+                    usage.push((upi_resource(src, dd.socket), 1.0));
                 }
                 flows.push(Flow {
                     demand: f.gbps.max(0.0),

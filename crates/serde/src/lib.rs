@@ -11,6 +11,8 @@
 //! `null` for non-finite floats, externally tagged enums), so existing
 //! `results/*.json` artefacts remain byte-stable.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// An in-memory JSON-like value tree.
@@ -340,8 +342,11 @@ impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
     }
 }
 
-impl<V: Serialize, S: std::hash::BuildHasher> Serialize
-    for std::collections::HashMap<String, V, S>
+// kelp-lint: allow(KL-D01): generic shim API; to_value sorts keys, output is order-stable.
+impl<V, S> Serialize for std::collections::HashMap<String, V, S>
+where
+    V: Serialize,
+    S: std::hash::BuildHasher,
 {
     fn to_value(&self) -> Value {
         // Sort keys for deterministic output (the real serde_json preserves
@@ -355,8 +360,11 @@ impl<V: Serialize, S: std::hash::BuildHasher> Serialize
     }
 }
 
-impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
-    for std::collections::HashMap<String, V, S>
+// kelp-lint: allow(KL-D01): generic shim API; deserialization never iterates the map.
+impl<V, S> Deserialize for std::collections::HashMap<String, V, S>
+where
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
 {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
@@ -390,7 +398,7 @@ mod tests {
         assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
         assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
         assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
-        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert!(bool::from_value(&true.to_value()).unwrap());
         assert_eq!(
             String::from_value(&"hi".to_value()).unwrap(),
             "hi".to_string()

@@ -6,6 +6,8 @@
 //! byte-stable: 2-space pretty printing, floats always carry a fractional
 //! part (`1.0`, not `1`), and non-finite floats render as `null`.
 
+#![forbid(unsafe_code)]
+
 pub use serde::Value;
 use serde::{Deserialize, Serialize};
 
@@ -376,6 +378,31 @@ mod tests {
         s.clear();
         write_float(&mut s, -3.0);
         assert_eq!(s, "-3.0");
+    }
+
+    #[test]
+    fn hashmap_json_key_order_is_byte_stable() {
+        // The HashMap Serialize impl sorts keys, so the rendered JSON must
+        // be byte-identical regardless of insertion order (and of the
+        // process's hash seed). Guards the determinism contract the run
+        // cache and checked-in results/ artifacts rely on.
+        let keys = ["delta", "alpha", "echo", "charlie", "bravo"];
+        let mut forward = std::collections::HashMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            forward.insert(k.to_string(), i as u64);
+        }
+        let mut reverse = std::collections::HashMap::new();
+        for (i, k) in keys.iter().enumerate().rev() {
+            reverse.insert(k.to_string(), i as u64);
+        }
+        let a = to_string(&forward).unwrap();
+        let b = to_string(&reverse).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, r#"{"alpha":1,"bravo":4,"charlie":3,"delta":0,"echo":2}"#);
+        assert_eq!(
+            to_string_pretty(&forward).unwrap(),
+            to_string_pretty(&reverse).unwrap()
+        );
     }
 
     #[test]

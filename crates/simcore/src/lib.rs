@@ -25,6 +25,7 @@
 //! assert_eq!(t.as_nanos(), 3_000_000);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

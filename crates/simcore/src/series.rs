@@ -114,8 +114,11 @@ impl TimeSeries {
         let mut out = TimeSeries::new(self.name.clone());
         for c in self.values.chunks(chunk).zip(self.times.chunks(chunk)) {
             let (vals, times) = c;
+            let Some(&last) = times.last() else {
+                continue; // chunks() never yields an empty slice
+            };
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            out.push(*times.last().expect("non-empty chunk"), mean);
+            out.push(last, mean);
         }
         out
     }

@@ -181,7 +181,7 @@ impl SampleSet {
             return 0.0;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         quantile_of_sorted(&sorted, q)
     }
 
@@ -261,8 +261,7 @@ impl P2Quantile {
         if self.initial.len() < 5 {
             self.initial.push(x);
             if self.initial.len() == 5 {
-                self.initial
-                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.initial.sort_by(|a, b| a.total_cmp(b));
                 for (h, v) in self.heights.iter_mut().zip(&self.initial) {
                     *h = *v;
                 }
@@ -278,9 +277,9 @@ impl P2Quantile {
             self.heights[4] = x;
             3
         } else {
-            (0..4)
-                .find(|&i| x < self.heights[i + 1])
-                .expect("x is within [h0, h4)")
+            // The two guards above pin x into [h0, h4); the top cell is a
+            // total fallback should a NaN ever slip through the comparisons.
+            (0..4).find(|&i| x < self.heights[i + 1]).unwrap_or(3)
         };
 
         for pos in self.positions.iter_mut().skip(k + 1) {
@@ -334,7 +333,7 @@ impl P2Quantile {
                 return 0.0;
             }
             let mut sorted = self.initial.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            sorted.sort_by(|a, b| a.total_cmp(b));
             return quantile_of_sorted(&sorted, self.q);
         }
         self.heights[2]

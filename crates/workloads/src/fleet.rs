@@ -101,7 +101,7 @@ impl FleetModel {
             }
             p99s.push(samples.p99());
         }
-        p99s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        p99s.sort_by(|a, b| a.total_cmp(b));
         FleetResult {
             p99_per_machine: p99s,
         }

@@ -214,8 +214,11 @@ impl Workload for InferenceServer {
     }
 
     fn pre_step(&mut self, now: SimTime, machine: &mut HostMachine) {
-        let task = self.task.expect("install first");
-        let flow = self.flow.expect("install first");
+        // The harness always installs before stepping; a missing handle
+        // means this workload was never wired in, so stepping is a no-op.
+        let (Some(task), Some(flow)) = (self.task, self.flow) else {
+            return;
+        };
         self.admit(now);
         let active = self.cpu_active();
         let intensity = if self.params.assist_threads == 0 {
@@ -236,7 +239,9 @@ impl Workload for InferenceServer {
     }
 
     fn post_step(&mut self, now: SimTime, dt: SimDuration, report: &MachineReport) {
-        let task = self.task.expect("install first");
+        let Some(task) = self.task else {
+            return; // never installed: nothing to account
+        };
         let total_rate = report.task(task).units_per_sec;
         self.measured_ns += dt.as_nanos_f64();
         self.generate_arrivals(now, dt);

@@ -18,6 +18,7 @@
 //! memory intensity) and calibrated against the published sensitivity
 //! numbers (Figures 3, 5 and 7). Calibration constants live in [`calib`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

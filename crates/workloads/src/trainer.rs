@@ -152,8 +152,11 @@ impl Workload for Trainer {
     }
 
     fn pre_step(&mut self, now: SimTime, machine: &mut HostMachine) {
-        let task = self.task.expect("install first");
-        let flow = self.flow.expect("install first");
+        // The harness always installs before stepping; a missing handle
+        // means this workload was never wired in, so stepping is a no-op.
+        let (Some(task), Some(flow)) = (self.task, self.flow) else {
+            return;
+        };
         let (intensity, dma) = match self.phase {
             Phase::Serial { .. } => (1.0, 0.0),
             Phase::Overlap { cpu_left, .. } => {
@@ -173,7 +176,9 @@ impl Workload for Trainer {
     }
 
     fn post_step(&mut self, now: SimTime, dt: SimDuration, report: &MachineReport) {
-        let task = self.task.expect("install first");
+        let Some(task) = self.task else {
+            return; // never installed: nothing to account
+        };
         let rate = report.task(task).units_per_sec;
         let mut budget = dt.as_nanos_f64();
         self.measured_ns += budget;

@@ -12,6 +12,18 @@ cargo test -q
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== kelp-lint --deny =="
+# Determinism / panic-safety / hygiene static analysis (crates/lint). Any
+# diagnostic not covered by a justified inline allow fails the gate.
+cargo run --release -q -p kelp-lint -- --deny
+
+if [[ "${KELP_QUICK:-}" == "1" ]]; then
+  echo "== clippy skipped (KELP_QUICK=1) =="
+else
+  echo "== cargo clippy --workspace --all-targets -D warnings =="
+  cargo clippy --workspace --all-targets -- -D warnings
+fi
+
 echo "== fault-matrix smoke (KELP_QUICK=1) =="
 # Any escaped panic, error record, or hardened band violation exits nonzero.
 # Results go to a throwaway dir so the smoke never clobbers the checked-in

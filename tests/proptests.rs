@@ -88,7 +88,7 @@ fn maxmin_own_rate_monotone_in_demand() {
 /// Loaded latency is monotone in utilization and bounded.
 #[test]
 fn latency_monotone() {
-    for_cases(0x1A7E_9C1, |rng| {
+    for_cases(0x01A7_E9C1, |rng| {
         let rho_a = rng.uniform(0.0, 1.0);
         let rho_b = rng.uniform(0.0, 1.0);
         let c = LatencyCurve::default();
@@ -254,7 +254,7 @@ fn split_cores_invariants() {
 /// utilization and bounded by [min_fraction, 1].
 #[test]
 fn adaptive_prefetch_monotone() {
-    for_cases(0xADA_97, |rng| {
+    for_cases(0x000A_DA97, |rng| {
         let a = rng.uniform(0.0, 1.0);
         let b = rng.uniform(0.0, 1.0);
         let ap = kelp_mem::AdaptivePrefetch::default();
@@ -289,7 +289,7 @@ fn p2_within_range() {
 /// Welford merge equals sequential accumulation.
 #[test]
 fn welford_merge() {
-    for_cases(0x3E1F_04D, |rng| {
+    for_cases(0x03E1_F04D, |rng| {
         let n = rng.below(100) as usize;
         let xs: Vec<f64> = (0..n).map(|_| rng.uniform(-1e3, 1e3)).collect();
         let split = (rng.below(100) as usize).min(xs.len());
