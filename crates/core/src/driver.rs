@@ -10,7 +10,7 @@
 use crate::measure::{MeasurementAvg, Measurements};
 use crate::policy::{Policy, PolicyCtx, PolicyKind, PolicySnapshot};
 use kelp_host::{HostMachine, HostTaskId};
-use kelp_mem::solver::FixedFlow;
+use kelp_mem::solver::{FixedFlow, SolveStats, SolverTuning};
 use kelp_mem::topology::{MachineSpec, SocketId};
 use kelp_mem::MemCounters;
 use kelp_simcore::fault::{CounterFault, FaultInjector, FaultKind, FaultPlan};
@@ -34,6 +34,9 @@ pub struct ExperimentResult {
     pub policy_series: Vec<(SimTime, PolicySnapshot)>,
     /// Average of the four measurements over the measurement window.
     pub avg_measurements: Measurements,
+    /// Modeling cost of the run: solves, fixed-point iterations and
+    /// evaluations, memo/warm-start hits, and wall time spent solving.
+    pub solve: SolveStats,
     /// The ML workload (for trace extraction after the run).
     pub ml_workload: Option<Box<dyn Workload>>,
 }
@@ -76,6 +79,7 @@ pub struct ExperimentBuilder {
     config: ExperimentConfig,
     mem_tweak: Option<MemTweak>,
     faults: Option<FaultInjector>,
+    solver_tuning: SolverTuning,
 }
 
 impl std::fmt::Debug for ExperimentBuilder {
@@ -102,6 +106,7 @@ impl Experiment {
             config: ExperimentConfig::default(),
             mem_tweak: None,
             faults: None,
+            solver_tuning: SolverTuning::default(),
         }
     }
 
@@ -120,6 +125,7 @@ impl Experiment {
             config: ExperimentConfig::default(),
             mem_tweak: None,
             faults: None,
+            solver_tuning: SolverTuning::default(),
         }
     }
 
@@ -133,6 +139,7 @@ impl Experiment {
             config: ExperimentConfig::default(),
             mem_tweak: None,
             faults: None,
+            solver_tuning: SolverTuning::default(),
         }
     }
 }
@@ -188,6 +195,14 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Overrides the solver performance toggles (steady-state memoization
+    /// and warm starts; both default on). The `ext_solver_hot` benchmark
+    /// uses [`SolverTuning::baseline`] to measure the cold-solve path.
+    pub fn solver_tuning(mut self, tuning: SolverTuning) -> Self {
+        self.solver_tuning = tuning;
+        self
+    }
+
     /// Runs the experiment to completion.
     pub fn run(self) -> ExperimentResult {
         let ExperimentBuilder {
@@ -198,6 +213,7 @@ impl ExperimentBuilder {
             config,
             mem_tweak,
             faults,
+            solver_tuning,
         } = self;
 
         let socket = SocketId(0);
@@ -207,6 +223,7 @@ impl ExperimentBuilder {
         if let Some(tweak) = mem_tweak {
             tweak(machine.mem_mut());
         }
+        machine.set_solver_tuning(solver_tuning);
         let install_ctx = InstallCtx {
             hp_domain,
             lp_domain,
@@ -266,6 +283,10 @@ impl ExperimentBuilder {
         let mut last_derate = 1.0_f64;
         let mut last_live: Option<MemCounters> = None;
         let mut frozen: Option<MemCounters> = None;
+        // Wall time spent in machine.solve(). Reporting-only: it rides in
+        // SolveStats.solve_ns, which the record layer keeps out of
+        // byte-identity comparisons.
+        let mut solve_ns = 0u64;
 
         while now < end {
             for w in ml.iter_mut().chain(cpu.iter_mut()) {
@@ -286,7 +307,9 @@ impl ExperimentBuilder {
                     }
                 }
             }
+            let solve_start = std::time::Instant::now();
             let report = machine.solve();
+            solve_ns += solve_start.elapsed().as_nanos() as u64;
             // What the memory system actually did this step (reporting).
             let true_m =
                 Measurements::from_counters(&report.counters, socket, hp_domain, lp_domain);
@@ -304,8 +327,12 @@ impl ExperimentBuilder {
                     sample_avg.add_invalid(Measurements::default());
                 }
                 Some(CounterFault::Stale) => {
+                    // Freeze by *moving* the last live snapshot: the live
+                    // branch repopulates it on recovery, so nothing needs
+                    // the moved-out value, and a stale tick clones at most
+                    // once (the no-live-sample-yet fallback).
                     let snap = frozen.get_or_insert_with(|| {
-                        last_live.clone().unwrap_or_else(|| report.counters.clone())
+                        last_live.take().unwrap_or_else(|| report.counters.clone())
                     });
                     let m = Measurements::from_counters(snap, socket, hp_domain, lp_domain);
                     sample_avg.add_stale(m);
@@ -354,6 +381,9 @@ impl ExperimentBuilder {
             }
         }
 
+        let mut solve = machine.solve_stats();
+        solve.solve_ns = solve_ns;
+
         ExperimentResult {
             policy: policy.kind(),
             ml_name: ml.as_ref().map(|w| w.name().to_string()),
@@ -367,6 +397,7 @@ impl ExperimentBuilder {
                 .collect(),
             policy_series,
             avg_measurements: window_avg.take(),
+            solve,
             ml_workload: ml,
         }
     }
@@ -445,6 +476,44 @@ mod tests {
             .run();
         let n = r.policy_series.len() as u64;
         assert!(n >= expected - 1 && n <= expected + 1, "{n} vs {expected}");
+    }
+
+    #[test]
+    fn run_reports_solve_stats_with_memo_hits() {
+        let r = Experiment::builder(MlWorkloadKind::Cnn1, PolicyKind::Kelp)
+            .add_cpu_workload(BatchWorkload::new(BatchKind::Stream, 8))
+            .config(ExperimentConfig::quick())
+            .run();
+        assert!(r.solve.solves >= 1, "one solve per tick");
+        assert!(
+            r.solve.memo_hits > 0,
+            "steady phases must hit the memo: {:?}",
+            r.solve
+        );
+        assert!(r.solve.evaluations >= r.solve.iterations);
+        assert!(r.solve.solve_ns > 0);
+    }
+
+    #[test]
+    fn baseline_solver_tuning_matches_default_results() {
+        let mk = |tuning: Option<SolverTuning>| {
+            let mut b = Experiment::builder(MlWorkloadKind::Cnn1, PolicyKind::Kelp)
+                .add_cpu_workload(BatchWorkload::new(BatchKind::DramAggressor, 12))
+                .config(ExperimentConfig::quick());
+            if let Some(t) = tuning {
+                b = b.solver_tuning(t);
+            }
+            b.run()
+        };
+        let fast = mk(None);
+        let cold = mk(Some(SolverTuning::baseline()));
+        // Memoization is exact; warm starts converge to the same answer
+        // within the fixed-point tolerance.
+        let rel = (fast.ml_performance.throughput - cold.ml_performance.throughput).abs()
+            / cold.ml_performance.throughput.max(1e-9);
+        assert!(rel < 1e-2, "tuning moved the physics: {rel}");
+        assert!(cold.solve.memo_hits == 0 && cold.solve.warm_hits == 0);
+        assert!(fast.solve.evaluations < cold.solve.evaluations);
     }
 
     #[test]

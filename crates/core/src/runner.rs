@@ -23,6 +23,7 @@ use crate::experiments::backpressure::FixedPrefetchPolicy;
 use crate::measure::Measurements;
 use crate::policy::{KelpPolicy, PolicyKind, PolicySnapshot};
 use crate::profile::{ApplicationProfile, ProfileLibrary, Watermark, WatermarkProfile};
+use kelp_mem::solver::SolveStats;
 use kelp_mem::topology::{SncMode, SocketId};
 use kelp_simcore::fault::FaultPlan;
 use kelp_simcore::rng::derive_seed;
@@ -486,6 +487,12 @@ pub struct RunMeta {
     pub steps_per_sec: f64,
     /// Whether the record was loaded from the result cache.
     pub cached: bool,
+    /// Solver cost counters for the run (solves, fixed-point iterations,
+    /// evaluations, memo/warm-start hits, wall time in the solver). Lives
+    /// in `meta`, which payload comparisons exclude, because `solve_ns` is
+    /// wall-clock.
+    #[serde(default)]
+    pub solve: SolveStats,
 }
 
 /// The serializable outcome of one run: everything the figure folds consume.
@@ -534,6 +541,7 @@ impl RunRecord {
                     0.0
                 },
                 cached: false,
+                solve: result.solve,
             },
         }
     }
@@ -554,6 +562,7 @@ impl RunRecord {
                 sim_steps: 0,
                 steps_per_sec: 0.0,
                 cached: false,
+                solve: SolveStats::default(),
             },
         }
     }

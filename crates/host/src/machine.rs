@@ -12,7 +12,9 @@ use crate::placement::{CpuAllocation, SmtModel};
 use crate::task::{HostTaskId, TaskSpec};
 use kelp_mem::llc::CatAllocation;
 use kelp_mem::prefetch::PrefetchSetting;
-use kelp_mem::solver::{FixedFlow, MemSystem, SolverInput, SolverTask, TaskKey};
+use kelp_mem::solver::{
+    FixedFlow, MemSystem, SolveStats, SolverInput, SolverScratch, SolverTask, SolverTuning, TaskKey,
+};
 use kelp_mem::topology::{DomainId, SncMode};
 use kelp_mem::MemCounters;
 use std::collections::BTreeMap;
@@ -135,6 +137,12 @@ pub struct HostMachine {
     /// Memoized solves: workload phases alternate among a small set of
     /// configurations, so most steps hit this cache.
     cache: std::cell::RefCell<Vec<(SolverInput, MachineReport)>>,
+    /// Reused solver workspace; also carries warm-start state between ticks.
+    scratch: std::cell::RefCell<SolverScratch>,
+    /// Cumulative solve cost over this machine's lifetime.
+    stats: std::cell::RefCell<SolveStats>,
+    /// Memoization / warm-start toggles.
+    tuning: SolverTuning,
     /// While true, actuation writes (cpuset moves, prefetcher MSR writes,
     /// bandwidth caps) are silently dropped — the fault injector's model of
     /// a failed migration or MSR write. Read-backs still report the true
@@ -154,8 +162,39 @@ impl HostMachine {
             tasks: Vec::new(),
             flows: Vec::new(),
             cache: std::cell::RefCell::new(Vec::new()),
+            scratch: std::cell::RefCell::new(SolverScratch::default()),
+            stats: std::cell::RefCell::new(SolveStats::default()),
+            tuning: SolverTuning::default(),
             actuation_fault: false,
         }
+    }
+
+    /// Sets the solver performance toggles (steady-state memoization and
+    /// warm starts). Clears the memo cache and the warm-start state so a
+    /// tuning change takes effect from a clean slate; cumulative
+    /// [`HostMachine::solve_stats`] are preserved.
+    pub fn set_solver_tuning(&mut self, tuning: SolverTuning) {
+        self.tuning = tuning;
+        self.mem.set_warm_start(tuning.warm_start);
+        self.cache.borrow_mut().clear();
+        self.scratch.borrow_mut().reset_warm_state();
+    }
+
+    /// The current solver tuning.
+    pub fn solver_tuning(&self) -> SolverTuning {
+        self.tuning
+    }
+
+    /// Cumulative solve cost counters since construction (or the last
+    /// [`HostMachine::reset_solve_stats`]): every [`HostMachine::solve`]
+    /// call counts one solve, memo hits included.
+    pub fn solve_stats(&self) -> SolveStats {
+        *self.stats.borrow()
+    }
+
+    /// Zeroes the cumulative solve-cost counters.
+    pub fn reset_solve_stats(&self) {
+        *self.stats.borrow_mut() = SolveStats::default();
     }
 
     /// Arms or clears the actuation fault: while armed, task-level actuation
@@ -370,16 +409,22 @@ impl HostMachine {
             tasks: solver_tasks,
             fixed_flows: self.flows.clone(),
         };
-        if let Some(report) = self
-            .cache
-            .borrow()
-            .iter()
-            .find(|(k, _)| *k == input)
-            .map(|(_, r)| r.clone())
-        {
-            return report;
+        if self.tuning.memo {
+            if let Some(report) = self
+                .cache
+                .borrow()
+                .iter()
+                .find(|(k, _)| *k == input)
+                .map(|(_, r)| r.clone())
+            {
+                let mut stats = self.stats.borrow_mut();
+                stats.solves += 1;
+                stats.memo_hits += 1;
+                return report;
+            }
         }
-        let output = self.mem.solve(&input);
+        let output = self.mem.solve_with(&input, &mut self.scratch.borrow_mut());
+        self.stats.borrow_mut().absorb(&output.stats);
 
         // 4. Aggregate sub-task results per task.
         let mut results: BTreeMap<HostTaskId, TaskStepResult> = BTreeMap::new();
@@ -422,11 +467,13 @@ impl HostMachine {
             counters: output.counters,
             converged: output.converged,
         };
-        let mut cache = self.cache.borrow_mut();
-        if cache.len() >= SOLVE_CACHE_CAPACITY {
-            cache.remove(0);
+        if self.tuning.memo {
+            let mut cache = self.cache.borrow_mut();
+            if cache.len() >= SOLVE_CACHE_CAPACITY {
+                cache.remove(0);
+            }
+            cache.push((input, report.clone()));
         }
-        cache.push((input, report.clone()));
         report
     }
 }
@@ -691,6 +738,59 @@ mod tests {
         assert!(rep.counters.upi_gbps > 1.0, "upi {}", rep.counters.upi_gbps);
         assert!(rep.counters.socket_bw(SocketId(1)) > rep.counters.socket_bw(SocketId(0)));
         assert!(rep.task(id).units_per_sec > 0.0);
+    }
+
+    #[test]
+    fn solve_stats_count_memo_and_warm_hits() {
+        let mut m = machine(SncMode::Disabled);
+        m.add_task(
+            stream_spec(4),
+            vec![CpuAllocation::local(DomainId::new(0, 0), 4)],
+        );
+        let _ = m.solve();
+        let cold = m.solve_stats();
+        assert_eq!(cold.solves, 1);
+        assert_eq!(cold.memo_hits, 0);
+        assert!(cold.iterations >= 1);
+        assert_eq!(cold.evaluations, cold.iterations + 1);
+
+        // Identical configuration: answered from the memo.
+        let _ = m.solve();
+        let memo = m.solve_stats();
+        assert_eq!(memo.solves, 2);
+        assert_eq!(memo.memo_hits, 1);
+        assert_eq!(memo.evaluations, cold.evaluations);
+
+        // Changed configuration: computed, but warm-started.
+        m.set_intensity(HostTaskId(0), 0.5);
+        let _ = m.solve();
+        let warm = m.solve_stats();
+        assert_eq!(warm.solves, 3);
+        assert_eq!(warm.memo_hits, 1);
+        assert_eq!(warm.warm_hits, 1);
+
+        m.reset_solve_stats();
+        assert_eq!(m.solve_stats(), SolveStats::default());
+    }
+
+    #[test]
+    fn baseline_tuning_disables_memoization() {
+        let mut a = machine(SncMode::Disabled);
+        a.add_task(
+            stream_spec(4),
+            vec![CpuAllocation::local(DomainId::new(0, 0), 4)],
+        );
+        let mut b = a.clone();
+        b.set_solver_tuning(SolverTuning::baseline());
+        for _ in 0..3 {
+            let ra = a.solve();
+            let rb = b.solve();
+            assert_eq!(ra, rb, "memoized and cold reports must match exactly");
+        }
+        assert_eq!(a.solve_stats().memo_hits, 2);
+        assert_eq!(b.solve_stats().memo_hits, 0);
+        assert_eq!(b.solve_stats().warm_hits, 0);
+        assert_eq!(b.solver_tuning(), SolverTuning::baseline());
     }
 
     #[test]

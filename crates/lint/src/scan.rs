@@ -14,11 +14,14 @@ const SHIM_CRATES: [&str; 3] = ["serde", "serde_derive", "serde_json"];
 
 /// The wall-clock allowlist (KL-D02): the only modules allowed to read the
 /// host clock, because they measure *our* wall time, never simulated state —
-/// the bench timing harness, the Runner's elapsed stamps, and `repro_all`'s
-/// progress report.
-const TIME_ALLOWLIST: [&str; 3] = [
+/// the bench timing harness, the Runner's elapsed stamps, `repro_all`'s
+/// progress report, the driver's per-tick solve timer (reporting-only
+/// `SolveStats.solve_ns`), and the solver macro-benchmark.
+const TIME_ALLOWLIST: [&str; 5] = [
     "crates/bench/src/timing.rs",
     "crates/bench/src/bin/repro_all.rs",
+    "crates/bench/src/bin/ext_solver_hot.rs",
+    "crates/core/src/driver.rs",
     "crates/core/src/runner.rs",
 ];
 
@@ -107,6 +110,15 @@ mod tests {
 
         let bin = classify("crates/bench/src/bin/repro_all.rs").expect("scanned");
         assert!(!bin.panic_scope && bin.time_allowlisted);
+
+        let driver = classify("crates/core/src/driver.rs").expect("scanned");
+        assert!(driver.panic_scope && driver.time_allowlisted);
+
+        let hot = classify("crates/bench/src/bin/ext_solver_hot.rs").expect("scanned");
+        assert!(!hot.panic_scope && hot.time_allowlisted);
+
+        let other_core = classify("crates/core/src/measure.rs").expect("scanned");
+        assert!(!other_core.time_allowlisted);
 
         assert!(classify("tests/proptests.rs").is_none());
         assert!(classify("crates/bench/benches/bench_figures.rs").is_none());

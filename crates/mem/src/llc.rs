@@ -124,6 +124,16 @@ impl LlcModel {
     /// the same way. A task with zero access rate gets zero occupancy unless
     /// it is alone in its pool.
     pub fn shares(&self, tasks: &[CacheTask]) -> Vec<CacheShare> {
+        let mut out = Vec::new();
+        self.shares_into(tasks, &mut out);
+        out
+    }
+
+    /// In-place core of [`shares`](Self::shares): writes one [`CacheShare`]
+    /// per task into `out` (cleared first). Reusing `out` across calls makes
+    /// the occupancy computation allocation-free; results are bit-identical
+    /// to the allocating API.
+    pub fn shares_into(&self, tasks: &[CacheTask], out: &mut Vec<CacheShare>) {
         let hp_capacity = self.capacity_bytes * self.cat.high_priority_fraction();
         let shared_capacity = self.capacity_bytes * self.cat.shared_fraction();
 
@@ -142,41 +152,39 @@ impl LlcModel {
         let hp_n = pool_count(CacheClass::HighPriority);
         let shared_n = pool_count(CacheClass::Shared);
 
-        tasks
-            .iter()
-            .map(|t| {
-                let (pool_cap, rate_sum, n) = match t.class {
-                    CacheClass::HighPriority => {
-                        // With CAT off the "dedicated" pool is empty: HP tasks
-                        // compete in the shared pool like everyone else.
-                        if self.cat.high_priority_ways == 0 {
-                            (shared_capacity, hp_rate + shared_rate, hp_n + shared_n)
-                        } else {
-                            (hp_capacity, hp_rate, hp_n)
-                        }
+        out.clear();
+        out.extend(tasks.iter().map(|t| {
+            let (pool_cap, rate_sum, n) = match t.class {
+                CacheClass::HighPriority => {
+                    // With CAT off the "dedicated" pool is empty: HP tasks
+                    // compete in the shared pool like everyone else.
+                    if self.cat.high_priority_ways == 0 {
+                        (shared_capacity, hp_rate + shared_rate, hp_n + shared_n)
+                    } else {
+                        (hp_capacity, hp_rate, hp_n)
                     }
-                    CacheClass::Shared => {
-                        if self.cat.high_priority_ways == 0 {
-                            (shared_capacity, hp_rate + shared_rate, hp_n + shared_n)
-                        } else {
-                            (shared_capacity, shared_rate, shared_n)
-                        }
-                    }
-                };
-                let capacity = if n == 0 {
-                    0.0
-                } else if rate_sum <= 0.0 {
-                    pool_cap / n as f64
-                } else {
-                    pool_cap * occupancy_weight(t) / rate_sum
-                };
-                let hit_ratio = hit_ratio(t.working_set, capacity, t.hit_max);
-                CacheShare {
-                    capacity,
-                    hit_ratio,
                 }
-            })
-            .collect()
+                CacheClass::Shared => {
+                    if self.cat.high_priority_ways == 0 {
+                        (shared_capacity, hp_rate + shared_rate, hp_n + shared_n)
+                    } else {
+                        (shared_capacity, shared_rate, shared_n)
+                    }
+                }
+            };
+            let capacity = if n == 0 {
+                0.0
+            } else if rate_sum <= 0.0 {
+                pool_cap / n as f64
+            } else {
+                pool_cap * occupancy_weight(t) / rate_sum
+            };
+            let hit_ratio = hit_ratio(t.working_set, capacity, t.hit_max);
+            CacheShare {
+                capacity,
+                hit_ratio,
+            }
+        }));
     }
 }
 

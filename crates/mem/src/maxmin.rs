@@ -60,16 +60,53 @@ impl Allocation {
     }
 }
 
+/// Reusable working memory for [`allocate_into`].
+///
+/// Holds the progressive-filling bookkeeping buffers so a caller that
+/// allocates repeatedly (the solver runs one allocation per fixed-point
+/// iteration) pays for them once.
+#[derive(Debug, Clone, Default)]
+pub struct AllocScratch {
+    frozen: Vec<bool>,
+    remaining: Vec<f64>,
+    active_weight: Vec<f64>,
+}
+
 /// Computes the weighted max-min fair allocation by progressive filling.
 ///
 /// `capacities[r]` is the capacity of resource `r` in GB/s. Flows with zero
 /// demand get zero. Flows referencing a zero-capacity resource get zero.
+///
+/// Allocating convenience wrapper around [`allocate_into`]; the two are
+/// bit-identical for the same inputs.
 ///
 /// # Panics
 ///
 /// Panics if a flow references an out-of-range resource, has a non-positive
 /// weight, a negative demand, or a non-positive usage coefficient.
 pub fn allocate(flows: &[Flow], capacities: &[f64]) -> Allocation {
+    let mut rates = Vec::new();
+    let mut used = Vec::new();
+    let mut scratch = AllocScratch::default();
+    allocate_into(flows, capacities, &mut rates, &mut used, &mut scratch);
+    Allocation { rates, used }
+}
+
+/// In-place core of [`allocate`]: writes per-flow rates and per-resource
+/// usage into caller-owned buffers, reusing `scratch` for all intermediate
+/// state. On reused buffers with sufficient capacity the call performs no
+/// allocation.
+///
+/// # Panics
+///
+/// Same contract as [`allocate`].
+pub fn allocate_into(
+    flows: &[Flow],
+    capacities: &[f64],
+    rates: &mut Vec<f64>,
+    used: &mut Vec<f64>,
+    scratch: &mut AllocScratch,
+) {
     for f in flows {
         assert!(f.weight > 0.0, "flow weight must be positive");
         assert!(f.demand >= 0.0, "flow demand must be non-negative");
@@ -80,9 +117,14 @@ pub fn allocate(flows: &[Flow], capacities: &[f64]) -> Allocation {
     }
 
     let n = flows.len();
-    let mut rates = vec![0.0f64; n];
-    let mut frozen = vec![false; n];
-    let mut remaining: Vec<f64> = capacities.to_vec();
+    rates.clear();
+    rates.resize(n, 0.0);
+    let frozen = &mut scratch.frozen;
+    frozen.clear();
+    frozen.resize(n, false);
+    let remaining = &mut scratch.remaining;
+    remaining.clear();
+    remaining.extend_from_slice(capacities);
 
     // Flows with zero demand, or through a dead resource, freeze at zero.
     for (i, f) in flows.iter().enumerate() {
@@ -116,7 +158,9 @@ pub fn allocate(flows: &[Flow], capacities: &[f64]) -> Allocation {
 
         // Resource saturation levels: remaining[r] supports an additional
         // (level' - level) * active_coeff_weight[r].
-        let mut active_weight = vec![0.0f64; capacities.len()];
+        let active_weight = &mut scratch.active_weight;
+        active_weight.clear();
+        active_weight.resize(capacities.len(), 0.0);
         for (i, f) in flows.iter().enumerate() {
             if !frozen[i] {
                 for &(r, c) in &f.usage {
@@ -177,13 +221,13 @@ pub fn allocate(flows: &[Flow], capacities: &[f64]) -> Allocation {
     }
 
     // Account used capacity exactly from final rates.
-    let mut used = vec![0.0f64; capacities.len()];
-    for (f, &rate) in flows.iter().zip(&rates) {
+    used.clear();
+    used.resize(capacities.len(), 0.0);
+    for (f, &rate) in flows.iter().zip(rates.iter()) {
         for &(r, c) in &f.usage {
             used[r] += rate * c;
         }
     }
-    Allocation { rates, used }
 }
 
 #[cfg(test)]
@@ -312,6 +356,37 @@ mod tests {
         }
         for (f, &rate) in flows.iter().zip(&a.rates) {
             assert!(rate <= f.demand + 1e-6);
+        }
+    }
+
+    #[test]
+    fn allocate_into_matches_allocate_with_reused_scratch() {
+        // Deliberately mismatched problem sizes back to back, so a stale
+        // scratch from the larger problem must not leak into the smaller one.
+        let problems: Vec<(Vec<Flow>, Vec<f64>)> = vec![
+            (
+                vec![
+                    Flow {
+                        demand: 80.0,
+                        weight: 2.0,
+                        usage: vec![(0, 1.0), (1, 0.3)],
+                    },
+                    Flow::simple(70.0, 1.0, 0),
+                    Flow::simple(25.0, 5.0, 1),
+                ],
+                vec![50.0, 20.0],
+            ),
+            (vec![Flow::simple(10.0, 1.0, 0)], vec![5.0]),
+            (vec![], vec![10.0, 10.0, 10.0]),
+        ];
+        let mut rates = Vec::new();
+        let mut used = Vec::new();
+        let mut scratch = AllocScratch::default();
+        for (flows, caps) in &problems {
+            let fresh = allocate(flows, caps);
+            allocate_into(flows, caps, &mut rates, &mut used, &mut scratch);
+            assert_eq!(rates, fresh.rates);
+            assert_eq!(used, fresh.used);
         }
     }
 

@@ -40,6 +40,73 @@ pub struct FixedPointOutcome {
     pub residual: f64,
 }
 
+/// Result of an in-place fixed-point solve ([`solve_fixed_point_into`]); the
+/// state lives in the caller's buffer, so only the scalars are returned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedPointStats {
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was met within the iteration budget.
+    pub converged: bool,
+    /// Final relative residual (infinity norm).
+    pub residual: f64,
+}
+
+/// Solves `x = f(x)` by damped iteration, in place and allocation-free.
+///
+/// `x` holds the initial state on entry and the final state on exit. `fx` is
+/// a caller-owned scratch buffer for the map's output; `f` must leave it with
+/// the same length as `x` (it is cleared before each call). The iteration
+/// itself performs no allocation — on a reused `fx` with sufficient capacity
+/// the whole solve is allocation-free. The arithmetic is identical to
+/// [`solve_fixed_point`], which delegates here, so the two produce
+/// bit-identical states for the same map.
+///
+/// # Panics
+///
+/// Panics if `f` leaves `fx` with a different length than `x`, or if the
+/// config's damping is outside `(0, 1]`.
+pub fn solve_fixed_point_into<F>(
+    x: &mut [f64],
+    fx: &mut Vec<f64>,
+    mut f: F,
+    config: FixedPointConfig,
+) -> FixedPointStats
+where
+    F: FnMut(&[f64], &mut Vec<f64>),
+{
+    assert!(
+        config.damping > 0.0 && config.damping <= 1.0,
+        "damping must be in (0, 1]"
+    );
+    let mut residual = f64::INFINITY;
+    for iter in 0..config.max_iters {
+        fx.clear();
+        f(x, fx);
+        assert_eq!(fx.len(), x.len(), "fixed-point map changed dimension");
+        let mut max_rel = 0.0f64;
+        for (xi, &fxi) in x.iter_mut().zip(fx.iter()) {
+            let next = (1.0 - config.damping) * *xi + config.damping * fxi;
+            let scale = xi.abs().max(1e-9);
+            max_rel = max_rel.max((next - *xi).abs() / scale);
+            *xi = next;
+        }
+        residual = max_rel;
+        if max_rel < config.tolerance {
+            return FixedPointStats {
+                iterations: iter + 1,
+                converged: true,
+                residual,
+            };
+        }
+    }
+    FixedPointStats {
+        iterations: config.max_iters,
+        converged: false,
+        residual,
+    }
+}
+
 /// Solves `x = f(x)` by damped iteration from `initial`.
 ///
 /// `f` maps a state vector to the next state vector of the same length. The
@@ -75,37 +142,19 @@ pub fn solve_fixed_point<F>(
 where
     F: FnMut(&[f64]) -> Vec<f64>,
 {
-    assert!(
-        config.damping > 0.0 && config.damping <= 1.0,
-        "damping must be in (0, 1]"
-    );
     let mut x = initial;
-    let mut residual = f64::INFINITY;
-    for iter in 0..config.max_iters {
-        let fx = f(&x);
-        assert_eq!(fx.len(), x.len(), "fixed-point map changed dimension");
-        let mut max_rel = 0.0f64;
-        for (xi, fxi) in x.iter_mut().zip(fx) {
-            let next = (1.0 - config.damping) * *xi + config.damping * fxi;
-            let scale = xi.abs().max(1e-9);
-            max_rel = max_rel.max((next - *xi).abs() / scale);
-            *xi = next;
-        }
-        residual = max_rel;
-        if max_rel < config.tolerance {
-            return FixedPointOutcome {
-                state: x,
-                iterations: iter + 1,
-                converged: true,
-                residual,
-            };
-        }
-    }
+    let mut fx = Vec::new();
+    let stats = solve_fixed_point_into(
+        &mut x,
+        &mut fx,
+        |x, out| out.extend_from_slice(&f(x)),
+        config,
+    );
     FixedPointOutcome {
         state: x,
-        iterations: config.max_iters,
-        converged: false,
-        residual,
+        iterations: stats.iterations,
+        converged: stats.converged,
+        residual: stats.residual,
     }
 }
 
@@ -170,6 +219,67 @@ mod tests {
         assert!(!out.converged);
         assert_eq!(out.iterations, 10);
         assert!(out.residual > 0.0);
+    }
+
+    #[test]
+    fn into_matches_allocating_api_bitwise() {
+        // The allocating wrapper delegates to the in-place core, so the two
+        // must agree to the last bit, including iteration counts.
+        let cfg = FixedPointConfig {
+            max_iters: 40,
+            tolerance: 1e-6,
+            damping: 0.45,
+        };
+        let map = |x: &[f64]| vec![0.3 * x[1] + 0.7, (0.5 * x[0]).cos()];
+        let out = solve_fixed_point(vec![0.1, 4.0], map, cfg);
+        let mut x = vec![0.1, 4.0];
+        let mut fx = Vec::new();
+        let stats = solve_fixed_point_into(
+            &mut x,
+            &mut fx,
+            |x, out| {
+                out.push(0.3 * x[1] + 0.7);
+                out.push((0.5 * x[0]).cos());
+            },
+            cfg,
+        );
+        assert_eq!(x, out.state);
+        assert_eq!(stats.iterations, out.iterations);
+        assert_eq!(stats.converged, out.converged);
+        assert_eq!(stats.residual.to_bits(), out.residual.to_bits());
+    }
+
+    #[test]
+    fn into_reuses_the_scratch_buffer() {
+        let mut x = vec![0.0];
+        let mut fx = Vec::with_capacity(1);
+        let before = fx.capacity();
+        let stats = solve_fixed_point_into(
+            &mut x,
+            &mut fx,
+            |x, out| out.push(0.5 * x[0] + 1.0),
+            FixedPointConfig {
+                max_iters: 200,
+                tolerance: 1e-10,
+                damping: 1.0,
+            },
+        );
+        assert!(stats.converged);
+        assert!((x[0] - 2.0).abs() < 1e-8);
+        assert_eq!(fx.capacity(), before, "scratch buffer must not regrow");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn into_rejects_dimension_change() {
+        let mut x = vec![0.0];
+        let mut fx = Vec::new();
+        solve_fixed_point_into(
+            &mut x,
+            &mut fx,
+            |_, out| out.extend_from_slice(&[0.0, 1.0]),
+            FixedPointConfig::default(),
+        );
     }
 
     #[test]

@@ -24,6 +24,13 @@ else
   cargo clippy --workspace --all-targets -- -D warnings
 fi
 
+echo "== solver identity tests =="
+# The hot-path determinism contract: scratch reuse and memoization must be
+# bit-identical to fresh solves (tests/solver_hot.rs). Always runs, even
+# though `cargo test -q` above covers it, so a partial invocation of this
+# script section still gates the contract.
+cargo test -q --release --test solver_hot
+
 echo "== fault-matrix smoke (KELP_QUICK=1) =="
 # Any escaped panic, error record, or hardened band violation exits nonzero.
 # Results go to a throwaway dir so the smoke never clobbers the checked-in
@@ -33,5 +40,12 @@ trap 'rm -rf "$smoke_results"' EXIT
 KELP_QUICK=1 KELP_RESULTS_DIR="$smoke_results" \
   cargo run --release -q -p kelp-bench --bin ext_fault_matrix -- \
   --quick --strict --no-cache >/dev/null
+
+echo "== solver hot-path smoke (KELP_QUICK=1) =="
+# Exits nonzero when the optimized timeline run records zero memo hits —
+# i.e. the steady-state memoization silently stopped working.
+KELP_QUICK=1 KELP_RESULTS_DIR="$smoke_results" \
+  cargo run --release -q -p kelp-bench --bin ext_solver_hot -- \
+  --quick >/dev/null
 
 echo "tier-1 OK"
