@@ -155,6 +155,11 @@ const SOLVE_CACHE_CAPACITY: usize = 24;
 
 impl HostMachine {
     /// Creates a machine with the given topology and SNC mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine spec is invalid (`MemSystem::new`'s contract).
+    // kelp-lint: allow(KL-R02): constructor contract inherited from MemSystem::new.
     pub fn new(machine: kelp_mem::topology::MachineSpec, snc: SncMode) -> Self {
         HostMachine {
             mem: MemSystem::new(machine, snc),

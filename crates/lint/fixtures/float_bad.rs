@@ -1,0 +1,21 @@
+//! KL-F corpus: float-determinism hazards at known lines.
+
+use std::collections::HashMap;
+
+pub fn nan_sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn narrow(x: f64) -> f32 {
+    x as f32
+}
+
+pub fn hash_sum(m: &HashMap<String, f64>) -> f64 {
+    m.values().sum()
+}
+
+pub fn clean(xs: &[f64]) -> f64 {
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted.iter().sum()
+}

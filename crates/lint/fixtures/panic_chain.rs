@@ -1,0 +1,21 @@
+//! KL-R corpus: a public API reaching a panic through private helpers.
+
+pub fn entry_point(xs: &[u64]) -> u64 {
+    middle(xs)
+}
+
+fn middle(xs: &[u64]) -> u64 {
+    deepest(xs)
+}
+
+fn deepest(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn unchecked_index(xs: &[u64]) -> u64 {
+    xs[3]
+}
+
+pub fn checked(xs: &[u64]) -> u64 {
+    xs.iter().copied().sum()
+}

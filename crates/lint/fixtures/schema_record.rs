@@ -1,0 +1,18 @@
+//! KL-S corpus: a serialized record pair matching `schema_golden.json`.
+
+#[derive(Serialize, Deserialize)]
+pub struct RunRecord {
+    pub ml_name: String,
+    pub meta: RunMeta,
+}
+
+#[derive(Serialize, Deserialize)]
+pub struct RunMeta {
+    pub wall_ms: f64,
+    pub sim_steps: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+pub struct Unreferenced {
+    pub never_serialized: u8,
+}

@@ -1,0 +1,215 @@
+//! Baseline pinning: a checked-in `lint-baseline.json` records accepted
+//! pre-existing findings so `--deny --baseline <file>` fails only on *new*
+//! violations.
+//!
+//! Entries are keyed by `(rule, file, symbol)` — the symbol is a stable
+//! path like `mem::SolverScratch::solve` or `RunMeta::wall_ms`, so pinned
+//! findings survive unrelated line drift. Rules that carry no symbol
+//! (token-level v1 rules) fall back to the line number. Stale entries
+//! (pinning nothing) are reported as notes, never as failures: deleting
+//! them is housekeeping, not a gate.
+
+use crate::jsonmini::{self, Value};
+use crate::rules::Diagnostic;
+
+/// The baseline file format version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One pinned finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    pub rule: String,
+    pub file: String,
+    pub symbol: String,
+    /// Fallback match key for symbol-less diagnostics.
+    pub line: u32,
+}
+
+impl Entry {
+    fn matches(&self, d: &Diagnostic) -> bool {
+        self.rule == d.rule
+            && self.file == d.file
+            && if self.symbol.is_empty() && d.symbol.is_empty() {
+                self.line == d.line
+            } else {
+                self.symbol == d.symbol
+            }
+    }
+}
+
+/// The result of applying a baseline.
+pub struct Applied {
+    /// Diagnostics not pinned by the baseline — these still fail `--deny`.
+    pub fresh: Vec<Diagnostic>,
+    /// How many diagnostics the baseline absorbed.
+    pub pinned: usize,
+    /// Baseline entries that matched nothing (housekeeping notes).
+    pub stale: Vec<Entry>,
+}
+
+/// Parses a baseline document. `None` on malformed input (the caller treats
+/// that as a hard error: a broken baseline must not silently pin nothing).
+pub fn parse(text: &str) -> Option<Vec<Entry>> {
+    let doc = jsonmini::parse(text)?;
+    let findings = doc.get("findings")?.as_arr()?;
+    let mut entries = Vec::with_capacity(findings.len());
+    for f in findings {
+        entries.push(Entry {
+            rule: f.get("rule")?.as_str()?.to_string(),
+            file: f.get("file")?.as_str()?.to_string(),
+            symbol: f
+                .get("symbol")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            line: match f.get("line") {
+                Some(Value::Num(n)) => *n as u32,
+                _ => 0,
+            },
+        });
+    }
+    Some(entries)
+}
+
+/// Splits diagnostics into fresh vs pinned under the baseline. Each entry
+/// can pin any number of matching diagnostics (a symbol-keyed entry covers
+/// the finding wherever its line moves).
+pub fn apply(diags: Vec<Diagnostic>, entries: &[Entry]) -> Applied {
+    let mut used = vec![false; entries.len()];
+    let mut fresh = Vec::new();
+    let mut pinned = 0usize;
+    for d in diags {
+        match entries.iter().position(|e| e.matches(&d)) {
+            Some(i) => {
+                used[i] = true;
+                pinned += 1;
+            }
+            None => fresh.push(d),
+        }
+    }
+    let stale = entries
+        .iter()
+        .zip(used)
+        .filter(|(_, u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    Applied {
+        fresh,
+        pinned,
+        stale,
+    }
+}
+
+/// Renders a deterministic baseline document for the given diagnostics
+/// (sorted, deduplicated by match key).
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut entries: Vec<Entry> = diags
+        .iter()
+        .map(|d| Entry {
+            rule: d.rule.to_string(),
+            file: d.file.clone(),
+            symbol: d.symbol.clone(),
+            line: if d.symbol.is_empty() { d.line } else { 0 },
+        })
+        .collect();
+    entries.sort();
+    entries.dedup();
+    let mut out = format!("{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"findings\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"symbol\": {}, \"line\": {}}}{}\n",
+            escape(&e.rule),
+            escape(&e.file),
+            escape(&e.symbol),
+            e.line,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, file: &str, line: u32, symbol: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.into(),
+            line,
+            symbol: symbol.into(),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn round_trip_pins_by_symbol_across_line_drift() {
+        let original = vec![
+            diag(
+                "KL-R02",
+                "crates/mem/src/solver.rs",
+                100,
+                "mem::Solver::solve",
+            ),
+            diag("KL-D01", "crates/core/src/x.rs", 5, ""),
+        ];
+        let entries = parse(&render(&original)).expect("round trip");
+        // The symbol-keyed finding drifted 40 lines; still pinned.
+        let drifted = vec![
+            diag(
+                "KL-R02",
+                "crates/mem/src/solver.rs",
+                140,
+                "mem::Solver::solve",
+            ),
+            diag("KL-D01", "crates/core/src/x.rs", 5, ""),
+            diag("KL-R01", "crates/mem/src/solver.rs", 7, "mem::fresh_fn"),
+        ];
+        let applied = apply(drifted, &entries);
+        assert_eq!(applied.pinned, 2);
+        assert_eq!(applied.fresh.len(), 1);
+        assert_eq!(applied.fresh[0].rule, "KL-R01");
+        assert!(applied.stale.is_empty());
+    }
+
+    #[test]
+    fn line_keyed_entry_does_not_pin_after_line_moves() {
+        let entries = parse(&render(&[diag("KL-D01", "a.rs", 5, "")])).expect("valid");
+        let applied = apply(vec![diag("KL-D01", "a.rs", 6, "")], &entries);
+        assert_eq!(applied.fresh.len(), 1);
+        assert_eq!(applied.stale.len(), 1);
+    }
+
+    #[test]
+    fn malformed_baseline_is_rejected() {
+        assert!(parse("not json").is_none());
+        assert!(parse("{\"findings\": 3}").is_none());
+        assert!(parse("{}").is_none());
+    }
+
+    #[test]
+    fn render_is_sorted_and_deduplicated() {
+        let a = diag("KL-R03", "b.rs", 9, "core::b");
+        let b = diag("KL-R03", "a.rs", 1, "core::a");
+        let doc1 = render(&[a.clone(), b.clone(), a.clone()]);
+        let doc2 = render(&[b, a]);
+        assert_eq!(doc1, doc2);
+        assert!(doc1.find("core::a").unwrap() < doc1.find("core::b").unwrap());
+    }
+}

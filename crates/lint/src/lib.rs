@@ -17,18 +17,38 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ast;
+pub mod baseline;
+pub mod callgraph;
+pub mod jsonmini;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod rules_v2;
 pub mod scan;
 
 pub use rules::{lint_source, Diagnostic, FileCtx};
 
-/// Lints every classifiable file under `root`, returning the diagnostics
-/// (sorted by file, then line, then rule) and the number of files scanned.
+/// The crate label a workspace-relative path belongs to (`crates/mem/…` →
+/// `mem`; top-level `src/` → `root`). Used for call-graph name resolution.
+fn crate_label(path: &str) -> &str {
+    let mut parts = path.split('/');
+    if parts.next() == Some("crates") {
+        parts.next().unwrap_or("root")
+    } else {
+        "root"
+    }
+}
+
+/// Lints every classifiable file under `root`: the per-file rules plus the
+/// workspace passes (KL-R panic reachability over the call graph, KL-S
+/// schema drift against `results/*.json`). Returns the diagnostics in a
+/// total order — (file, line, rule, symbol, message) — and the number of
+/// files scanned.
 pub fn lint_workspace(root: &std::path::Path) -> (Vec<Diagnostic>, usize) {
     let files = scan::workspace_files(root);
-    let mut diags = Vec::new();
+    let mut analyses = Vec::new();
     for (rel, path) in &files {
         let Some(ctx) = scan::classify(rel) else {
             continue;
@@ -37,12 +57,46 @@ pub fn lint_workspace(root: &std::path::Path) -> (Vec<Diagnostic>, usize) {
             continue;
         };
         let src = String::from_utf8_lossy(&bytes);
-        diags.extend(rules::lint_source(&ctx, &src));
+        analyses.push(rules::collect_file(&ctx, &src));
+    }
+
+    // Workspace pass 1: panic reachability over the call graph.
+    let units: Vec<callgraph::SourceUnit<'_>> = analyses
+        .iter()
+        .map(|fa| callgraph::SourceUnit {
+            file: &fa.ctx.path,
+            krate: crate_label(&fa.ctx.path),
+            panic_scope: fa.ctx.panic_scope,
+            items: &fa.items,
+        })
+        .collect();
+    let graph = callgraph::CallGraph::build(&units);
+    drop(units);
+    let mut workspace_diags = rules_v2::panic_reachability(&graph);
+
+    // Workspace pass 2: serde schema drift against the goldens.
+    let mut types = Vec::new();
+    for fa in &analyses {
+        rules_v2::collect_types(&fa.ctx, &fa.items, &mut types);
+    }
+    let goldens = rules_v2::load_goldens(root);
+    workspace_diags.extend(rules_v2::schema_rules(&types, &goldens));
+
+    // Route workspace findings to their owning file so the inline allow
+    // mechanism (and KL-H05 stale-allow detection) covers them uniformly.
+    for d in workspace_diags {
+        if let Some(fa) = analyses.iter_mut().find(|fa| fa.ctx.path == d.file) {
+            fa.diags.push(d);
+        }
+    }
+
+    let mut diags = Vec::new();
+    for fa in analyses {
+        diags.extend(rules::finish(fa));
     }
     diags.sort_by(|a, b| {
-        (&a.file, a.line, a.rule)
-            .partial_cmp(&(&b.file, b.line, b.rule))
-            .unwrap_or(std::cmp::Ordering::Equal)
+        (&a.file, a.line, a.rule, &a.symbol, &a.message)
+            .cmp(&(&b.file, b.line, b.rule, &b.symbol, &b.message))
     });
     (diags, files.len())
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! kelp-lint [--deny] [--json] [--fix-forbid] [--root PATH]
+//!           [--baseline FILE] [--write-baseline FILE]
 //! ```
 //!
 //! * `--deny`       exit non-zero when any diagnostic is emitted (the tier-1
@@ -11,6 +12,11 @@
 //!   lack it, then lint
 //! * `--root PATH`  workspace root (default: walk up from the current
 //!   directory to the first `Cargo.toml` declaring `[workspace]`)
+//! * `--baseline FILE`  pin pre-existing accepted findings: diagnostics
+//!   matching an entry in FILE are reported as a count only, and `--deny`
+//!   fails solely on *new* findings
+//! * `--write-baseline FILE`  write the current findings as a baseline
+//!   document and exit (how `lint-baseline.json` is regenerated)
 
 #![forbid(unsafe_code)]
 
@@ -21,6 +27,8 @@ struct Options {
     json: bool,
     fix_forbid: bool,
     root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -29,6 +37,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         json: false,
         fix_forbid: false,
         root: None,
+        baseline: None,
+        write_baseline: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -39,6 +49,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--root" => {
                 let path = it.next().ok_or("--root needs a path")?;
                 opts.root = Some(PathBuf::from(path));
+            }
+            "--baseline" => {
+                let path = it.next().ok_or("--baseline needs a file")?;
+                opts.baseline = Some(PathBuf::from(path));
+            }
+            "--write-baseline" => {
+                let path = it.next().ok_or("--write-baseline needs a file")?;
+                opts.write_baseline = Some(PathBuf::from(path));
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag '{other}'")),
@@ -64,7 +82,8 @@ fn find_root() -> Option<PathBuf> {
     }
 }
 
-const USAGE: &str = "usage: kelp-lint [--deny] [--json] [--fix-forbid] [--root PATH]";
+const USAGE: &str = "usage: kelp-lint [--deny] [--json] [--fix-forbid] [--root PATH] \
+                     [--baseline FILE] [--write-baseline FILE]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -99,6 +118,54 @@ fn main() {
     }
 
     let (diags, files_scanned) = kelp_lint::lint_workspace(&root);
+
+    if let Some(path) = &opts.write_baseline {
+        let doc = kelp_lint::baseline::render(&diags);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: cannot write baseline {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!(
+            "kelp-lint: wrote {} finding{} to {}",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" },
+            path.display()
+        );
+        return;
+    }
+
+    let diags = match &opts.baseline {
+        None => diags,
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("error: cannot read baseline {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            let Some(entries) = kelp_lint::baseline::parse(&text) else {
+                eprintln!("error: malformed baseline {}", path.display());
+                std::process::exit(2);
+            };
+            let applied = kelp_lint::baseline::apply(diags, &entries);
+            if applied.pinned > 0 {
+                eprintln!(
+                    "kelp-lint: {} finding{} pinned by baseline",
+                    applied.pinned,
+                    if applied.pinned == 1 { "" } else { "s" }
+                );
+            }
+            for stale in &applied.stale {
+                eprintln!(
+                    "kelp-lint: note: stale baseline entry {} {} {} pins nothing",
+                    stale.rule, stale.file, stale.symbol
+                );
+            }
+            applied.fresh
+        }
+    };
+
     if opts.json {
         println!("{}", kelp_lint::report::json(&diags, files_scanned));
     } else {

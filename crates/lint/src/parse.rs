@@ -1,0 +1,1627 @@
+//! A hand-rolled, dependency-free recursive-descent parser for the Rust
+//! subset this workspace uses, built on [`crate::lexer`]'s token stream.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Totality.** Like the lexer, the parser never panics and never
+//!    rejects input: anything it cannot place degrades to a skipped token
+//!    or an [`Expr::Opaque`] leaf. Every loop provably advances the cursor
+//!    and recursion depth is capped, so arbitrary token soup (the fuzz
+//!    suite feeds it 500 seeded random streams) terminates.
+//! 2. **Fidelity where the rules look.** Calls, method calls, indexing,
+//!    macros, casts, closures, struct/enum definitions with attributes,
+//!    and `pub` visibility are modeled precisely. Operator precedence is
+//!    deliberately collapsed ([`Expr::Many`]): no rule cares whether `a +
+//!    b * c` associates left or right, only which calls appear inside.
+//! 3. **No `syn`.** The offline build bakes in nothing beyond the rust
+//!    toolchain, and the lint must never be breakable by the code it
+//!    checks.
+//!
+//! Known approximations (documented in DESIGN.md §"Static analysis v2"):
+//! match-arm *patterns* are skipped (guard expressions are parsed), generic
+//! arguments are skipped wholesale, and `where` clauses are scanned only to
+//! find the body brace.
+
+use crate::ast::{
+    Attr, EnumItem, Expr, FieldDef, FnItem, ImplBlock, Item, ItemKind, ModItem, StructItem,
+    TraitItem,
+};
+use crate::lexer::{Lexed, Tok, Token};
+
+/// Recursion guard: beyond this expression/item nesting depth the parser
+/// emits [`Expr::Opaque`] and unwinds gracefully instead of risking stack
+/// exhaustion on adversarial input.
+const MAX_DEPTH: u32 = 200;
+
+/// Parses a lexed file into its item list. Total on arbitrary input.
+pub fn parse_items(lexed: &Lexed) -> Vec<Item> {
+    let mut p = Parser {
+        toks: &lexed.tokens,
+        pos: 0,
+        depth: 0,
+    };
+    p.items_until(None)
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    depth: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self, ahead: usize) -> Option<&'a Tok> {
+        self.toks.get(self.pos + ahead).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|t| t.line)
+            .unwrap_or(1)
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn is_punct(&self, ahead: usize, c: char) -> bool {
+        matches!(self.peek(ahead), Some(Tok::Punct(p)) if *p == c)
+    }
+
+    fn ident_at(&self, ahead: usize) -> Option<&'a str> {
+        match self.peek(ahead) {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.is_punct(0, c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if self.ident_at(0) == Some(name) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes one balanced delimiter group starting at the current `open`
+    /// punct (which must be `(`, `[`, or `{`). Total: unclosed groups end
+    /// at end-of-input.
+    fn skip_group(&mut self) {
+        let close = match self.peek(0) {
+            Some(Tok::Punct('(')) => ')',
+            Some(Tok::Punct('[')) => ']',
+            Some(Tok::Punct('{')) => '}',
+            _ => {
+                self.bump();
+                return;
+            }
+        };
+        let open = match close {
+            ')' => '(',
+            ']' => '[',
+            _ => '{',
+        };
+        let mut depth = 0usize;
+        while let Some(tok) = self.peek(0) {
+            match tok {
+                Tok::Punct(p) if *p == open => depth += 1,
+                Tok::Punct(p) if *p == close => {
+                    depth -= 1;
+                    self.bump();
+                    if depth == 0 {
+                        return;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes a balanced `<…>` generic-argument group starting at `<`.
+    /// `-` `>` pairs (fn-type arrows inside bounds) are consumed together so
+    /// they do not close the angle bracket; nested delimiter groups are
+    /// skipped wholesale (const-generic `{ … }` defaults).
+    fn skip_angles(&mut self) {
+        let mut depth = 0usize;
+        while let Some(tok) = self.peek(0) {
+            match tok {
+                Tok::Punct('<') => {
+                    depth += 1;
+                    self.bump();
+                }
+                Tok::Punct('>') => {
+                    depth = depth.saturating_sub(1);
+                    self.bump();
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                Tok::Punct('-') if matches!(self.peek(1), Some(Tok::Punct('>'))) => {
+                    self.bump();
+                    self.bump();
+                }
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => self.skip_group(),
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Collects one attribute starting at `#`: `#[…]` or `#![…]`, flattened
+    /// to its identifier list.
+    fn attr(&mut self) -> Attr {
+        let line = self.line();
+        self.bump(); // '#'
+        if self.is_punct(0, '!') {
+            self.bump();
+        }
+        let mut idents = Vec::new();
+        if self.is_punct(0, '[') {
+            let start = self.pos;
+            self.skip_group();
+            for tok in &self.toks[start..self.pos] {
+                if let Tok::Ident(s) = &tok.kind {
+                    idents.push(s.clone());
+                }
+            }
+        }
+        Attr { idents, line }
+    }
+
+    /// Skips to the statement/item boundary `;`, honoring nested delimiter
+    /// groups (`use a::{b, c};`, `static X: [u8; 4] = { … };`).
+    fn skip_to_semi(&mut self) {
+        while let Some(tok) = self.peek(0) {
+            match tok {
+                Tok::Punct(';') => {
+                    self.bump();
+                    return;
+                }
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => self.skip_group(),
+                _ => self.bump(),
+            }
+        }
+    }
+
+    // ----- items ------------------------------------------------------
+
+    /// Parses items until the closing brace (when `end` is set) or
+    /// end-of-input.
+    fn items_until(&mut self, end: Option<char>) -> Vec<Item> {
+        let mut items = Vec::new();
+        if self.depth >= MAX_DEPTH {
+            // Unwind: drop the remaining tokens of this group.
+            if end.is_some() {
+                self.skip_to_close('}');
+            } else {
+                self.pos = self.toks.len();
+            }
+            return items;
+        }
+        self.depth += 1;
+        loop {
+            if self.at_end() {
+                break;
+            }
+            if let Some(close) = end {
+                if self.is_punct(0, close) {
+                    self.bump();
+                    break;
+                }
+            }
+            let before = self.pos;
+            if let Some(item) = self.item() {
+                items.push(item);
+            }
+            if self.pos == before {
+                self.bump(); // recovery: never stall
+            }
+        }
+        self.depth -= 1;
+        items
+    }
+
+    /// Skips tokens until the matching unnested `close` (used for
+    /// depth-limit unwinding).
+    fn skip_to_close(&mut self, close: char) {
+        let mut depth = 1usize;
+        while let Some(tok) = self.peek(0) {
+            match tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') if close == '}' => {
+                    depth -= 1;
+                    self.bump();
+                    if depth == 0 {
+                        return;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Parses one item, or returns `None` for tokens that do not start one
+    /// (the caller recovers by bumping).
+    fn item(&mut self) -> Option<Item> {
+        let mut attrs = Vec::new();
+        while self.is_punct(0, '#') {
+            attrs.push(self.attr());
+        }
+        let line = self.line();
+        let mut public = false;
+        let mut restricted = false;
+        if self.eat_ident("pub") {
+            public = true;
+            if self.is_punct(0, '(') {
+                restricted = true;
+                self.skip_group();
+            }
+        }
+        // Qualifiers that may precede `fn`.
+        while matches!(
+            self.ident_at(0),
+            Some("const" | "async" | "unsafe" | "extern")
+        ) && matches!(self.ident_at(1), Some("fn"))
+            | matches!(self.peek(1), Some(Tok::Literal))
+        {
+            // `extern "C" fn` carries a literal ABI string.
+            if self.ident_at(0) == Some("const") && self.ident_at(1) != Some("fn") {
+                break; // a `const NAME: …` item, not a qualifier
+            }
+            self.bump();
+            if matches!(self.peek(0), Some(Tok::Literal)) {
+                self.bump();
+            }
+        }
+        let kind = match self.ident_at(0) {
+            Some("fn") => {
+                self.bump();
+                ItemKind::Fn(self.fn_rest())
+            }
+            Some("struct") => {
+                self.bump();
+                ItemKind::Struct(self.struct_rest())
+            }
+            Some("enum") => {
+                self.bump();
+                ItemKind::Enum(self.enum_rest())
+            }
+            Some("impl") => {
+                self.bump();
+                ItemKind::Impl(self.impl_rest())
+            }
+            Some("mod") => {
+                self.bump();
+                let name = self.take_ident().unwrap_or_default();
+                if self.eat_punct('{') {
+                    ItemKind::Mod(ModItem {
+                        name,
+                        items: self.items_until(Some('}')),
+                    })
+                } else {
+                    self.eat_punct(';');
+                    ItemKind::Mod(ModItem {
+                        name,
+                        items: Vec::new(),
+                    })
+                }
+            }
+            Some("trait") => {
+                self.bump();
+                let name = self.take_ident().unwrap_or_default();
+                // Generics, supertrait bounds, where clause → body brace.
+                self.scan_to_body();
+                if self.eat_punct('{') {
+                    ItemKind::Trait(TraitItem {
+                        name,
+                        items: self.items_until(Some('}')),
+                    })
+                } else {
+                    ItemKind::Trait(TraitItem {
+                        name,
+                        items: Vec::new(),
+                    })
+                }
+            }
+            Some("use" | "type" | "static" | "const") => {
+                self.bump();
+                self.skip_to_semi();
+                ItemKind::Other
+            }
+            Some("extern") => {
+                self.bump();
+                if matches!(self.peek(0), Some(Tok::Literal)) {
+                    self.bump();
+                }
+                if self.is_punct(0, '{') {
+                    self.skip_group();
+                } else {
+                    self.skip_to_semi();
+                }
+                ItemKind::Other
+            }
+            Some("macro_rules") => {
+                self.bump();
+                self.eat_punct('!');
+                self.take_ident();
+                self.skip_group();
+                ItemKind::Other
+            }
+            _ => {
+                if public || !attrs.is_empty() {
+                    // A stray `pub`/attr with nothing we recognize: consume
+                    // what we took and report an opaque item so the attrs
+                    // are not re-parsed forever.
+                    ItemKind::Other
+                } else {
+                    return None;
+                }
+            }
+        };
+        Some(Item {
+            kind,
+            attrs,
+            public,
+            restricted,
+            line,
+        })
+    }
+
+    fn take_ident(&mut self) -> Option<String> {
+        match self.peek(0) {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.bump();
+                Some(s)
+            }
+            _ => None,
+        }
+    }
+
+    /// Scans forward to the item's body `{` or terminating `;`, skipping
+    /// generics, return types, and where clauses. Leaves the cursor ON the
+    /// brace/semicolon. Arrow `->` pairs are consumed together so return
+    /// types do not unbalance angle tracking.
+    fn scan_to_body(&mut self) {
+        while let Some(tok) = self.peek(0) {
+            match tok {
+                Tok::Punct('{') | Tok::Punct(';') => return,
+                Tok::Punct('<') => self.skip_angles(),
+                Tok::Punct('(') | Tok::Punct('[') => self.skip_group(),
+                Tok::Punct('-') if matches!(self.peek(1), Some(Tok::Punct('>'))) => {
+                    self.bump();
+                    self.bump();
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// `fn` already consumed: name, generics, params, return type, body.
+    fn fn_rest(&mut self) -> FnItem {
+        let line = self.line();
+        let name = self.take_ident().unwrap_or_default();
+        let sig_start = self.pos;
+        if self.is_punct(0, '<') {
+            self.skip_angles();
+        }
+        if self.is_punct(0, '(') {
+            self.skip_group();
+        }
+        self.scan_to_body();
+        let mut sig_idents = Vec::new();
+        for tok in &self.toks[sig_start..self.pos] {
+            if let Tok::Ident(s) = &tok.kind {
+                sig_idents.push(s.clone());
+            }
+        }
+        let body = if self.is_punct(0, '{') {
+            Some(self.block())
+        } else {
+            self.eat_punct(';');
+            None
+        };
+        FnItem {
+            name,
+            line,
+            sig_idents,
+            body,
+        }
+    }
+
+    /// `struct` already consumed.
+    fn struct_rest(&mut self) -> StructItem {
+        let name = self.take_ident().unwrap_or_default();
+        if self.is_punct(0, '<') {
+            self.skip_angles();
+        }
+        // Where clause before the body (rare) — scan to `{`, `(`, or `;`.
+        while !self.at_end()
+            && !self.is_punct(0, '{')
+            && !self.is_punct(0, '(')
+            && !self.is_punct(0, ';')
+        {
+            if self.is_punct(0, '<') {
+                self.skip_angles();
+            } else {
+                self.bump();
+            }
+        }
+        if self.is_punct(0, '(') {
+            // Tuple struct: collect payload type idents, then `;`.
+            let start = self.pos;
+            self.skip_group();
+            let mut tuple_type_idents = Vec::new();
+            for tok in &self.toks[start..self.pos] {
+                if let Tok::Ident(s) = &tok.kind {
+                    if s != "pub" {
+                        tuple_type_idents.push(s.clone());
+                    }
+                }
+            }
+            self.eat_punct(';');
+            return StructItem {
+                name,
+                fields: Vec::new(),
+                tuple_type_idents,
+            };
+        }
+        if !self.eat_punct('{') {
+            self.eat_punct(';'); // unit struct
+            return StructItem {
+                name,
+                fields: Vec::new(),
+                tuple_type_idents: Vec::new(),
+            };
+        }
+        let mut fields = Vec::new();
+        loop {
+            if self.at_end() || self.eat_punct('}') {
+                break;
+            }
+            let mut attrs = Vec::new();
+            while self.is_punct(0, '#') {
+                attrs.push(self.attr());
+            }
+            if self.eat_ident("pub") && self.is_punct(0, '(') {
+                self.skip_group();
+            }
+            let line = self.line();
+            let Some(fname) = self.take_ident() else {
+                self.bump();
+                continue;
+            };
+            let mut type_idents = Vec::new();
+            if self.eat_punct(':') {
+                // Type runs to the `,` or `}` at delimiter depth 0.
+                loop {
+                    match self.peek(0) {
+                        None | Some(Tok::Punct(',')) | Some(Tok::Punct('}')) => break,
+                        Some(Tok::Punct('<')) => {
+                            let start = self.pos;
+                            self.skip_angles();
+                            for tok in &self.toks[start..self.pos] {
+                                if let Tok::Ident(s) = &tok.kind {
+                                    type_idents.push(s.clone());
+                                }
+                            }
+                        }
+                        Some(Tok::Punct('(')) | Some(Tok::Punct('[')) => {
+                            let start = self.pos;
+                            self.skip_group();
+                            for tok in &self.toks[start..self.pos] {
+                                if let Tok::Ident(s) = &tok.kind {
+                                    type_idents.push(s.clone());
+                                }
+                            }
+                        }
+                        Some(Tok::Ident(s)) => {
+                            type_idents.push(s.clone());
+                            self.bump();
+                        }
+                        _ => self.bump(),
+                    }
+                }
+            }
+            self.eat_punct(',');
+            fields.push(FieldDef {
+                name: fname,
+                line,
+                type_idents,
+                attrs,
+            });
+        }
+        StructItem {
+            name,
+            fields,
+            tuple_type_idents: Vec::new(),
+        }
+    }
+
+    /// `enum` already consumed.
+    fn enum_rest(&mut self) -> EnumItem {
+        let name = self.take_ident().unwrap_or_default();
+        if self.is_punct(0, '<') {
+            self.skip_angles();
+        }
+        let mut variants = Vec::new();
+        if !self.eat_punct('{') {
+            return EnumItem { name, variants };
+        }
+        loop {
+            if self.at_end() || self.eat_punct('}') {
+                break;
+            }
+            while self.is_punct(0, '#') {
+                self.attr();
+            }
+            let Some(vname) = self.take_ident() else {
+                self.bump();
+                continue;
+            };
+            let mut payload = Vec::new();
+            if self.is_punct(0, '(') || self.is_punct(0, '{') {
+                let start = self.pos;
+                self.skip_group();
+                for tok in &self.toks[start..self.pos] {
+                    if let Tok::Ident(s) = &tok.kind {
+                        payload.push(s.clone());
+                    }
+                }
+            }
+            // Discriminant or trailing tokens to the comma.
+            while !self.at_end() && !self.is_punct(0, ',') && !self.is_punct(0, '}') {
+                self.bump();
+            }
+            self.eat_punct(',');
+            variants.push((vname, payload));
+        }
+        EnumItem { name, variants }
+    }
+
+    /// `impl` already consumed: generics, `Type` or `Trait for Type`, body.
+    fn impl_rest(&mut self) -> ImplBlock {
+        if self.is_punct(0, '<') {
+            self.skip_angles();
+        }
+        let first = self.type_head();
+        let (trait_name, type_name) = if self.eat_ident("for") {
+            (Some(first), self.type_head())
+        } else {
+            (None, first)
+        };
+        self.scan_to_body();
+        let items = if self.eat_punct('{') {
+            self.items_until(Some('}'))
+        } else {
+            Vec::new()
+        };
+        ImplBlock {
+            type_name,
+            trait_name,
+            items,
+        }
+    }
+
+    /// Reads a type position's head identifier: the *last* path segment
+    /// before generics (`kelp_mem::solver::SolverScratch<'a>` →
+    /// `SolverScratch`). Consumes the whole type path.
+    fn type_head(&mut self) -> String {
+        let mut head = String::new();
+        loop {
+            match self.peek(0) {
+                Some(Tok::Punct('&')) | Some(Tok::Punct('*')) => self.bump(),
+                Some(Tok::Lifetime) => self.bump(),
+                Some(Tok::Ident(s)) if s == "mut" || s == "dyn" || s == "const" => self.bump(),
+                Some(Tok::Ident(s)) => {
+                    head = s.clone();
+                    self.bump();
+                    if self.is_punct(0, '<') {
+                        self.skip_angles();
+                    }
+                    if self.is_punct(0, ':') && self.is_punct(1, ':') {
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    break;
+                }
+                Some(Tok::Punct('(')) | Some(Tok::Punct('[')) => {
+                    self.skip_group();
+                    break;
+                }
+                Some(Tok::Punct('<')) => {
+                    self.skip_angles();
+                    break;
+                }
+                _ => break,
+            }
+        }
+        head
+    }
+
+    // ----- expressions ------------------------------------------------
+
+    /// Parses a `{ … }` block (cursor on `{`). Returns [`Expr::Block`].
+    fn block(&mut self) -> Expr {
+        let line = self.line();
+        if self.depth >= MAX_DEPTH {
+            self.skip_group();
+            return Expr::Opaque { line };
+        }
+        self.depth += 1;
+        self.bump(); // '{'
+        let mut stmts = Vec::new();
+        let mut items = Vec::new();
+        loop {
+            if self.at_end() || self.eat_punct('}') {
+                break;
+            }
+            if self.eat_punct(';') {
+                continue;
+            }
+            let before = self.pos;
+            // Statement attributes.
+            let mut stmt_attrs = Vec::new();
+            while self.is_punct(0, '#') {
+                stmt_attrs.push(self.attr());
+            }
+            if self.ident_at(0) == Some("let") {
+                stmts.push(self.let_stmt());
+            } else if self.starts_item() {
+                if let Some(mut item) = self.item() {
+                    item.attrs.splice(0..0, stmt_attrs);
+                    items.push(item);
+                }
+            } else if let Some(e) = self.expr(false) {
+                stmts.push(e);
+            }
+            if self.pos == before {
+                self.bump(); // recovery
+            }
+        }
+        self.depth -= 1;
+        Expr::Block { stmts, items, line }
+    }
+
+    /// Whether the cursor starts a nested item rather than an expression.
+    fn starts_item(&self) -> bool {
+        match self.ident_at(0) {
+            Some(
+                "fn" | "struct" | "enum" | "impl" | "trait" | "use" | "mod" | "static" | "type"
+                | "macro_rules",
+            ) => true,
+            // `pub` in statement position always opens an item.
+            Some("pub") => true,
+            // `const` opens an item only as `const NAME: …` / `const fn`,
+            // not as a `const { … }` block expression.
+            Some("const") => !matches!(self.peek(1), Some(Tok::Punct('{'))),
+            // `unsafe fn` / `unsafe impl` (plain `unsafe { … }` is an expr).
+            Some("unsafe" | "async") => {
+                matches!(self.ident_at(1), Some("fn" | "impl" | "trait" | "extern"))
+            }
+            Some("extern") => !matches!(self.peek(1), Some(Tok::Punct('('))),
+            _ => false,
+        }
+    }
+
+    /// `let PAT (: TYPE)? (= EXPR)? (else BLOCK)? ;`
+    fn let_stmt(&mut self) -> Expr {
+        let line = self.line();
+        self.bump(); // `let`
+                     // Pattern and optional type: skip to `=` or `;` at depth 0.
+        loop {
+            match self.peek(0) {
+                None | Some(Tok::Punct(';')) => {
+                    self.eat_punct(';');
+                    return Expr::Many {
+                        children: Vec::new(),
+                        line,
+                    };
+                }
+                Some(Tok::Punct('=')) if !self.is_punct(1, '=') => {
+                    self.bump();
+                    break;
+                }
+                Some(Tok::Punct('(')) | Some(Tok::Punct('[')) | Some(Tok::Punct('{')) => {
+                    self.skip_group()
+                }
+                Some(Tok::Punct('<')) => self.skip_angles(),
+                _ => self.bump(),
+            }
+        }
+        let mut children = Vec::new();
+        if let Some(init) = self.expr(false) {
+            children.push(init);
+        }
+        if self.ident_at(0) == Some("else") && self.is_punct(1, '{') {
+            self.bump();
+            children.push(self.block());
+        }
+        self.eat_punct(';');
+        Expr::Many { children, line }
+    }
+
+    /// Parses one expression. `no_struct` suppresses struct-literal `{`
+    /// after a path (condition/scrutinee positions). Returns `None` when
+    /// the current token cannot start an expression.
+    fn expr(&mut self, no_struct: bool) -> Option<Expr> {
+        if self.depth >= MAX_DEPTH {
+            let line = self.line();
+            self.bump();
+            return Some(Expr::Opaque { line });
+        }
+        self.depth += 1;
+        let result = self.expr_inner(no_struct);
+        self.depth -= 1;
+        result
+    }
+
+    fn expr_inner(&mut self, no_struct: bool) -> Option<Expr> {
+        let mut lhs = self.prefix(no_struct)?;
+        loop {
+            lhs = match self.postfix_or_infix(lhs, no_struct) {
+                Ok(next) => next,
+                Err(done) => return Some(done),
+            };
+        }
+    }
+
+    /// One postfix/infix step: `Ok(bigger expr)` to continue, `Err(final)`
+    /// when no operator follows.
+    fn postfix_or_infix(&mut self, lhs: Expr, no_struct: bool) -> Result<Expr, Expr> {
+        let line = self.line();
+        match self.peek(0) {
+            // Postfix: field access / method call / tuple index / await.
+            Some(Tok::Punct('.')) => {
+                // `..` range, not field access.
+                if self.is_punct(1, '.') {
+                    self.bump();
+                    self.bump();
+                    self.eat_punct('='); // ..=
+                    let mut operands = vec![lhs];
+                    if let Some(rhs) = self.try_operand(no_struct) {
+                        operands.push(rhs);
+                    }
+                    return Ok(Expr::Range { operands, line });
+                }
+                self.bump();
+                match self.peek(0) {
+                    Some(Tok::Ident(name)) => {
+                        let name = name.clone();
+                        self.bump();
+                        // Turbofish before the call parens.
+                        if self.is_punct(0, ':') && self.is_punct(1, ':') {
+                            self.bump();
+                            self.bump();
+                            if self.is_punct(0, '<') {
+                                self.skip_angles();
+                            }
+                        }
+                        if self.is_punct(0, '(') {
+                            let args = self.paren_args();
+                            Ok(Expr::MethodCall {
+                                recv: Box::new(lhs),
+                                method: name,
+                                args,
+                                line,
+                            })
+                        } else {
+                            Ok(Expr::Field {
+                                base: Box::new(lhs),
+                                name,
+                                line,
+                            })
+                        }
+                    }
+                    Some(Tok::Literal) => {
+                        self.bump();
+                        Ok(Expr::Field {
+                            base: Box::new(lhs),
+                            name: String::from("0"),
+                            line,
+                        })
+                    }
+                    _ => Err(lhs),
+                }
+            }
+            // Postfix call.
+            Some(Tok::Punct('(')) => {
+                let args = self.paren_args();
+                Ok(Expr::Call {
+                    callee: Box::new(lhs),
+                    args,
+                    line,
+                })
+            }
+            // Postfix index.
+            Some(Tok::Punct('[')) => {
+                self.bump();
+                let index = self.expr(false).unwrap_or(Expr::Opaque { line });
+                // Consume to the closing bracket (commas cannot appear).
+                while !self.at_end() && !self.is_punct(0, ']') {
+                    if self.is_punct(0, '(') || self.is_punct(0, '[') || self.is_punct(0, '{') {
+                        self.skip_group();
+                    } else {
+                        self.bump();
+                    }
+                }
+                self.eat_punct(']');
+                Ok(Expr::Index {
+                    base: Box::new(lhs),
+                    index: Box::new(index),
+                    line,
+                })
+            }
+            // Postfix `?`.
+            Some(Tok::Punct('?')) => {
+                self.bump();
+                Ok(lhs)
+            }
+            // Cast.
+            Some(Tok::Ident(kw)) if kw == "as" => {
+                self.bump();
+                let ty_idents = self.cast_type();
+                Ok(Expr::Cast {
+                    expr: Box::new(lhs),
+                    ty_idents,
+                    line,
+                })
+            }
+            // Binary operators (all precedence collapsed). `=>` and `->`
+            // terminate the expression (match arms / never part of exprs).
+            Some(Tok::Punct(op)) => {
+                let op = *op;
+                let two = |p: &Self, c: char| p.is_punct(1, c);
+                match op {
+                    '=' if two(self, '>') => Err(lhs),
+                    '-' if two(self, '>') => Err(lhs),
+                    '+' | '-' | '*' | '/' | '%' | '^' | '!' | '&' | '|' | '<' | '>' | '=' => {
+                        self.bump();
+                        // Consume a compound-op tail when the pair actually
+                        // forms an operator (`==`, `+=`, `<<`, `&&`…).
+                        if let Some(Tok::Punct(next)) = self.peek(0) {
+                            let next = *next;
+                            let forms_op = matches!(
+                                (op, next),
+                                ('=', '=')
+                                    | ('!', '=')
+                                    | ('<', '=')
+                                    | ('>', '=')
+                                    | ('<', '<')
+                                    | ('>', '>')
+                                    | ('&', '&')
+                                    | ('|', '|')
+                                    | ('+', '=')
+                                    | ('-', '=')
+                                    | ('*', '=')
+                                    | ('/', '=')
+                                    | ('%', '=')
+                                    | ('^', '=')
+                            );
+                            if forms_op {
+                                self.bump();
+                                // `<<=` / `>>=` third char.
+                                if matches!((op, next), ('<', '<') | ('>', '>'))
+                                    && self.is_punct(0, '=')
+                                {
+                                    self.bump();
+                                }
+                            }
+                        }
+                        let mut children = vec![lhs];
+                        if let Some(rhs) = self.try_operand(no_struct) {
+                            children.push(rhs);
+                        }
+                        Ok(Expr::Many { children, line })
+                    }
+                    _ => Err(lhs),
+                }
+            }
+            _ => Err(lhs),
+        }
+    }
+
+    /// Parses an operand after a binary/range operator, tolerating its
+    /// absence (`a..`, trailing operators at recovery points).
+    fn try_operand(&mut self, no_struct: bool) -> Option<Expr> {
+        match self.peek(0) {
+            None
+            | Some(Tok::Punct(')'))
+            | Some(Tok::Punct(']'))
+            | Some(Tok::Punct('}'))
+            | Some(Tok::Punct(','))
+            | Some(Tok::Punct(';')) => None,
+            _ => self.expr(no_struct),
+        }
+    }
+
+    /// Parses `( … )` call arguments (cursor on `(`).
+    fn paren_args(&mut self) -> Vec<Expr> {
+        self.bump(); // '('
+        let mut args = Vec::new();
+        loop {
+            if self.at_end() || self.eat_punct(')') {
+                break;
+            }
+            if self.eat_punct(',') {
+                continue;
+            }
+            let before = self.pos;
+            if let Some(e) = self.expr(false) {
+                args.push(e);
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        args
+    }
+
+    /// The target type of an `as` cast, as its identifier list.
+    fn cast_type(&mut self) -> Vec<String> {
+        let mut idents = Vec::new();
+        loop {
+            match self.peek(0) {
+                Some(Tok::Punct('&')) | Some(Tok::Punct('*')) | Some(Tok::Lifetime) => self.bump(),
+                Some(Tok::Ident(s)) if s == "mut" || s == "dyn" || s == "const" => self.bump(),
+                Some(Tok::Ident(s)) => {
+                    idents.push(s.clone());
+                    self.bump();
+                    if self.is_punct(0, '<') {
+                        let start = self.pos;
+                        self.skip_angles();
+                        for tok in &self.toks[start..self.pos] {
+                            if let Tok::Ident(i) = &tok.kind {
+                                idents.push(i.clone());
+                            }
+                        }
+                    }
+                    if self.is_punct(0, ':') && self.is_punct(1, ':') {
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    break;
+                }
+                Some(Tok::Punct('(')) | Some(Tok::Punct('[')) => {
+                    let start = self.pos;
+                    self.skip_group();
+                    for tok in &self.toks[start..self.pos] {
+                        if let Tok::Ident(i) = &tok.kind {
+                            idents.push(i.clone());
+                        }
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+        idents
+    }
+
+    /// Prefix position: literals, paths, keyword expressions, groups,
+    /// closures, unary operators.
+    fn prefix(&mut self, no_struct: bool) -> Option<Expr> {
+        let line = self.line();
+        match self.peek(0)? {
+            Tok::Literal => {
+                self.bump();
+                Some(Expr::Lit { line })
+            }
+            Tok::Lifetime => {
+                // Loop label: `'outer: loop { … }`.
+                self.bump();
+                self.eat_punct(':');
+                self.prefix(no_struct)
+            }
+            Tok::Ident(word) => {
+                let word = word.clone();
+                self.keyword_or_path(&word, no_struct, line)
+            }
+            Tok::Punct('(') => {
+                let args = self.paren_args();
+                Some(Expr::Many {
+                    children: args,
+                    line,
+                })
+            }
+            Tok::Punct('[') => {
+                self.bump();
+                let mut children = Vec::new();
+                loop {
+                    if self.at_end() || self.eat_punct(']') {
+                        break;
+                    }
+                    if self.eat_punct(',') || self.eat_punct(';') {
+                        continue;
+                    }
+                    let before = self.pos;
+                    if let Some(e) = self.expr(false) {
+                        children.push(e);
+                    }
+                    if self.pos == before {
+                        self.bump();
+                    }
+                }
+                Some(Expr::Many { children, line })
+            }
+            Tok::Punct('{') => Some(self.block()),
+            Tok::Punct('|') => Some(self.closure(line)),
+            Tok::Punct('&') | Tok::Punct('*') | Tok::Punct('-') | Tok::Punct('!') => {
+                self.bump();
+                self.eat_ident("mut");
+                let child = self.expr(no_struct).unwrap_or(Expr::Opaque { line });
+                Some(Expr::Many {
+                    children: vec![child],
+                    line,
+                })
+            }
+            Tok::Punct('.') if self.is_punct(1, '.') => {
+                self.bump();
+                self.bump();
+                self.eat_punct('=');
+                let mut operands = Vec::new();
+                if let Some(rhs) = self.try_operand(no_struct) {
+                    operands.push(rhs);
+                }
+                Some(Expr::Range { operands, line })
+            }
+            Tok::Punct('#') => {
+                // Expression attribute: skip and continue.
+                self.attr();
+                self.prefix(no_struct)
+            }
+            Tok::Punct(_) => None,
+        }
+    }
+
+    /// `|…| body` closure, cursor on the first `|`.
+    fn closure(&mut self, line: u32) -> Expr {
+        self.bump(); // '|'
+                     // Parameter list to the closing `|` at depth 0. `||` (no params)
+                     // falls straight through.
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(Tok::Punct('|')) => {
+                    self.bump();
+                    break;
+                }
+                Some(Tok::Punct('(')) | Some(Tok::Punct('[')) | Some(Tok::Punct('{')) => {
+                    self.skip_group()
+                }
+                Some(Tok::Punct('<')) => self.skip_angles(),
+                _ => self.bump(),
+            }
+        }
+        // Optional return type (forces a block body).
+        if self.is_punct(0, '-') && self.is_punct(1, '>') {
+            self.bump();
+            self.bump();
+            while !self.at_end() && !self.is_punct(0, '{') {
+                if self.is_punct(0, '<') {
+                    self.skip_angles();
+                } else if self.is_punct(0, '(') || self.is_punct(0, '[') {
+                    self.skip_group();
+                } else {
+                    self.bump();
+                }
+            }
+        }
+        let body = self.expr(false).unwrap_or(Expr::Opaque { line });
+        Expr::Closure {
+            body: Box::new(body),
+            line,
+        }
+    }
+
+    /// An identifier in prefix position: keyword expression or path (with
+    /// macro / struct-literal / call continuations handled by the caller).
+    fn keyword_or_path(&mut self, word: &str, no_struct: bool, line: u32) -> Option<Expr> {
+        match word {
+            "if" => {
+                self.bump();
+                let mut children = Vec::new();
+                if self.eat_ident("let") {
+                    self.skip_pattern_to_eq();
+                }
+                if let Some(cond) = self.expr(true) {
+                    children.push(cond);
+                }
+                if self.is_punct(0, '{') {
+                    children.push(self.block());
+                }
+                if self.eat_ident("else") {
+                    if self.is_punct(0, '{') {
+                        children.push(self.block());
+                    } else if let Some(e) = self.expr(no_struct) {
+                        children.push(e); // else-if chain
+                    }
+                }
+                Some(Expr::Many { children, line })
+            }
+            "while" => {
+                self.bump();
+                let mut children = Vec::new();
+                if self.eat_ident("let") {
+                    self.skip_pattern_to_eq();
+                }
+                if let Some(cond) = self.expr(true) {
+                    children.push(cond);
+                }
+                if self.is_punct(0, '{') {
+                    children.push(self.block());
+                }
+                Some(Expr::Many { children, line })
+            }
+            "for" => {
+                self.bump();
+                // Pattern to `in` at depth 0.
+                loop {
+                    match self.peek(0) {
+                        None | Some(Tok::Punct('{')) => break,
+                        Some(Tok::Ident(s)) if s == "in" => {
+                            self.bump();
+                            break;
+                        }
+                        Some(Tok::Punct('(')) | Some(Tok::Punct('[')) => self.skip_group(),
+                        _ => self.bump(),
+                    }
+                }
+                let mut children = Vec::new();
+                if let Some(iter) = self.expr(true) {
+                    children.push(iter);
+                }
+                if self.is_punct(0, '{') {
+                    children.push(self.block());
+                }
+                Some(Expr::Many { children, line })
+            }
+            "loop" => {
+                self.bump();
+                if self.is_punct(0, '{') {
+                    Some(self.block())
+                } else {
+                    Some(Expr::Many {
+                        children: Vec::new(),
+                        line,
+                    })
+                }
+            }
+            "match" => {
+                self.bump();
+                let mut children = Vec::new();
+                if let Some(scrutinee) = self.expr(true) {
+                    children.push(scrutinee);
+                }
+                if self.eat_punct('{') {
+                    loop {
+                        if self.at_end() || self.eat_punct('}') {
+                            break;
+                        }
+                        while self.is_punct(0, '#') {
+                            self.attr();
+                        }
+                        // Pattern to `=>`; a guard's `if EXPR` is parsed.
+                        loop {
+                            match self.peek(0) {
+                                None | Some(Tok::Punct('}')) => break,
+                                Some(Tok::Punct('=')) if self.is_punct(1, '>') => {
+                                    self.bump();
+                                    self.bump();
+                                    break;
+                                }
+                                Some(Tok::Ident(s)) if s == "if" => {
+                                    self.bump();
+                                    if let Some(guard) = self.expr(true) {
+                                        children.push(guard);
+                                    }
+                                }
+                                Some(Tok::Punct('('))
+                                | Some(Tok::Punct('['))
+                                | Some(Tok::Punct('{')) => self.skip_group(),
+                                _ => self.bump(),
+                            }
+                        }
+                        let before = self.pos;
+                        if let Some(arm) = self.expr(false) {
+                            children.push(arm);
+                        }
+                        self.eat_punct(',');
+                        if self.pos == before && !self.is_punct(0, '}') {
+                            self.bump();
+                        }
+                    }
+                }
+                Some(Expr::Many { children, line })
+            }
+            "return" | "break" => {
+                self.bump();
+                if word == "break" && matches!(self.peek(0), Some(Tok::Lifetime)) {
+                    self.bump();
+                }
+                let mut children = Vec::new();
+                if let Some(e) = self.try_operand(no_struct) {
+                    children.push(e);
+                }
+                Some(Expr::Many { children, line })
+            }
+            "continue" => {
+                self.bump();
+                if matches!(self.peek(0), Some(Tok::Lifetime)) {
+                    self.bump();
+                }
+                Some(Expr::Many {
+                    children: Vec::new(),
+                    line,
+                })
+            }
+            "move" => {
+                self.bump();
+                if self.is_punct(0, '|') {
+                    Some(self.closure(line))
+                } else {
+                    self.prefix(no_struct)
+                }
+            }
+            "unsafe" | "async" => {
+                self.bump();
+                if self.is_punct(0, '{') {
+                    Some(self.block())
+                } else {
+                    self.prefix(no_struct)
+                }
+            }
+            "let" => {
+                // `let` chain inside a condition: skip pattern, parse init.
+                self.bump();
+                self.skip_pattern_to_eq();
+                self.expr(no_struct)
+            }
+            _ => Some(self.path_expr(no_struct, line)),
+        }
+    }
+
+    /// `PAT =` — skips a pattern to the `=` sign at depth 0 (for `if let` /
+    /// `while let` / let-chains). Stops before `{` as a safety net.
+    fn skip_pattern_to_eq(&mut self) {
+        loop {
+            match self.peek(0) {
+                None | Some(Tok::Punct('{')) => return,
+                Some(Tok::Punct('=')) if !self.is_punct(1, '=') => {
+                    self.bump();
+                    return;
+                }
+                Some(Tok::Punct('(')) | Some(Tok::Punct('[')) => self.skip_group(),
+                Some(Tok::Punct('<')) => self.skip_angles(),
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// A path expression with its immediate continuations: macro bang,
+    /// struct literal.
+    fn path_expr(&mut self, no_struct: bool, line: u32) -> Expr {
+        let mut segments = Vec::new();
+        if let Some(first) = self.take_ident() {
+            segments.push(first);
+        }
+        loop {
+            if self.is_punct(0, ':') && self.is_punct(1, ':') {
+                if matches!(self.peek(2), Some(Tok::Punct('<'))) {
+                    self.bump();
+                    self.bump();
+                    self.skip_angles();
+                    continue;
+                }
+                if let Some(Tok::Ident(_)) = self.peek(2) {
+                    self.bump();
+                    self.bump();
+                    if let Some(seg) = self.take_ident() {
+                        segments.push(seg);
+                    }
+                    continue;
+                }
+            }
+            break;
+        }
+        // Macro invocation.
+        if self.is_punct(0, '!')
+            && matches!(
+                self.peek(1),
+                Some(Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{'))
+            )
+        {
+            self.bump(); // '!'
+            let name = segments.last().cloned().unwrap_or_default();
+            let args = self.macro_args();
+            return Expr::Macro { name, args, line };
+        }
+        // Struct literal.
+        if self.is_punct(0, '{') && !no_struct {
+            self.bump();
+            let mut children = Vec::new();
+            loop {
+                if self.at_end() || self.eat_punct('}') {
+                    break;
+                }
+                if self.eat_punct(',') {
+                    continue;
+                }
+                let before = self.pos;
+                // `field: expr`, shorthand `field`, or `..base`.
+                if let (Some(Tok::Ident(_)), true) = (self.peek(0), self.is_punct(1, ':')) {
+                    self.bump();
+                    self.bump();
+                }
+                if let Some(e) = self.expr(false) {
+                    children.push(e);
+                }
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            return Expr::Many { children, line };
+        }
+        Expr::Path { segments, line }
+    }
+
+    /// Macro arguments: the delimiter group parsed tolerantly as a
+    /// comma/semicolon-separated expression list.
+    fn macro_args(&mut self) -> Vec<Expr> {
+        let close = match self.peek(0) {
+            Some(Tok::Punct('(')) => ')',
+            Some(Tok::Punct('[')) => ']',
+            Some(Tok::Punct('{')) => '}',
+            _ => return Vec::new(),
+        };
+        self.bump();
+        let mut args = Vec::new();
+        loop {
+            if self.at_end() || self.eat_punct(close) {
+                break;
+            }
+            if self.eat_punct(',') || self.eat_punct(';') {
+                continue;
+            }
+            let before = self.pos;
+            if let Some(e) = self.expr(false) {
+                args.push(e);
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        args
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::walk_items;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<Item> {
+        parse_items(&lex(src))
+    }
+
+    fn body_of(items: &[Item], name: &str) -> Expr {
+        let mut found = None;
+        walk_items(items, &mut |item, _| {
+            if let ItemKind::Fn(f) = &item.kind {
+                if f.name == name {
+                    found = f.body.clone();
+                }
+            }
+        });
+        found.unwrap_or_else(|| panic!("fn {name} not found"))
+    }
+
+    fn collect_method_calls(e: &Expr) -> Vec<(String, u32)> {
+        let mut out = Vec::new();
+        e.walk(&mut |x| {
+            if let Expr::MethodCall { method, line, .. } = x {
+                out.push((method.clone(), *line));
+            }
+        });
+        out
+    }
+
+    #[test]
+    fn items_and_visibility() {
+        let items = parse(
+            "pub fn a() {}\nfn b() {}\npub(crate) fn c() {}\npub struct S { pub x: u64 }\n\
+             enum E { A, B(u32) }\nimpl S { pub fn m(&self) {} }\nmod inner { pub fn d() {} }",
+        );
+        let mut names = Vec::new();
+        walk_items(&items, &mut |item, owner| {
+            if let ItemKind::Fn(f) = &item.kind {
+                names.push((
+                    f.name.clone(),
+                    item.public,
+                    item.restricted,
+                    owner.map(str::to_string),
+                ));
+            }
+        });
+        assert_eq!(names.len(), 5);
+        assert_eq!(names[0], ("a".into(), true, false, None));
+        assert_eq!(names[1], ("b".into(), false, false, None));
+        assert_eq!(names[2], ("c".into(), true, true, None));
+        assert_eq!(names[3], ("m".into(), true, false, Some("S".into())));
+        assert_eq!(names[4], ("d".into(), true, false, None));
+    }
+
+    #[test]
+    fn struct_fields_types_and_attrs() {
+        let items = parse(
+            "#[derive(Serialize, Deserialize)]\npub struct R {\n    pub wall: f64,\n    \
+             #[serde(default)]\n    pub solve: Vec<(String, SolveStats)>,\n}",
+        );
+        let ItemKind::Struct(s) = &items[0].kind else {
+            panic!("expected struct");
+        };
+        assert!(items[0].attrs[0].mentions("Serialize"));
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0].name, "wall");
+        assert_eq!(s.fields[1].name, "solve");
+        assert!(s.fields[1].type_idents.contains(&"SolveStats".to_string()));
+        assert!(s.fields[1].attrs[0].mentions("default"));
+    }
+
+    #[test]
+    fn expression_shapes() {
+        let body = body_of(
+            &parse(
+                "fn f(xs: &[u64]) -> u64 {\n    let a = xs.first().unwrap();\n    \
+                    helper(xs[1], *a as f64);\n    vec![1, 2][0]\n}",
+            ),
+            "f",
+        );
+        let methods = collect_method_calls(&body);
+        // Pre-order: the outermost call (`unwrap`) is visited first.
+        assert_eq!(
+            methods,
+            vec![("unwrap".to_string(), 2), ("first".to_string(), 2)]
+        );
+        let mut saw_index = 0;
+        let mut saw_cast = false;
+        let mut saw_call = false;
+        body.walk(&mut |e| match e {
+            Expr::Index { .. } => saw_index += 1,
+            Expr::Cast { ty_idents, .. } => saw_cast = ty_idents == &["f64".to_string()],
+            Expr::Call { callee, .. } => {
+                if let Expr::Path { segments, .. } = callee.as_ref() {
+                    saw_call |= segments == &["helper".to_string()];
+                }
+            }
+            _ => {}
+        });
+        assert_eq!(saw_index, 2, "xs[1] and vec![…][0]");
+        assert!(saw_cast && saw_call);
+    }
+
+    #[test]
+    fn match_guards_and_closures_are_entered() {
+        let body = body_of(
+            &parse(
+                "fn g(v: Option<f64>, xs: &mut [f64]) {\n    match v {\n        Some(x) if \
+                 x.is_nan() => {}\n        _ => {}\n    }\n    xs.sort_by(|a, b| \
+                 a.partial_cmp(b).unwrap());\n}",
+            ),
+            "g",
+        );
+        let methods: Vec<String> = collect_method_calls(&body)
+            .into_iter()
+            .map(|(m, _)| m)
+            .collect();
+        assert!(methods.contains(&"is_nan".to_string()), "{methods:?}");
+        assert!(methods.contains(&"partial_cmp".to_string()));
+        assert!(methods.contains(&"unwrap".to_string()));
+        assert!(methods.contains(&"sort_by".to_string()));
+    }
+
+    #[test]
+    fn struct_literal_vs_condition_brace() {
+        let body = body_of(
+            &parse("fn h(x: bool) -> S {\n    if x { other() } else { S { a: 1 } }\n}"),
+            "h",
+        );
+        let mut calls = Vec::new();
+        body.walk(&mut |e| {
+            if let Expr::Call { callee, .. } = e {
+                if let Expr::Path { segments, .. } = callee.as_ref() {
+                    calls.push(segments.join("::"));
+                }
+            }
+        });
+        assert_eq!(calls, vec!["other".to_string()]);
+    }
+
+    #[test]
+    fn full_range_index_is_distinguished() {
+        let body = body_of(
+            &parse("fn r(xs: &[u8]) { let _ = (&xs[..], &xs[1..]); }"),
+            "r",
+        );
+        let mut ranges = Vec::new();
+        body.walk(&mut |e| {
+            if let Expr::Index { index, .. } = e {
+                if let Expr::Range { operands, .. } = index.as_ref() {
+                    ranges.push(operands.len());
+                }
+            }
+        });
+        assert_eq!(ranges, vec![0, 1]);
+    }
+
+    #[test]
+    fn nested_fn_in_body_is_visible() {
+        let items = parse("fn outer() { fn inner() { leaf(); } inner(); }");
+        let mut names = Vec::new();
+        walk_items(&items, &mut |item, _| {
+            if let ItemKind::Fn(f) = &item.kind {
+                names.push(f.name.clone());
+            }
+        });
+        assert_eq!(names, vec!["outer".to_string(), "inner".to_string()]);
+    }
+
+    #[test]
+    fn generics_where_clauses_and_arrows_do_not_derail() {
+        let items = parse(
+            "pub fn apply<F, T>(xs: &[T], f: F) -> Vec<T>\nwhere\n    F: Fn(&T) -> bool,\n    \
+             T: Clone + PartialOrd<T>,\n{\n    xs.iter().filter(|x| f(x)).cloned().collect()\n}",
+        );
+        let body = body_of(&items, "apply");
+        let methods: Vec<String> = collect_method_calls(&body)
+            .into_iter()
+            .map(|(m, _)| m)
+            .collect();
+        // Pre-order: outermost call first.
+        assert_eq!(methods, vec!["collect", "cloned", "filter", "iter"]);
+    }
+
+    #[test]
+    fn total_on_adversarial_fragments() {
+        for src in [
+            "fn",
+            "fn f(",
+            "fn f() {",
+            "impl {",
+            "struct S {",
+            "match {",
+            "let x = ;",
+            "pub pub pub",
+            "fn f() { a.b.c.d(e[f[g]]); }",
+            "#[x #[y fn",
+            "fn f() { | }",
+            "fn f() { .. }",
+            "}}}}",
+            "fn f() { x < y > z :: }",
+        ] {
+            let _ = parse(src);
+        }
+    }
+}

@@ -23,19 +23,25 @@ pub fn human(diags: &[Diagnostic], files_scanned: usize) -> String {
     out
 }
 
-/// Renders diagnostics as a stable JSON document:
-/// `{"diagnostics":[{"rule":…,"file":…,"line":…,"message":…}],"count":N}`.
+/// The JSON report format version. Bumped to 2 when the `symbol` field and
+/// the total (file, line, rule, symbol, message) sort order were added.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Renders diagnostics as a byte-stable JSON document:
+/// `{"schema_version":2,"diagnostics":[{"rule":…,"file":…,"line":…,
+/// "symbol":…,"message":…}],"count":N,"files_scanned":M}`.
 pub fn json(diags: &[Diagnostic], files_scanned: usize) -> String {
-    let mut out = String::from("{\"diagnostics\":[");
+    let mut out = format!("{{\"schema_version\":{SCHEMA_VERSION},\"diagnostics\":[");
     for (i, d) in diags.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"symbol\":{},\"message\":{}}}",
             escape(d.rule),
             escape(&d.file),
             d.line,
+            escape(&d.symbol),
             escape(&d.message)
         ));
     }
@@ -76,10 +82,13 @@ mod tests {
             rule: "KL-D01",
             file: "a\"b.rs".into(),
             line: 7,
+            symbol: "core::f".into(),
             message: "x\ny".into(),
         }];
         let doc = json(&diags, 3);
+        assert!(doc.starts_with("{\"schema_version\":2,"));
         assert!(doc.contains("\"a\\\"b.rs\""));
+        assert!(doc.contains("\"symbol\":\"core::f\""));
         assert!(doc.contains("\"x\\ny\""));
         assert!(doc.ends_with("\"count\":1,\"files_scanned\":3}"));
     }

@@ -28,8 +28,22 @@
 //! | KL-H03 | hygiene      | TODO/FIXME comment without an issue tag like `TODO(#12)` |
 //! | KL-H04 | hygiene      | malformed `kelp-lint: allow` comment |
 //! | KL-H05 | hygiene      | `kelp-lint: allow` that suppresses nothing |
+//! | KL-R01 | panic-reach  | public panic-scope fn transitively reaches `panic!`/`unreachable!`/`todo!`/`unimplemented!` (witness chain in the message) |
+//! | KL-R02 | panic-reach  | public panic-scope fn transitively reaches `.unwrap()`/`.expect(…)` |
+//! | KL-R03 | panic-reach  | public panic-scope fn transitively reaches unchecked `x[i]` indexing (`x[..]` exempt) |
+//! | KL-F01 | float-det    | `partial_cmp(…).unwrap()` — panics on NaN; use `total_cmp` (applies in tests too) |
+//! | KL-F02 | float-det    | `as f32` narrowing in non-test code (accumulate and report in f64) |
+//! | KL-F03 | float-det    | float reduction over hash-ordered iteration (operand order nondeterministic) |
+//! | KL-S01 | schema-drift | serialized field of a `RunRecord`/`ExperimentResult`-reachable struct absent from every `results/*.json` golden |
+//! | KL-S02 | schema-drift | golden object holds keys its best-matching reachable struct no longer produces |
+//!
+//! The KL-R/KL-S families need the whole workspace (call graph, goldens) and
+//! only fire from [`crate::lint_workspace`]; the rest, including KL-F, also
+//! fire from the single-file [`lint_source`] entry point.
 
+use crate::ast::Item;
 use crate::lexer::{lex, Comment, Tok, Token};
+use crate::parse::parse_items;
 
 /// Per-file lint context, derived from the workspace-relative path by
 /// [`crate::scan::classify`].
@@ -47,19 +61,23 @@ pub struct FileCtx {
     pub time_allowlisted: bool,
 }
 
-/// One finding: a stable rule ID, a location, and a human message.
+/// One finding: a stable rule ID, a location, a stable symbol path (for
+/// line-drift-robust baseline matching; empty for token-level rules), and a
+/// human message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     pub rule: &'static str,
     pub file: String,
     pub line: u32,
+    pub symbol: String,
     pub message: String,
 }
 
 /// Every rule ID the engine can emit, in catalog order.
-pub const ALL_RULES: [&str; 12] = [
+pub const ALL_RULES: [&str; 20] = [
     "KL-D01", "KL-D02", "KL-D03", "KL-D04", "KL-P01", "KL-P02", "KL-P03", "KL-H01", "KL-H02",
-    "KL-H03", "KL-H04", "KL-H05",
+    "KL-H03", "KL-H04", "KL-H05", "KL-R01", "KL-R02", "KL-R03", "KL-F01", "KL-F02", "KL-F03",
+    "KL-S01", "KL-S02",
 ];
 
 /// An inline suppression parsed from a comment.
@@ -69,14 +87,27 @@ struct Allow {
     used: bool,
 }
 
-/// Lints one source file under the given context.
-pub fn lint_source(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
+/// One file's lint state before suppressions are applied: the pre-allow
+/// diagnostics, the parsed AST (for the workspace passes), and the pending
+/// allows. [`crate::lint_workspace`] appends workspace-level findings
+/// (KL-R, KL-S) to `diags` before calling [`finish`], so a single inline
+/// allow mechanism covers every rule family.
+pub struct FileAnalysis {
+    pub ctx: FileCtx,
+    pub items: Vec<Item>,
+    pub diags: Vec<Diagnostic>,
+    allows: Vec<Allow>,
+}
+
+/// Runs every per-file rule (token rules, comment rules, KL-F float rules)
+/// without applying suppressions yet.
+pub fn collect_file(ctx: &FileCtx, src: &str) -> FileAnalysis {
     let lexed = lex(src);
     let test_ranges = test_token_ranges(&lexed.tokens);
     let in_test = |idx: usize| test_ranges.iter().any(|&(lo, hi)| idx >= lo && idx < hi);
 
     let mut diags: Vec<Diagnostic> = Vec::new();
-    let mut allows = parse_allows(&lexed.comments, &mut diags, ctx);
+    let allows = parse_allows(&lexed.comments, &mut diags, ctx);
 
     token_rules(ctx, &lexed.tokens, &in_test, &mut diags);
     comment_rules(ctx, &lexed.comments, &mut diags);
@@ -85,11 +116,32 @@ pub fn lint_source(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
             rule: "KL-H01",
             file: ctx.path.clone(),
             line: 1,
+            symbol: String::new(),
             message: "crate root is missing `#![forbid(unsafe_code)]`".into(),
         });
     }
 
-    // Apply suppressions: an allow covers its own line and the next one.
+    let items = parse_items(&lexed);
+    diags.extend(crate::rules_v2::float_rules(ctx, &items));
+
+    FileAnalysis {
+        ctx: ctx.clone(),
+        items,
+        diags,
+        allows,
+    }
+}
+
+/// Applies inline suppressions (an allow covers its own line and the next),
+/// reports stale allows (KL-H05), and returns the file's diagnostics sorted
+/// by (line, rule).
+pub fn finish(analysis: FileAnalysis) -> Vec<Diagnostic> {
+    let FileAnalysis {
+        ctx,
+        mut diags,
+        mut allows,
+        ..
+    } = analysis;
     diags.retain(|d| {
         if d.rule == "KL-H04" || d.rule == "KL-H05" {
             return true;
@@ -111,6 +163,7 @@ pub fn lint_source(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
                 rule: "KL-H05",
                 file: ctx.path.clone(),
                 line: a.line,
+                symbol: String::new(),
                 message: format!("`allow({})` suppresses nothing; delete it", a.rule),
             });
         }
@@ -118,6 +171,13 @@ pub fn lint_source(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
 
     diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     diags
+}
+
+/// Lints one source file under the given context: every per-file rule with
+/// suppressions applied. The workspace-wide families (KL-R, KL-S) need the
+/// call graph and goldens and only fire from [`crate::lint_workspace`].
+pub fn lint_source(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
+    finish(collect_file(ctx, src))
 }
 
 /// The token-stream rules (everything except comment and file-level checks).
@@ -137,6 +197,7 @@ fn token_rules(
             rule,
             file: ctx.path.clone(),
             line,
+            symbol: String::new(),
             message,
         });
     };
@@ -245,6 +306,7 @@ fn comment_rules(ctx: &FileCtx, comments: &[Comment], diags: &mut Vec<Diagnostic
                     rule: "KL-H03",
                     file: ctx.path.clone(),
                     line: c.line,
+                    symbol: String::new(),
                     message: format!("`{marker}` without an issue tag; write `{marker}(#NNN): …`"),
                 });
             }
@@ -269,6 +331,7 @@ fn parse_allows(comments: &[Comment], diags: &mut Vec<Diagnostic>, ctx: &FileCtx
                 rule: "KL-H04",
                 file: ctx.path.clone(),
                 line: c.line,
+                symbol: String::new(),
                 message: format!("malformed kelp-lint comment: {why}"),
             });
         };

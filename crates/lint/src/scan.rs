@@ -30,18 +30,24 @@ const SCAN_ROOTS: [&str; 3] = ["crates", "src", "examples"];
 
 /// Classifies one workspace-relative path (forward slashes). Returns `None`
 /// for files the workspace lint skips: non-Rust files, generated output,
-/// tests and benches (covered by `#[cfg(test)]` semantics and free to use
-/// unwrap), and the lint crate's own fixture corpus.
+/// integration tests and benches (covered by `#[cfg(test)]` semantics and
+/// free to use unwrap), and the lint crate's own fixture corpus.
 pub fn classify(rel: &str) -> Option<FileCtx> {
     if !rel.ends_with(".rs") {
         return None;
     }
     let parts: Vec<&str> = rel.split('/').collect();
-    if parts
-        .iter()
-        .any(|p| *p == "target" || *p == "tests" || *p == "benches" || *p == "fixtures")
-    {
+    if parts.iter().any(|p| *p == "target" || *p == "fixtures") {
         return None;
+    }
+    // `tests/` and `benches/` are integration-test roots only at the
+    // workspace top level or directly under a crate; a `src/tests.rs`
+    // module (or any `tests` directory inside `src/`) is real code and
+    // must be scanned.
+    match parts.as_slice() {
+        ["tests", ..] | ["benches", ..] => return None,
+        ["crates", _, dir, ..] if *dir == "tests" || *dir == "benches" => return None,
+        _ => {}
     }
 
     let mut ctx = FileCtx {
@@ -125,5 +131,39 @@ mod tests {
         assert!(classify("crates/lint/tests/fixtures/bad.rs").is_none());
         assert!(classify("results/fig02.json").is_none());
         assert!(classify("src/lib.rs").is_some_and(|c| c.crate_root));
+
+        // `tests` as a *module* inside src/ is real code and is scanned;
+        // only top-level and crate-level `tests/` roots are skipped.
+        let module = classify("crates/core/src/tests.rs").expect("scanned");
+        assert!(module.panic_scope && !module.crate_root);
+        assert!(classify("crates/core/src/policy/tests/mod.rs").is_some());
+        assert!(classify("src/tests.rs").is_some());
+        assert!(classify("crates/core/tests/integration.rs").is_none());
+    }
+
+    /// Allowlist drift guard: every path/crate the scanner special-cases
+    /// must exist on disk, so a rename breaks the build instead of silently
+    /// allowlisting nothing.
+    #[test]
+    fn allowlist_entries_resolve_on_disk() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+        for rel in TIME_ALLOWLIST {
+            assert!(
+                root.join(rel).is_file(),
+                "TIME_ALLOWLIST entry `{rel}` does not exist; update scan.rs"
+            );
+        }
+        for krate in PANIC_SCOPE_CRATES {
+            assert!(
+                root.join("crates").join(krate).join("Cargo.toml").is_file(),
+                "PANIC_SCOPE_CRATES entry `{krate}` is not a crate; update scan.rs"
+            );
+        }
+        for krate in SHIM_CRATES {
+            assert!(
+                root.join("crates").join(krate).join("Cargo.toml").is_file(),
+                "SHIM_CRATES entry `{krate}` is not a crate; update scan.rs"
+            );
+        }
     }
 }

@@ -413,6 +413,7 @@ impl AdaptivePrefetch {
 impl MemSystem {
     /// Creates a memory system with default latency/distress models and CAT
     /// disabled.
+    // kelp-lint: allow(KL-R02): constructor contract; an invalid spec is a caller bug.
     pub fn new(machine: MachineSpec, snc: SncMode) -> Self {
         // kelp-lint: allow(KL-P01): constructor contract; an invalid spec is a caller bug.
         machine.validate().expect("invalid machine spec");

@@ -165,6 +165,7 @@ impl Serialize for f32 {
 
 impl Deserialize for f32 {
     fn from_value(v: &Value) -> Result<Self, Error> {
+        // kelp-lint: allow(KL-F02): Deserialize for f32 must narrow; callers chose f32 storage.
         f64::from_value(v).map(|f| f as f32)
     }
 }

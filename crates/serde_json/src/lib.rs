@@ -298,7 +298,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
                 // Consume one UTF-8 character.
                 let rest = std::str::from_utf8(&bytes[*pos..])
                     .map_err(|_| Error::new("invalid UTF-8 in string"))?;
-                let c = rest.chars().next().unwrap();
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| Error::new("truncated string"))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }

@@ -300,7 +300,7 @@ mod tests {
         let mut rng = SimRng::seed_from(37);
         let n = 20_000;
         let mut xs: Vec<f64> = (0..n).map(|_| rng.log_normal(1.0, 0.5)).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(|a, b| a.total_cmp(b));
         let median = xs[n / 2];
         assert!(
             (median - 1f64.exp()).abs() < 0.1,

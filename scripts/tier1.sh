@@ -12,10 +12,14 @@ cargo test -q
 echo "== cargo fmt --check =="
 cargo fmt --check
 
-echo "== kelp-lint --deny =="
-# Determinism / panic-safety / hygiene static analysis (crates/lint). Any
-# diagnostic not covered by a justified inline allow fails the gate.
-cargo run --release -q -p kelp-lint -- --deny
+echo "== kelp-lint --deny --baseline lint-baseline.json =="
+# Static analysis (crates/lint): token-level determinism / panic-safety /
+# hygiene rules plus the v2 AST passes (KL-R panic reachability over the
+# workspace call graph, KL-F float determinism, KL-S serde schema drift
+# against results/*.json). Accepted pre-existing findings are pinned in
+# lint-baseline.json (regenerate with --write-baseline); any NEW finding
+# not covered by a justified inline allow fails the gate.
+cargo run --release -q -p kelp-lint -- --deny --baseline lint-baseline.json
 
 if [[ "${KELP_QUICK:-}" == "1" ]]; then
   echo "== clippy skipped (KELP_QUICK=1) =="
