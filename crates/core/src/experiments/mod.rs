@@ -13,6 +13,7 @@
 //! | [`knee`] | the §III-A throughput–latency sweep the paper omits |
 //! | [`ablation`] | sampling-period / backfill / watermark ablations |
 //! | [`cluster`] | §II-D tail amplification at cluster scale |
+//! | [`fleet_scale`] | ISSUE 6 — batched SoA fleet stepping vs scalar baseline |
 //! | [`scorecard`] | programmatic check of every headline claim |
 //! | [`faults`] | fault matrix — KP vs KP-H under injected faults |
 //!
@@ -24,6 +25,7 @@ pub mod backpressure;
 pub mod cluster;
 pub mod faults;
 pub mod fleet;
+pub mod fleet_scale;
 pub mod knee;
 pub mod mix;
 pub mod overall;

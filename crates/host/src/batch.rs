@@ -1,0 +1,230 @@
+//! Fleet batch stepping (ISSUE 6): many [`HostMachine`]s per solver call.
+//!
+//! [`HostBatch::step`] advances a slice of machines one tick through three
+//! phases:
+//!
+//! 1. **Adaptive skip** — a machine whose configuration is unchanged since
+//!    its last step (clean [`HostMachine::is_dirty`], memoization on)
+//!    replays its last report without lowering or solving. This is exactly
+//!    the memo hit the scalar path would take: a clean machine's lowered
+//!    input is bit-identical to its previous one, and the FIFO memo cache
+//!    only evicts on insert, so the entry is still present.
+//! 2. **Memo lookup** — dirty machines are lowered; a changed machine that
+//!    revisits an earlier configuration is served from its own memo cache,
+//!    as in the scalar path.
+//! 3. **Batched solve** — the remaining lanes are grouped by memory-system
+//!    equality and solved through one [`BatchSolver`] arena per group via
+//!    [`kelp_mem::solver::MemSystem::solve_batch_with`], then aggregated,
+//!    memoized and finished exactly as a scalar step.
+//!
+//! The determinism contract: a `HostBatch`-stepped fleet produces
+//! bit-identical reports, solve stats and memo contents to stepping every
+//! machine serially with [`HostMachine::solve`].
+
+use crate::machine::{HostMachine, LoweredStep, MachineReport};
+use kelp_mem::batch::BatchSolver;
+use kelp_mem::solver::{SolverInput, SolverScratch};
+
+/// Cumulative counters for a [`HostBatch`]'s lifetime (saturating adds, so
+/// fleet-scale campaigns cannot overflow them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostBatchStats {
+    /// Machines stepped (one per machine per [`HostBatch::step`] call).
+    pub machines_stepped: u64,
+    /// Steps served by the adaptive skip (clean machine, no lowering).
+    pub adaptive_skips: u64,
+    /// Steps served from a machine's memo cache after lowering.
+    pub memo_hits: u64,
+    /// Lanes driven through the batched SoA solver.
+    pub lanes_solved: u64,
+    /// Batched lanes whose fixed point converged.
+    pub lanes_converged: u64,
+}
+
+/// Reusable workspace for stepping a fleet of machines through the batched
+/// solve path. One `HostBatch` per worker thread; the underlying
+/// [`BatchSolver`] arenas are reused across calls.
+#[derive(Debug, Clone, Default)]
+pub struct HostBatch {
+    solver: BatchSolver,
+    stats: HostBatchStats,
+}
+
+impl HostBatch {
+    /// A fresh batch stepper (arenas grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cumulative counters since construction (or the last
+    /// [`HostBatch::reset_stats`]).
+    pub fn stats(&self) -> HostBatchStats {
+        self.stats
+    }
+
+    /// Zeroes the cumulative counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = HostBatchStats::default();
+    }
+
+    /// Steps every machine one tick, returning one report per machine in
+    /// order. Bit-identical to calling [`HostMachine::solve`] on each
+    /// machine serially. Allocates the report vector; steady-state callers
+    /// should reuse one through [`HostBatch::step_into`].
+    pub fn step(&mut self, machines: &[HostMachine]) -> Vec<MachineReport> {
+        let mut reports: Vec<MachineReport> = (0..machines.len())
+            .map(|_| MachineReport::empty())
+            .collect();
+        self.step_into(machines, &mut reports);
+        reports
+    }
+
+    /// Steps every machine one tick, refreshing `reports` in place (one
+    /// slot per machine, same order). Every slot is fully overwritten;
+    /// slots from a previous tick of the same fleet make the adaptive-skip
+    /// refresh allocation-free. Bit-identical to [`HostBatch::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `reports.len() != machines.len()`.
+    pub fn step_into(&mut self, machines: &[HostMachine], reports: &mut [MachineReport]) {
+        let n = machines.len();
+        assert_eq!(reports.len(), n, "one report slot per machine");
+        let mut filled = 0usize;
+
+        // Phases 1 + 2: adaptive skips and memo hits drop out before the
+        // solver sees them.
+        let mut pending: Vec<(usize, LoweredStep)> = Vec::new();
+        for (i, m) in machines.iter().enumerate() {
+            self.stats.machines_stepped = self.stats.machines_stepped.saturating_add(1);
+            if m.solver_tuning().memo && !m.is_dirty() && m.replay_skip_into(&mut reports[i]) {
+                filled += 1;
+                self.stats.adaptive_skips = self.stats.adaptive_skips.saturating_add(1);
+                continue;
+            }
+            let lowered = m.lower();
+            if m.solver_tuning().memo {
+                if let Some(report) = m.memo_get(&lowered.input) {
+                    m.note_memo_hit();
+                    m.finish_step(&report);
+                    reports[i] = report;
+                    filled += 1;
+                    self.stats.memo_hits = self.stats.memo_hits.saturating_add(1);
+                    continue;
+                }
+            }
+            pending.push((i, lowered));
+        }
+
+        // Phase 3: group pending lanes by memory-system equality (lanes in
+        // one `solve_batch_with` call share the representative's system, so
+        // only machines with equal systems may share a batch). First-fit
+        // keeps lane order stable within each group; grouping cannot affect
+        // results because lanes are independent.
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (p, (i, _)) in pending.iter().enumerate() {
+            let sys = machines[*i].mem();
+            match groups
+                .iter_mut()
+                .find(|g| machines[pending[g[0]].0].mem() == sys)
+            {
+                Some(g) => g.push(p),
+                None => groups.push(vec![p]),
+            }
+        }
+
+        for group in &groups {
+            let rep_machine = &machines[pending[group[0]].0];
+            let inputs: Vec<&SolverInput> = group.iter().map(|&p| &pending[p].1.input).collect();
+            let mut borrows: Vec<std::cell::RefMut<'_, SolverScratch>> = group
+                .iter()
+                .map(|&p| machines[pending[p].0].scratch_mut())
+                .collect();
+            let mut lanes: Vec<&mut SolverScratch> = borrows.iter_mut().map(|b| &mut **b).collect();
+            let mut outputs = Vec::with_capacity(group.len());
+            rep_machine
+                .mem()
+                .solve_batch_with(&inputs, &mut lanes, &mut self.solver, &mut outputs);
+            drop(lanes);
+            drop(borrows);
+            self.stats.lanes_solved = self.stats.lanes_solved.saturating_add(group.len() as u64);
+            self.stats.lanes_converged = self
+                .stats
+                .lanes_converged
+                .saturating_add(self.solver.last_converged_lanes() as u64);
+
+            for (&p, output) in group.iter().zip(&outputs) {
+                let (i, lowered) = &pending[p];
+                let m = &machines[*i];
+                m.absorb_stats(&output.stats);
+                let report = m.assemble(lowered, output);
+                m.memo_put(lowered.input.clone(), &report);
+                m.finish_step(&report);
+                reports[*i] = report;
+                filled += 1;
+            }
+        }
+
+        debug_assert_eq!(
+            filled, n,
+            "every slot is written by exactly one of the three phases"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::CpuAllocation;
+    use crate::task::{Priority, TaskSpec, ThreadProfile};
+    use kelp_mem::topology::{DomainId, MachineSpec, SncMode};
+
+    fn fleet(n: usize) -> Vec<HostMachine> {
+        (0..n)
+            .map(|i| {
+                let mut m = HostMachine::new(MachineSpec::dual_socket(), SncMode::Disabled);
+                m.add_task(
+                    TaskSpec::new(
+                        "ml",
+                        Priority::High,
+                        ThreadProfile::streaming(1e9 + 1e8 * i as f64),
+                        4,
+                    ),
+                    vec![CpuAllocation::local(DomainId::new(0, 0), 4)],
+                );
+                m
+            })
+            .collect()
+    }
+
+    /// Batch stepping matches serial stepping bit-for-bit across ticks,
+    /// including solve stats, and clean machines take the adaptive skip.
+    #[test]
+    fn batch_step_matches_serial_steps() {
+        let batch_fleet = fleet(6);
+        let serial_fleet = fleet(6);
+        let mut batch = HostBatch::new();
+        for tick in 0..3 {
+            let batched = batch.step(&batch_fleet);
+            let serial: Vec<MachineReport> = serial_fleet.iter().map(|m| m.solve()).collect();
+            assert_eq!(batched, serial, "tick {tick} diverged");
+        }
+        for (b, s) in batch_fleet.iter().zip(&serial_fleet) {
+            assert_eq!(b.solve_stats(), s.solve_stats());
+        }
+        let stats = batch.stats();
+        assert_eq!(stats.machines_stepped, 18);
+        // Tick 0 solves all six lanes; ticks 1–2 skip every clean machine.
+        assert_eq!(stats.lanes_solved, 6);
+        assert_eq!(stats.adaptive_skips, 12);
+        assert_eq!(stats.lanes_converged, 6);
+    }
+
+    /// An empty fleet is a no-op.
+    #[test]
+    fn empty_fleet_step_is_noop() {
+        let mut batch = HostBatch::new();
+        assert!(batch.step(&[]).is_empty());
+        assert_eq!(batch.stats(), HostBatchStats::default());
+    }
+}

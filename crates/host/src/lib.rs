@@ -14,10 +14,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod machine;
 pub mod placement;
 pub mod task;
 
+pub use batch::{HostBatch, HostBatchStats};
 pub use machine::{Actuator, HostMachine, MachineReport, TaskStepResult};
 pub use placement::{CpuAllocation, MemPolicy, SmtModel};
 pub use task::{HostTaskId, Priority, TaskSpec, ThreadProfile};

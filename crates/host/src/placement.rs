@@ -132,9 +132,177 @@ impl SmtModel {
     }
 }
 
+/// Handle to one live placement made by [`FleetPlacer::place`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlacementId(pub usize);
+
+/// Deterministic fleet-level placer: a Borg-like bin packer that assigns
+/// core blocks to machines by best fit.
+///
+/// Determinism contract (the fleet experiments shard machines across
+/// worker threads, so placement must not depend on scheduling): placement
+/// decisions are a pure function of the call sequence — best-fit chooses
+/// the machine with the *smallest* sufficient free-core budget, breaking
+/// ties toward the lowest machine index, with no hashing or randomness.
+#[derive(Debug, Clone, Default)]
+pub struct FleetPlacer {
+    /// Free cores per machine.
+    free: Vec<usize>,
+    /// Live placements: `id -> (machine, cores)`; `None` after release.
+    placements: Vec<Option<(usize, usize)>>,
+}
+
+impl FleetPlacer {
+    /// A placer over machines with the given per-machine core budgets.
+    pub fn new(machine_cores: Vec<usize>) -> Self {
+        FleetPlacer {
+            free: machine_cores,
+            placements: Vec::new(),
+        }
+    }
+
+    /// Number of machines under management.
+    pub fn machine_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Free cores currently available on `machine`.
+    pub fn free_cores(&self, machine: usize) -> usize {
+        self.free.get(machine).copied().unwrap_or(0)
+    }
+
+    /// Live (placed, unreleased) placements.
+    pub fn live_placements(&self) -> usize {
+        self.placements.iter().flatten().count()
+    }
+
+    /// Total cores held by live placements (conservation invariant: initial
+    /// free cores == current free cores + placed cores, always).
+    pub fn placed_cores(&self) -> usize {
+        self.placements.iter().flatten().map(|&(_, c)| c).sum()
+    }
+
+    /// Places a block of `cores` on the best-fit machine, returning the
+    /// placement handle and the chosen machine index; `None` when no
+    /// machine has enough free cores. Zero-core requests still consume a
+    /// placement id (they pin a task to a machine without reserving cores).
+    pub fn place(&mut self, cores: usize) -> Option<(PlacementId, usize)> {
+        let mut best: Option<usize> = None;
+        for (m, &f) in self.free.iter().enumerate() {
+            if f >= cores && best.is_none_or(|b| f < self.free[b]) {
+                best = Some(m);
+            }
+        }
+        let machine = best?;
+        self.free[machine] -= cores;
+        self.placements.push(Some((machine, cores)));
+        Some((PlacementId(self.placements.len() - 1), machine))
+    }
+
+    /// Releases a placement, returning its cores to the machine. Releasing
+    /// an already-released or unknown id is a no-op.
+    pub fn release(&mut self, id: PlacementId) {
+        if let Some(slot) = self.placements.get_mut(id.0) {
+            if let Some((machine, cores)) = slot.take() {
+                self.free[machine] += cores;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn placer_best_fit_prefers_tightest_machine() {
+        let mut p = FleetPlacer::new(vec![8, 4, 6]);
+        // 4 cores fit tightest on machine 1.
+        let (a, m) = p.place(4).expect("fits");
+        assert_eq!(m, 1);
+        assert_eq!(p.free_cores(1), 0);
+        // 5 cores now fit tightest on machine 2.
+        let (_, m) = p.place(5).expect("fits");
+        assert_eq!(m, 2);
+        // 9 cores fit nowhere.
+        assert_eq!(p.place(9), None);
+        // Release returns capacity; double-release is a no-op.
+        p.release(a);
+        p.release(a);
+        assert_eq!(p.free_cores(1), 4);
+        assert_eq!(p.live_placements(), 1);
+    }
+
+    #[test]
+    fn placer_ties_break_to_lowest_machine() {
+        let mut p = FleetPlacer::new(vec![4, 4, 4]);
+        let (_, m0) = p.place(2).expect("fits");
+        assert_eq!(m0, 0);
+        // Machine 0 now has 2 free — the tightest fit for another 2.
+        let (_, m1) = p.place(2).expect("fits");
+        assert_eq!(m1, 0);
+        let (_, m2) = p.place(3).expect("fits");
+        assert_eq!(m2, 1);
+    }
+
+    /// Seeded property test: under a random churn of placements and
+    /// releases, the placer is (a) deterministic — an identical replay makes
+    /// identical decisions — and (b) total — no placement is dropped or
+    /// duplicated, and cores are conserved at every step.
+    #[test]
+    fn placer_deterministic_and_total_under_churn() {
+        use kelp_simcore::rng::SimRng;
+        let mut root = SimRng::seed_from(0x9_1ACE);
+        for case in 0..32 {
+            let mut rng = root.fork(case);
+            let budgets: Vec<usize> = (0..1 + rng.below(6) as usize)
+                .map(|_| 4 + 2 * rng.below(11) as usize)
+                .collect();
+            let total: usize = budgets.iter().sum();
+            let mut p = FleetPlacer::new(budgets.clone());
+            let mut replay = FleetPlacer::new(budgets);
+            let mut live: Vec<PlacementId> = Vec::new();
+            let mut placed_ok = 0usize;
+            for _ in 0..64 {
+                if live.is_empty() || rng.below(3) > 0 {
+                    let cores = rng.below(12) as usize;
+                    let got = p.place(cores);
+                    assert_eq!(got, replay.place(cores), "replay diverged");
+                    if let Some((id, machine)) = got {
+                        assert!(
+                            !live.contains(&id),
+                            "placement id {id:?} duplicated on machine {machine}"
+                        );
+                        live.push(id);
+                        placed_ok += 1;
+                    }
+                } else {
+                    let k = rng.below(live.len() as u64) as usize;
+                    let id = live.swap_remove(k);
+                    p.release(id);
+                    replay.release(id);
+                    p.release(id); // double release must be a no-op
+                }
+                // Totality: everything placed is still accounted for.
+                assert_eq!(p.live_placements(), live.len());
+                let free: usize = (0..p.machine_count()).map(|m| p.free_cores(m)).sum();
+                assert_eq!(free + p.placed_cores(), total, "cores leaked");
+            }
+            assert!(placed_ok > 0, "case {case} never placed anything");
+        }
+    }
+
+    #[test]
+    fn placer_conserves_cores() {
+        let mut p = FleetPlacer::new(vec![10, 10]);
+        let total = 20;
+        let a = p.place(3).expect("fits").0;
+        let _b = p.place(7).expect("fits").0;
+        p.release(a);
+        let _c = p.place(10).expect("fits").0;
+        let free: usize = (0..p.machine_count()).map(|m| p.free_cores(m)).sum();
+        assert_eq!(free + p.placed_cores(), total);
+    }
 
     #[test]
     fn local_policy_points_home() {

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod counters;
 pub mod distress;
 pub mod latency;
@@ -38,6 +39,7 @@ pub mod prefetch;
 pub mod solver;
 pub mod topology;
 
+pub use batch::BatchSolver;
 pub use counters::MemCounters;
 pub use distress::{DistressModel, DistressScope};
 pub use latency::LatencyCurve;

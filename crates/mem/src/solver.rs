@@ -169,13 +169,18 @@ pub struct SolveStats {
 
 impl SolveStats {
     /// Accumulates `other` into `self`, field by field.
+    ///
+    /// Saturating: a fleet-scale campaign (thousands of hosts × millions of
+    /// ticks) accumulates counters through many absorb layers — per-machine,
+    /// per-worker, per-fleet — and an overflow panic in bookkeeping must
+    /// never take down a simulation. Counters pin at `u64::MAX` instead.
     pub fn absorb(&mut self, other: &SolveStats) {
-        self.solves += other.solves;
-        self.iterations += other.iterations;
-        self.evaluations += other.evaluations;
-        self.memo_hits += other.memo_hits;
-        self.warm_hits += other.warm_hits;
-        self.solve_ns += other.solve_ns;
+        self.solves = self.solves.saturating_add(other.solves);
+        self.iterations = self.iterations.saturating_add(other.iterations);
+        self.evaluations = self.evaluations.saturating_add(other.evaluations);
+        self.memo_hits = self.memo_hits.saturating_add(other.memo_hits);
+        self.warm_hits = self.warm_hits.saturating_add(other.warm_hits);
+        self.solve_ns = self.solve_ns.saturating_add(other.solve_ns);
     }
 }
 
@@ -240,7 +245,7 @@ impl SolverOutput {
 
 /// Per-task invariants precomputed once per solve.
 #[derive(Debug, Clone, Copy)]
-struct TaskPre {
+pub(crate) struct TaskPre {
     /// Dense index of the task's canonical home domain.
     home_index: usize,
     /// Socket index of the canonical home.
@@ -257,7 +262,7 @@ struct TaskPre {
 
 /// One positive-fraction data placement, resolved to dense domain indices.
 #[derive(Debug, Clone, Copy)]
-struct DataPre {
+pub(crate) struct DataPre {
     /// Dense index of the canonical target domain.
     di: usize,
     /// Placement fraction.
@@ -270,7 +275,7 @@ struct DataPre {
 
 /// Where one bandwidth flow's allocation is credited.
 #[derive(Debug, Clone, Copy)]
-struct FlowRef {
+pub(crate) struct FlowRef {
     task: Option<usize>,
     fixed: Option<usize>,
     target_domain: usize,
@@ -290,41 +295,19 @@ struct FlowRef {
 /// contract.
 #[derive(Debug, Clone, Default)]
 pub struct SolverScratch {
-    // Per-solve tables.
-    domains: Vec<DomainId>,
-    domain_lut: Vec<usize>,
-    capacities: Vec<f64>,
-    llc: Vec<LlcModel>,
-    domain_base: Vec<f64>,
-    member_start: Vec<usize>,
-    member_cursor: Vec<usize>,
-    member_idx: Vec<usize>,
-    task_pre: Vec<TaskPre>,
-    data_pre: Vec<DataPre>,
-    flows: Vec<Flow>,
-    flow_refs: Vec<FlowRef>,
-    // Per-iteration buffers.
-    rates: Vec<f64>,
-    fx: Vec<f64>,
-    next_rates: Vec<f64>,
-    task_hit: Vec<f64>,
-    task_effects: Vec<PrefetchEffect>,
-    task_gbps: Vec<f64>,
-    task_traffic: Vec<f64>,
-    task_bw: Vec<f64>,
-    task_constrained: Vec<bool>,
-    task_latency: Vec<f64>,
-    domain_util: Vec<f64>,
-    inbound_upi: Vec<f64>,
-    domain_latency: Vec<f64>,
-    cache_tasks: Vec<CacheTask>,
-    cache_shares: Vec<CacheShare>,
-    alloc_rates: Vec<f64>,
-    alloc_used: Vec<f64>,
-    alloc_scratch: AllocScratch,
-    pre_rates: Vec<f64>,
-    pre_used: Vec<f64>,
-    pre_scratch: AllocScratch,
+    /// System-derived tables (identical for every solve against one
+    /// [`MemSystem`]).
+    pub(crate) shared: DomainTables,
+    /// Input-derived tables for the one lane this scratch solves.
+    pub(crate) lane: LaneTables,
+    /// Counting-sort cursor for membership construction.
+    pub(crate) member_cursor: Vec<usize>,
+    /// Per-iteration evaluation buffers.
+    pub(crate) bufs: EvalBufs,
+    /// Current rate vector (the fixed-point state).
+    pub(crate) rates: Vec<f64>,
+    /// Scratch for the fixed-point map image.
+    pub(crate) fx: Vec<f64>,
     // Warm-start state.
     prev_rates: Vec<f64>,
     has_prev: bool,
@@ -338,6 +321,116 @@ impl SolverScratch {
         self.prev_rates.clear();
         self.has_prev = false;
     }
+
+    /// The previous solve's converged rates, if any (warm-start seed).
+    pub(crate) fn warm_seed(&self) -> Option<&[f64]> {
+        if self.has_prev {
+            Some(&self.prev_rates)
+        } else {
+            None
+        }
+    }
+
+    /// Records `rates` as the previous converged rates for warm starts.
+    pub(crate) fn store_warm(&mut self, rates: &[f64]) {
+        self.prev_rates.clear();
+        self.prev_rates.extend_from_slice(rates);
+        self.has_prev = true;
+    }
+}
+
+/// Tables derived from the [`MemSystem`] configuration alone — identical
+/// for every lane of a batch solved against one system, so the batch path
+/// builds them once and shares them across lanes.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DomainTables {
+    pub(crate) domains: Vec<DomainId>,
+    pub(crate) domain_lut: Vec<usize>,
+    pub(crate) capacities: Vec<f64>,
+    pub(crate) llc: Vec<LlcModel>,
+    pub(crate) domain_base: Vec<f64>,
+}
+
+/// Input-derived per-solve tables, appended lane by lane with *lane-local*
+/// indices: `TaskPre::data_start`, membership slots, `FlowRef::task` /
+/// `FlowRef::fixed` all index within their own lane's ranges. A scalar
+/// scratch holds exactly one lane; the batch arena appends many lanes back
+/// to back into the same flat vectors (structure-of-arrays packing).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LaneTables {
+    /// Per lane: `n_domains + 1` prefix-sum entries (lane-local slots).
+    pub(crate) member_start: Vec<usize>,
+    /// Per lane: one lane-local task index per task, grouped by home domain.
+    pub(crate) member_idx: Vec<usize>,
+    pub(crate) task_pre: Vec<TaskPre>,
+    pub(crate) data_pre: Vec<DataPre>,
+    pub(crate) flows: Vec<Flow>,
+    pub(crate) flow_refs: Vec<FlowRef>,
+}
+
+impl LaneTables {
+    /// Drops every lane.
+    pub(crate) fn clear(&mut self) {
+        self.member_start.clear();
+        self.member_idx.clear();
+        self.task_pre.clear();
+        self.data_pre.clear();
+        self.flows.clear();
+        self.flow_refs.clear();
+    }
+
+    /// A view over the whole buffers — correct when the tables hold exactly
+    /// one lane (the scalar scratch case).
+    pub(crate) fn view(&mut self) -> LaneView<'_> {
+        LaneView {
+            task_pre: &self.task_pre,
+            data_pre: &self.data_pre,
+            member_start: &self.member_start,
+            member_idx: &self.member_idx,
+            flows: &mut self.flows,
+            flow_refs: &self.flow_refs,
+        }
+    }
+}
+
+/// Per-evaluation buffers, every one cleared or fully overwritten at the
+/// start of the evaluation that reads it. Because nothing survives an
+/// evaluation, one `EvalBufs` is safely shared across all lanes of a batch
+/// evaluated serially.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EvalBufs {
+    pub(crate) next_rates: Vec<f64>,
+    pub(crate) task_hit: Vec<f64>,
+    pub(crate) task_effects: Vec<PrefetchEffect>,
+    pub(crate) task_gbps: Vec<f64>,
+    pub(crate) task_traffic: Vec<f64>,
+    pub(crate) task_bw: Vec<f64>,
+    pub(crate) task_constrained: Vec<bool>,
+    pub(crate) task_latency: Vec<f64>,
+    pub(crate) domain_util: Vec<f64>,
+    pub(crate) inbound_upi: Vec<f64>,
+    pub(crate) domain_latency: Vec<f64>,
+    pub(crate) cache_tasks: Vec<CacheTask>,
+    pub(crate) cache_shares: Vec<CacheShare>,
+    pub(crate) alloc_rates: Vec<f64>,
+    pub(crate) alloc_used: Vec<f64>,
+    pub(crate) alloc_scratch: AllocScratch,
+    pub(crate) pre_rates: Vec<f64>,
+    pub(crate) pre_used: Vec<f64>,
+    pub(crate) pre_scratch: AllocScratch,
+}
+
+/// Borrowed view of one lane's tables during evaluation: subslices of a
+/// scalar scratch (the whole buffers) or of a batch arena (one lane's
+/// ranges). All indices inside are lane-local, so the evaluation code is
+/// byte-for-byte the same arithmetic either way.
+pub(crate) struct LaneView<'a> {
+    pub(crate) task_pre: &'a [TaskPre],
+    pub(crate) data_pre: &'a [DataPre],
+    pub(crate) member_start: &'a [usize],
+    pub(crate) member_idx: &'a [usize],
+    pub(crate) flows: &'a mut [Flow],
+    pub(crate) flow_refs: &'a [FlowRef],
 }
 
 /// The configured memory system.
@@ -563,6 +656,17 @@ impl MemSystem {
         }
     }
 
+    /// The fixed-point configuration this system solves under (shared with
+    /// the batch path so both drive identical iteration arithmetic).
+    pub(crate) fn fp_config(&self) -> FixedPointConfig {
+        self.fp_config
+    }
+
+    /// Whether warm starts are enabled (see [`MemSystem::set_warm_start`]).
+    pub(crate) fn warm_start_enabled(&self) -> bool {
+        self.warm_start
+    }
+
     /// Solves the memory system for one step with a private scratch.
     ///
     /// Equivalent to [`MemSystem::solve_with`] on a fresh [`SolverScratch`]
@@ -598,75 +702,113 @@ impl MemSystem {
 
         let mut rates = std::mem::take(&mut scratch.rates);
         let mut fx = std::mem::take(&mut scratch.fx);
-        let fp = solve_fixed_point_into(
-            &mut rates,
-            &mut fx,
-            |x, out| {
-                self.eval_lean(x, input, scratch);
-                out.extend_from_slice(&scratch.next_rates);
-            },
-            self.fp_config,
-        );
+        let output = {
+            let SolverScratch {
+                shared, lane, bufs, ..
+            } = &mut *scratch;
+            let fp = solve_fixed_point_into(
+                &mut rates,
+                &mut fx,
+                |x, out| {
+                    self.eval_lean_view(x, input, shared, &mut lane.view(), bufs);
+                    out.extend_from_slice(&bufs.next_rates);
+                },
+                self.fp_config,
+            );
 
-        // One final full evaluation at the converged rates.
-        let output = self.eval_full(&rates, input, scratch, fp, warm);
+            // One final full evaluation at the converged rates.
+            self.eval_full_view(
+                &rates,
+                input,
+                shared,
+                &mut lane.view(),
+                bufs,
+                SolveOutcome { fp, warm },
+            )
+        };
 
-        scratch.prev_rates.clear();
-        scratch.prev_rates.extend_from_slice(&rates);
-        scratch.has_prev = true;
+        scratch.store_warm(&rates);
         scratch.rates = rates;
         scratch.fx = fx;
         output
     }
 
-    /// Rebuilds the per-solve tables in `s`: domains, the dense domain-index
-    /// table, capacities, LLC models, base latencies, per-domain membership,
-    /// per-task invariants, flattened data placements and the flow template
-    /// (whose weights and resource usage are iteration-invariant — only
-    /// demands are rewritten per evaluation). Also validates the input and
-    /// seeds `s.rates` with the zero-load initial guess.
+    /// Rebuilds the per-solve tables in `s` — the system-derived
+    /// [`DomainTables`] plus one freshly-appended lane — validating the
+    /// input and seeding `s.rates` with the zero-load initial guess.
     fn prepare(&self, input: &SolverInput, s: &mut SolverScratch) {
+        self.build_domain_tables(&mut s.shared);
+        s.lane.clear();
+        s.rates.clear();
+        self.append_lane(
+            input,
+            &s.shared,
+            &mut s.lane,
+            &mut s.member_cursor,
+            &mut s.rates,
+        );
+    }
+
+    /// Rebuilds the tables that depend only on this system's configuration:
+    /// domains, the dense domain-index table, capacities, LLC models and
+    /// base latencies. The dense canonical-domain table's rows are sockets,
+    /// columns the raw sub index clamped to {0, 1}; entries index into
+    /// `domains` (replacing a per-lookup linear position() scan).
+    pub(crate) fn build_domain_tables(&self, t: &mut DomainTables) {
         let per = self.snc.domains_per_socket() as usize;
         let n_sockets = self.machine.socket_count();
-        s.domains.clear();
-        s.domains.extend(self.machine.domains(self.snc));
-        let n_domains = s.domains.len();
+        t.domains.clear();
+        t.domains.extend(self.machine.domains(self.snc));
 
-        // Dense canonical-domain table: rows are sockets, columns the raw
-        // sub index clamped to {0, 1}; entries index into `domains`. This
-        // replaces the per-lookup linear position() scan.
-        s.domain_lut.clear();
+        t.domain_lut.clear();
         for socket in 0..n_sockets {
             for sub in 0..2u8 {
                 let c = self.canonical_domain(DomainId {
                     socket: SocketId(socket),
                     sub,
                 });
-                s.domain_lut.push(c.socket.0 * per + c.sub as usize);
+                t.domain_lut.push(c.socket.0 * per + c.sub as usize);
             }
         }
 
-        s.capacities.clear();
-        for &d in &s.domains {
-            s.capacities
+        t.capacities.clear();
+        for &d in &t.domains {
+            t.capacities
                 .push(self.machine.domain_peak_gbps(d, self.snc) * self.channel_derate(d.socket));
         }
         let n_pairs = n_sockets * (n_sockets.saturating_sub(1)) / 2;
         for _ in 0..n_pairs {
-            s.capacities.push(self.machine.upi_gbps);
+            t.capacities.push(self.machine.upi_gbps);
         }
 
-        s.llc.clear();
-        s.domain_base.clear();
-        for &d in &s.domains {
-            s.llc.push(LlcModel::new(
+        t.llc.clear();
+        t.domain_base.clear();
+        for &d in &t.domains {
+            t.llc.push(LlcModel::new(
                 self.machine.domain_llc_mib(d, self.snc),
                 self.cat,
             ));
-            s.domain_base
+            t.domain_base
                 .push(self.machine.base_latency_ns(d, d, self.snc));
         }
+    }
 
+    /// Validates `input` and appends one lane's tables — per-task
+    /// invariants, flattened data placements, per-domain membership, the
+    /// flow template — to `lane`, pushing the lane's zero-load initial
+    /// rates onto `rates`. Every stored index is lane-local, so the scalar
+    /// scratch (which clears first) and the batch arena (which appends lane
+    /// after lane) produce identical per-lane table contents.
+    pub(crate) fn append_lane(
+        &self,
+        input: &SolverInput,
+        shared: &DomainTables,
+        lane: &mut LaneTables,
+        cursor: &mut Vec<usize>,
+        rates: &mut Vec<f64>,
+    ) {
+        let n_sockets = self.machine.socket_count();
+        let n_domains = shared.domains.len();
         let tasks = &input.tasks;
         for t in tasks {
             assert!(t.threads >= 0.0, "negative thread count");
@@ -674,22 +816,24 @@ impl MemSystem {
             assert!(t.compute_ns_per_unit >= 0.0, "negative compute time");
         }
 
+        let task_base = lane.task_pre.len();
+        let data_base = lane.data_pre.len();
+        let member_base = lane.member_start.len();
+        let idx_base = lane.member_idx.len();
+
         // Per-task invariants, flattened data placements, initial rates.
-        s.task_pre.clear();
-        s.data_pre.clear();
-        s.rates.clear();
         for t in tasks {
             let home = self.canonical_domain(t.home);
-            let home_index = lut_index(&s.domain_lut, n_sockets, home);
-            let data_start = s.data_pre.len();
+            let home_index = lut_index(&shared.domain_lut, n_sockets, home);
+            let data_start = lane.data_pre.len() - data_base;
             let mut frac_sum = 0.0;
             for &(data_domain, frac) in &t.data {
                 if frac <= 0.0 {
                     continue;
                 }
                 let dd = self.canonical_domain(data_domain);
-                s.data_pre.push(DataPre {
-                    di: lut_index(&s.domain_lut, n_sockets, dd),
+                lane.data_pre.push(DataPre {
+                    di: lut_index(&shared.domain_lut, n_sockets, dd),
                     frac,
                     base_path: self.machine.base_latency_ns(home, dd, self.snc),
                     crosses: dd.socket != home.socket,
@@ -697,50 +841,46 @@ impl MemSystem {
                 frac_sum += frac;
             }
             // Zero-load latency estimate as the cold initial rate.
-            let base = s.domain_base[home_index];
+            let base = shared.domain_base[home_index];
             let stall = t.accesses_per_unit * (1.0 - t.hit_max.clamp(0.0, 1.0)) * base / t.mlp;
-            s.rates
-                .push(1e9 / (t.compute_ns_per_unit + stall).max(1e-3));
-            s.task_pre.push(TaskPre {
+            rates.push(1e9 / (t.compute_ns_per_unit + stall).max(1e-3));
+            lane.task_pre.push(TaskPre {
                 home_index,
                 home_socket: home.socket.0,
                 data_start,
-                data_end: s.data_pre.len(),
+                data_end: lane.data_pre.len() - data_base,
                 frac_sum,
                 base_effect: prefetch::effect(t.prefetch_profile, t.prefetch_setting),
             });
         }
 
         // Per-domain membership lists (tasks grouped by home domain, in
-        // input order within each group), as ranges into one flat buffer.
-        s.member_start.clear();
-        s.member_start.resize(n_domains + 1, 0);
-        for p in &s.task_pre {
-            s.member_start[p.home_index + 1] += 1;
+        // input order within each group), as lane-local ranges into this
+        // lane's member_idx segment.
+        lane.member_start.resize(member_base + n_domains + 1, 0);
+        for p in &lane.task_pre[task_base..] {
+            lane.member_start[member_base + p.home_index + 1] += 1;
         }
         for di in 0..n_domains {
-            s.member_start[di + 1] += s.member_start[di];
+            lane.member_start[member_base + di + 1] += lane.member_start[member_base + di];
         }
-        s.member_cursor.clear();
-        s.member_cursor
-            .extend_from_slice(&s.member_start[..n_domains]);
-        s.member_idx.clear();
-        s.member_idx.resize(tasks.len(), 0);
-        for (i, p) in s.task_pre.iter().enumerate() {
-            let slot = s.member_cursor[p.home_index];
-            s.member_idx[slot] = i;
-            s.member_cursor[p.home_index] += 1;
+        cursor.clear();
+        cursor.extend_from_slice(&lane.member_start[member_base..member_base + n_domains]);
+        lane.member_idx.resize(idx_base + tasks.len(), 0);
+        for i in 0..tasks.len() {
+            let home_index = lane.task_pre[task_base + i].home_index;
+            let slot = cursor[home_index];
+            lane.member_idx[idx_base + slot] = i;
+            cursor[home_index] += 1;
         }
 
         // Flow template: one flow per (task, placement entry), then fixed
         // flows. Task-flow demands are rewritten every evaluation; weights,
         // usage and fixed-flow demands never change within a solve.
-        s.flows.clear();
-        s.flow_refs.clear();
         for (i, t) in tasks.iter().enumerate() {
-            let p = s.task_pre[i];
+            let p = lane.task_pre[task_base + i];
             for k in p.data_start..p.data_end {
-                let e = s.data_pre[k];
+                let e = lane.data_pre[data_base + k];
                 let mut usage = vec![(
                     e.di,
                     if e.crosses {
@@ -751,16 +891,17 @@ impl MemSystem {
                 )];
                 if e.crosses {
                     usage.push((
-                        n_domains + upi_pair(p.home_socket, s.domains[e.di].socket.0, n_sockets),
+                        n_domains
+                            + upi_pair(p.home_socket, shared.domains[e.di].socket.0, n_sockets),
                         1.0,
                     ));
                 }
-                s.flows.push(Flow {
+                lane.flows.push(Flow {
                     demand: 0.0,
                     weight: t.weight.max(1e-6) * e.frac.max(1e-6),
                     usage,
                 });
-                s.flow_refs.push(FlowRef {
+                lane.flow_refs.push(FlowRef {
                     task: Some(i),
                     fixed: None,
                     target_domain: e.di,
@@ -771,7 +912,7 @@ impl MemSystem {
         }
         for (j, f) in input.fixed_flows.iter().enumerate() {
             let dd = self.canonical_domain(f.target);
-            let di = lut_index(&s.domain_lut, n_sockets, dd);
+            let di = lut_index(&shared.domain_lut, n_sockets, dd);
             // A fixed flow crosses UPI only when it names a source socket
             // different from its target's socket.
             let cross_src = f.source_socket.filter(|&src| src != dd.socket);
@@ -787,12 +928,12 @@ impl MemSystem {
             if let Some(src) = cross_src {
                 usage.push((n_domains + upi_pair(src.0, dd.socket.0, n_sockets), 1.0));
             }
-            s.flows.push(Flow {
+            lane.flows.push(Flow {
                 demand: f.gbps.max(0.0),
                 weight: f.weight.max(1e-6),
                 usage,
             });
-            s.flow_refs.push(FlowRef {
+            lane.flow_refs.push(FlowRef {
                 task: None,
                 fixed: Some(j),
                 target_domain: di,
@@ -803,71 +944,86 @@ impl MemSystem {
     }
 
     /// Writes miss traffic per unit and per-flow demands at `rates` into the
-    /// scratch flow template.
-    fn fill_demands(&self, rates: &[f64], tasks: &[SolverTask], s: &mut SolverScratch) {
-        s.task_traffic.clear();
-        s.task_gbps.clear();
+    /// lane's flow template.
+    fn fill_demands_view(
+        &self,
+        rates: &[f64],
+        tasks: &[SolverTask],
+        lane: &mut LaneView<'_>,
+        bufs: &mut EvalBufs,
+    ) {
+        bufs.task_traffic.clear();
+        bufs.task_gbps.clear();
         for (i, t) in tasks.iter().enumerate() {
-            let pf = s.task_effects[i];
-            let miss_per_unit = t.accesses_per_unit * (1.0 - s.task_hit[i]);
+            let pf = bufs.task_effects[i];
+            let miss_per_unit = t.accesses_per_unit * (1.0 - bufs.task_hit[i]);
             let traffic_bytes = miss_per_unit * t.bytes_per_access * pf.traffic_multiplier;
-            s.task_traffic.push(traffic_bytes);
+            bufs.task_traffic.push(traffic_bytes);
             let total_gbps_raw = t.threads * rates[i].max(0.0) * traffic_bytes / 1e9;
-            s.task_gbps.push(match t.bw_cap_gbps {
+            bufs.task_gbps.push(match t.bw_cap_gbps {
                 Some(cap) => total_gbps_raw.min(cap.max(0.0)),
                 None => total_gbps_raw,
             });
         }
-        for (flow, fr) in s.flows.iter_mut().zip(s.flow_refs.iter()) {
+        for (flow, fr) in lane.flows.iter_mut().zip(lane.flow_refs.iter()) {
             if let Some(i) = fr.task {
-                flow.demand = s.task_gbps[i] * fr.frac;
+                flow.demand = bufs.task_gbps[i] * fr.frac;
             }
         }
     }
 
     /// The lean per-iteration evaluation: recomputes hit ratios, flow
     /// demands, the max-min allocation and latencies at `rates`, leaving
-    /// `s.next_rates` as the fixed-point image. Everything lives in `s`'s
+    /// `bufs.next_rates` as the fixed-point image. Everything lives in
     /// reused buffers, so a warmed-up solve iterates without allocating.
     /// The arithmetic is order-identical to the pre-split `evaluate`, so
-    /// iterates are bit-for-bit unchanged.
-    fn eval_lean(&self, rates: &[f64], input: &SolverInput, s: &mut SolverScratch) {
+    /// iterates are bit-for-bit unchanged — and because `lane` is a borrowed
+    /// view with lane-local indices, the scalar path (whole scratch) and the
+    /// batch path (one arena lane) run the exact same code.
+    pub(crate) fn eval_lean_view(
+        &self,
+        rates: &[f64],
+        input: &SolverInput,
+        shared: &DomainTables,
+        lane: &mut LaneView<'_>,
+        bufs: &mut EvalBufs,
+    ) {
         let tasks = &input.tasks;
         let n_tasks = tasks.len();
-        let n_domains = s.domains.len();
+        let n_domains = shared.domains.len();
         let n_sockets = self.machine.socket_count();
 
         // --- LLC occupancy & hit ratios, per cache domain -----------------
-        s.task_hit.clear();
-        s.task_hit.resize(n_tasks, 0.0);
+        bufs.task_hit.clear();
+        bufs.task_hit.resize(n_tasks, 0.0);
         for di in 0..n_domains {
-            let (lo, hi) = (s.member_start[di], s.member_start[di + 1]);
+            let (lo, hi) = (lane.member_start[di], lane.member_start[di + 1]);
             if lo == hi {
                 continue;
             }
-            s.cache_tasks.clear();
+            bufs.cache_tasks.clear();
             for k in lo..hi {
-                let i = s.member_idx[k];
+                let i = lane.member_idx[k];
                 let t = &tasks[i];
-                s.cache_tasks.push(CacheTask {
+                bufs.cache_tasks.push(CacheTask {
                     working_set: t.working_set_bytes,
                     access_rate: t.threads * t.accesses_per_unit * rates[i].max(0.0),
                     hit_max: t.hit_max,
                     class: t.cache_class,
                 });
             }
-            s.llc[di].shares_into(&s.cache_tasks, &mut s.cache_shares);
+            shared.llc[di].shares_into(&bufs.cache_tasks, &mut bufs.cache_shares);
             for k in lo..hi {
-                s.task_hit[s.member_idx[k]] = s.cache_shares[k - lo].hit_ratio;
+                bufs.task_hit[lane.member_idx[k]] = bufs.cache_shares[k - lo].hit_ratio;
             }
         }
 
         // --- Flow demands (prefetch effects, miss traffic) ----------------
-        s.task_effects.clear();
-        for p in &s.task_pre {
-            s.task_effects.push(p.base_effect);
+        bufs.task_effects.clear();
+        for p in lane.task_pre {
+            bufs.task_effects.push(p.base_effect);
         }
-        self.fill_demands(rates, tasks, s);
+        self.fill_demands_view(rates, tasks, lane, bufs);
 
         // §VI-B hardware QoS-aware prefetching: a pre-pass measures each
         // controller's pressure at full aggressiveness, then the hardware
@@ -875,79 +1031,84 @@ impl MemSystem {
         // and the demands are rewritten.
         if let Some(ap) = self.adaptive_prefetch {
             maxmin::allocate_into(
-                &s.flows,
-                &s.capacities,
-                &mut s.pre_rates,
-                &mut s.pre_used,
-                &mut s.pre_scratch,
+                lane.flows,
+                &shared.capacities,
+                &mut bufs.pre_rates,
+                &mut bufs.pre_used,
+                &mut bufs.pre_scratch,
             );
             for (i, t) in tasks.iter().enumerate() {
-                let di = s.task_pre[i].home_index;
-                let factor = ap.factor(util_of(s.pre_used[di], s.capacities[di]));
+                let di = lane.task_pre[i].home_index;
+                let factor = ap.factor(util_of(bufs.pre_used[di], shared.capacities[di]));
                 if factor < 1.0 {
                     let scaled =
                         PrefetchSetting::fraction(t.prefetch_setting.enabled_fraction * factor);
-                    s.task_effects[i] = prefetch::effect(t.prefetch_profile, scaled);
+                    bufs.task_effects[i] = prefetch::effect(t.prefetch_profile, scaled);
                 }
             }
-            self.fill_demands(rates, tasks, s);
+            self.fill_demands_view(rates, tasks, lane, bufs);
         }
 
         maxmin::allocate_into(
-            &s.flows,
-            &s.capacities,
-            &mut s.alloc_rates,
-            &mut s.alloc_used,
-            &mut s.alloc_scratch,
+            lane.flows,
+            &shared.capacities,
+            &mut bufs.alloc_rates,
+            &mut bufs.alloc_used,
+            &mut bufs.alloc_scratch,
         );
 
         // --- Utilization, inbound UPI, loaded latency ---------------------
-        s.domain_util.clear();
+        bufs.domain_util.clear();
         for di in 0..n_domains {
-            s.domain_util
-                .push(util_of(s.alloc_used[di], s.capacities[di]));
+            bufs.domain_util
+                .push(util_of(bufs.alloc_used[di], shared.capacities[di]));
         }
-        s.inbound_upi.clear();
-        s.inbound_upi.resize(n_sockets, 0.0);
-        for (fr, &rate) in s.flow_refs.iter().zip(&s.alloc_rates) {
+        bufs.inbound_upi.clear();
+        bufs.inbound_upi.resize(n_sockets, 0.0);
+        for (fr, &rate) in lane.flow_refs.iter().zip(&bufs.alloc_rates) {
             if fr.crosses_upi {
-                s.inbound_upi[s.domains[fr.target_domain].socket.0] += rate;
+                bufs.inbound_upi[shared.domains[fr.target_domain].socket.0] += rate;
             }
         }
-        s.domain_latency.clear();
+        bufs.domain_latency.clear();
         for di in 0..n_domains {
-            let d = s.domains[di];
-            s.domain_latency.push(
+            let d = shared.domains[di];
+            bufs.domain_latency.push(
                 self.latency_curve
-                    .loaded_ns(s.domain_base[di], s.domain_util[di])
-                    + self.machine.coherence_tax_ns_per_gbps * s.inbound_upi[d.socket.0],
+                    .loaded_ns(shared.domain_base[di], bufs.domain_util[di])
+                    + self.machine.coherence_tax_ns_per_gbps * bufs.inbound_upi[d.socket.0],
             );
         }
 
         // --- Per-task bandwidth, constraint flags, effective latency ------
-        s.task_bw.clear();
-        s.task_bw.resize(n_tasks, 0.0);
-        s.task_constrained.clear();
-        s.task_constrained.resize(n_tasks, false);
-        for ((fr, flow), &rate) in s.flow_refs.iter().zip(&s.flows).zip(&s.alloc_rates) {
+        bufs.task_bw.clear();
+        bufs.task_bw.resize(n_tasks, 0.0);
+        bufs.task_constrained.clear();
+        bufs.task_constrained.resize(n_tasks, false);
+        for ((fr, flow), &rate) in lane
+            .flow_refs
+            .iter()
+            .zip(lane.flows.iter())
+            .zip(&bufs.alloc_rates)
+        {
             if let Some(i) = fr.task {
-                s.task_bw[i] += rate;
+                bufs.task_bw[i] += rate;
                 if rate < flow.demand - 1e-9 {
-                    s.task_constrained[i] = true;
+                    bufs.task_constrained[i] = true;
                 }
             }
         }
-        s.task_latency.clear();
-        for p in &s.task_pre {
+        bufs.task_latency.clear();
+        for p in lane.task_pre {
             let mut lat = 0.0;
-            for e in &s.data_pre[p.data_start..p.data_end] {
+            for e in &lane.data_pre[p.data_start..p.data_end] {
                 // Path latency: unloaded path base scaled by target-domain
                 // queueing, plus the victim-socket coherence tax (already in
                 // the loaded domain latency).
-                let queueing = s.domain_latency[e.di] - s.domain_base[e.di];
+                let queueing = bufs.domain_latency[e.di] - shared.domain_base[e.di];
                 lat += e.frac * (e.base_path + queueing.max(0.0));
             }
-            s.task_latency.push(if p.frac_sum > 0.0 {
+            bufs.task_latency.push(if p.frac_sum > 0.0 {
                 lat / p.frac_sum
             } else {
                 0.0
@@ -955,12 +1116,12 @@ impl MemSystem {
         }
 
         // --- Next rates (the fixed-point image) ---------------------------
-        s.next_rates.clear();
+        bufs.next_rates.clear();
         for (i, t) in tasks.iter().enumerate() {
-            let pf = s.task_effects[i];
-            let miss_per_unit = t.accesses_per_unit * (1.0 - s.task_hit[i]);
+            let pf = bufs.task_effects[i];
+            let miss_per_unit = t.accesses_per_unit * (1.0 - bufs.task_hit[i]);
             let stall_misses = miss_per_unit * (1.0 - pf.coverage);
-            let stall = stall_misses * s.task_latency[i] / (t.mlp * pf.mlp_multiplier);
+            let stall = stall_misses * bufs.task_latency[i] / (t.mlp * pf.mlp_multiplier);
             // The fixed point iterates on *demand* rates, which exclude the
             // distress core throttle: a throttled core's prefetchers keep the
             // memory pipeline full, so bandwidth demand does not relax when
@@ -968,12 +1129,12 @@ impl MemSystem {
             // throttled rates would oscillate: throttle -> demand drops ->
             // saturation clears -> throttle lifts -> saturation returns.)
             let rate_demand = 1e9 / (t.compute_ns_per_unit + stall).max(1e-3);
-            s.next_rates.push(if t.threads > 0.0 {
+            bufs.next_rates.push(if t.threads > 0.0 {
                 cap_rate(
                     rate_demand,
-                    s.task_constrained[i],
-                    s.task_bw[i],
-                    s.task_traffic[i],
+                    bufs.task_constrained[i],
+                    bufs.task_bw[i],
+                    bufs.task_traffic[i],
                     t,
                 )
             } else {
@@ -985,29 +1146,31 @@ impl MemSystem {
     /// The full final-path evaluation at the converged `rates`: runs the
     /// lean pass, then builds the per-task results, fixed-flow rates and
     /// the counter snapshot exactly once per solve.
-    fn eval_full(
+    pub(crate) fn eval_full_view(
         &self,
         rates: &[f64],
         input: &SolverInput,
-        s: &mut SolverScratch,
-        fp: FixedPointStats,
-        warm: bool,
+        shared: &DomainTables,
+        lane: &mut LaneView<'_>,
+        bufs: &mut EvalBufs,
+        outcome: SolveOutcome,
     ) -> SolverOutput {
-        self.eval_lean(rates, input, s);
+        let SolveOutcome { fp, warm } = outcome;
+        self.eval_lean_view(rates, input, shared, lane, bufs);
         let tasks = &input.tasks;
-        let n_domains = s.domains.len();
+        let n_domains = shared.domains.len();
         let n_sockets = self.machine.socket_count();
 
         // Distress duty & core speed per socket.
         let mut socket_duty = vec![0.0f64; n_sockets];
-        for (di, &d) in s.domains.iter().enumerate() {
-            let duty = self.distress.duty_cycle(s.domain_util[di]);
+        for (di, &d) in shared.domains.iter().enumerate() {
+            let duty = self.distress.duty_cycle(bufs.domain_util[di]);
             if duty > socket_duty[d.socket.0] {
                 socket_duty[d.socket.0] = duty;
             }
         }
         // Coherence/snoop stalls from inbound cross-socket traffic.
-        let socket_snoop: Vec<f64> = s
+        let socket_snoop: Vec<f64> = bufs
             .inbound_upi
             .iter()
             .map(|&inb| {
@@ -1021,7 +1184,7 @@ impl MemSystem {
             .collect();
 
         let mut fixed_flow_gbps = vec![0.0f64; input.fixed_flows.len()];
-        for (fr, &rate) in s.flow_refs.iter().zip(&s.alloc_rates) {
+        for (fr, &rate) in lane.flow_refs.iter().zip(&bufs.alloc_rates) {
             if let Some(j) = fr.fixed {
                 fixed_flow_gbps[j] += rate;
             }
@@ -1029,8 +1192,8 @@ impl MemSystem {
 
         let mut per_task = Vec::with_capacity(tasks.len());
         for (i, t) in tasks.iter().enumerate() {
-            let p = s.task_pre[i];
-            let pf = s.task_effects[i];
+            let p = lane.task_pre[i];
+            let pf = bufs.task_effects[i];
             let speed = if t.distress_exempt {
                 1.0
             } else {
@@ -1040,23 +1203,23 @@ impl MemSystem {
                     DistressScope::GlobalSocket => socket_duty[p.home_socket],
                     // §VI-C proposal: only the saturating domain's cores pay.
                     DistressScope::PerDomain => {
-                        self.distress.duty_cycle(s.domain_util[p.home_index])
+                        self.distress.duty_cycle(bufs.domain_util[p.home_index])
                     }
                 };
                 self.distress.core_speed_factor(duty) * socket_snoop[p.home_socket]
             };
-            let miss_per_unit = t.accesses_per_unit * (1.0 - s.task_hit[i]);
+            let miss_per_unit = t.accesses_per_unit * (1.0 - bufs.task_hit[i]);
             let stall_misses = miss_per_unit * (1.0 - pf.coverage);
-            let stall = stall_misses * s.task_latency[i] / (t.mlp * pf.mlp_multiplier);
+            let stall = stall_misses * bufs.task_latency[i] / (t.mlp * pf.mlp_multiplier);
             // Progress (achieved work) pays the distress throttle the demand
             // iterate deliberately excludes.
             let rate_progress = 1e9 / (t.compute_ns_per_unit / speed.max(1e-3) + stall).max(1e-3);
             let progress = if t.threads > 0.0 {
                 cap_rate(
                     rate_progress,
-                    s.task_constrained[i],
-                    s.task_bw[i],
-                    s.task_traffic[i],
+                    bufs.task_constrained[i],
+                    bufs.task_bw[i],
+                    bufs.task_traffic[i],
                     t,
                 )
             } else {
@@ -1065,31 +1228,31 @@ impl MemSystem {
             per_task.push(TaskResult {
                 key: t.key,
                 rate_per_thread: progress,
-                bw_gbps: s.task_bw[i],
-                latency_ns: s.task_latency[i],
-                llc_hit_ratio: s.task_hit[i],
+                bw_gbps: bufs.task_bw[i],
+                latency_ns: bufs.task_latency[i],
+                llc_hit_ratio: bufs.task_hit[i],
                 speed_factor: speed,
             });
         }
 
         // --- Counters -----------------------------------------------------
         let mut domain_counters = Vec::with_capacity(n_domains);
-        for (di, &d) in s.domains.iter().enumerate() {
+        for (di, &d) in shared.domains.iter().enumerate() {
             domain_counters.push(DomainCounters {
                 domain: d,
-                bw_gbps: s.alloc_used[di].min(s.capacities[di]),
-                utilization: s.domain_util[di],
-                latency_ns: s.domain_latency[di],
-                distress_duty: self.distress.duty_cycle(s.domain_util[di]),
+                bw_gbps: bufs.alloc_used[di].min(shared.capacities[di]),
+                utilization: bufs.domain_util[di],
+                latency_ns: bufs.domain_latency[di],
+                distress_duty: self.distress.duty_cycle(bufs.domain_util[di]),
             });
         }
         let mut socket_counters = Vec::with_capacity(n_sockets);
         for sck in 0..n_sockets {
             let (mut bw, mut lat_weighted) = (0.0, 0.0);
-            for (di, &d) in s.domains.iter().enumerate() {
+            for (di, &d) in shared.domains.iter().enumerate() {
                 if d.socket.0 == sck {
-                    bw += s.alloc_used[di].min(s.capacities[di]);
-                    lat_weighted += s.alloc_used[di] * s.domain_latency[di];
+                    bw += bufs.alloc_used[di].min(shared.capacities[di]);
+                    lat_weighted += bufs.alloc_used[di] * bufs.domain_latency[di];
                 }
             }
             let avg_latency = if bw > 0.0 {
@@ -1106,9 +1269,9 @@ impl MemSystem {
                 core_speed_factor: socket_speed[sck],
             });
         }
-        let upi_bw: f64 = s.alloc_used[n_domains..].iter().sum();
-        let upi_util = if self.machine.upi_gbps > 0.0 && s.capacities.len() > n_domains {
-            (s.alloc_used[n_domains..]
+        let upi_bw: f64 = bufs.alloc_used[n_domains..].iter().sum();
+        let upi_util = if self.machine.upi_gbps > 0.0 && shared.capacities.len() > n_domains {
+            (bufs.alloc_used[n_domains..]
                 .iter()
                 .fold(0.0f64, |a, &b| a.max(b))
                 / self.machine.upi_gbps)
@@ -1137,6 +1300,17 @@ impl MemSystem {
             },
         }
     }
+}
+
+/// Per-solve fixed-point outcome threaded into the final full evaluation
+/// (bundled so the evaluation entry point stays within the workspace's
+/// argument-count lint).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SolveOutcome {
+    /// The fixed-point driver's iteration/convergence record for this lane.
+    pub(crate) fp: FixedPointStats,
+    /// Whether the solve started from a warm seed.
+    pub(crate) warm: bool,
 }
 
 /// Dense domain index of `d` via the table built in `prepare` (same
@@ -1216,6 +1390,34 @@ mod tests {
             prefetch_profile: PrefetchProfile::streaming(),
             ..SolverTask::local(TaskKey(key), home, threads)
         }
+    }
+
+    /// `SolveStats::absorb` saturates instead of overflowing: counters near
+    /// `u64::MAX` pin at the ceiling while untouched fields still add.
+    #[test]
+    fn solve_stats_absorb_saturates() {
+        let mut acc = SolveStats {
+            solves: u64::MAX - 1,
+            iterations: u64::MAX,
+            evaluations: 10,
+            memo_hits: 0,
+            warm_hits: u64::MAX - 5,
+            solve_ns: 7,
+        };
+        acc.absorb(&SolveStats {
+            solves: 5,
+            iterations: 1,
+            evaluations: 3,
+            memo_hits: 2,
+            warm_hits: 5,
+            solve_ns: 8,
+        });
+        assert_eq!(acc.solves, u64::MAX);
+        assert_eq!(acc.iterations, u64::MAX);
+        assert_eq!(acc.evaluations, 13);
+        assert_eq!(acc.memo_hits, 2);
+        assert_eq!(acc.warm_hits, u64::MAX);
+        assert_eq!(acc.solve_ns, 15);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub struct FixedPointOutcome {
 
 /// Result of an in-place fixed-point solve ([`solve_fixed_point_into`]); the
 /// state lives in the caller's buffer, so only the scalars are returned.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FixedPointStats {
     /// Number of iterations performed.
     pub iterations: usize,
@@ -105,6 +105,115 @@ where
         converged: false,
         residual,
     }
+}
+
+/// Solves many independent fixed-point problems in one batched drive.
+///
+/// The state vectors of `n` lanes live back to back in one flat buffer:
+/// lane `l` occupies `x[start..lane_ends[l]]` where `start` is 0 for the
+/// first lane and `lane_ends[l - 1]` otherwise (so `lane_ends` is
+/// non-decreasing and its last entry equals `x.len()`). Each outer
+/// iteration evaluates every still-active lane once via
+/// `f(lane, x_lane, fx)` and applies the damped update; a lane whose
+/// relative infinity-norm step falls below the tolerance converges, records
+/// its stats and drops out of the remaining iterations (the per-lane active
+/// mask). The drive ends when every lane has converged or the iteration
+/// budget is exhausted.
+///
+/// Per lane the arithmetic — evaluation order, damped update, residual —
+/// is identical to [`solve_fixed_point_into`], so a batched lane is
+/// bit-for-bit the scalar solve of the same map, including its iteration
+/// count and residual. Empty lanes converge after one evaluation with a
+/// zero residual, exactly like an empty scalar solve.
+///
+/// On entry `active[l]` selects the lanes to solve (callers normally set
+/// all true); on exit it is false for every converged lane. `stats[l]` is
+/// overwritten for every initially-active lane; inactive lanes keep their
+/// previous stats. Returns the number of initially-active lanes that
+/// converged.
+///
+/// # Panics
+///
+/// Panics if the lane layout is inconsistent (`lane_ends` decreasing, last
+/// entry not `x.len()`, or `active`/`stats` lengths differing from the lane
+/// count), if `f` leaves `fx` with a different length than the lane, or if
+/// the config's damping is outside `(0, 1]`.
+pub fn solve_fixed_point_batch_into<F>(
+    x: &mut [f64],
+    lane_ends: &[usize],
+    active: &mut [bool],
+    stats: &mut [FixedPointStats],
+    fx: &mut Vec<f64>,
+    mut f: F,
+    config: FixedPointConfig,
+) -> usize
+where
+    F: FnMut(usize, &[f64], &mut Vec<f64>),
+{
+    assert!(
+        config.damping > 0.0 && config.damping <= 1.0,
+        "damping must be in (0, 1]"
+    );
+    let n_lanes = lane_ends.len();
+    assert_eq!(active.len(), n_lanes, "active mask / lane count mismatch");
+    assert_eq!(stats.len(), n_lanes, "stats / lane count mismatch");
+    let mut prev_end = 0usize;
+    for &end in lane_ends {
+        assert!(end >= prev_end, "lane_ends must be non-decreasing");
+        prev_end = end;
+    }
+    assert_eq!(
+        prev_end,
+        x.len(),
+        "lane_ends must cover the whole state buffer"
+    );
+
+    for (l, s) in stats.iter_mut().enumerate() {
+        if active[l] {
+            *s = FixedPointStats {
+                iterations: 0,
+                converged: false,
+                residual: f64::INFINITY,
+            };
+        }
+    }
+
+    let mut remaining = active.iter().filter(|&&a| a).count();
+    let mut converged_lanes = 0usize;
+    for iter in 0..config.max_iters {
+        if remaining == 0 {
+            break;
+        }
+        let mut lane_start = 0usize;
+        for (l, &lane_end) in lane_ends.iter().enumerate() {
+            let start = lane_start;
+            lane_start = lane_end;
+            if !active[l] {
+                continue;
+            }
+            let lane = &mut x[start..lane_end];
+            fx.clear();
+            f(l, lane, fx);
+            assert_eq!(fx.len(), lane.len(), "fixed-point map changed dimension");
+            // Bit-identical to the scalar solve_fixed_point_into update.
+            let mut max_rel = 0.0f64;
+            for (xi, &fxi) in lane.iter_mut().zip(fx.iter()) {
+                let next = (1.0 - config.damping) * *xi + config.damping * fxi;
+                let scale = xi.abs().max(1e-9);
+                max_rel = max_rel.max((next - *xi).abs() / scale);
+                *xi = next;
+            }
+            stats[l].iterations = iter + 1;
+            stats[l].residual = max_rel;
+            if max_rel < config.tolerance {
+                stats[l].converged = true;
+                active[l] = false;
+                remaining -= 1;
+                converged_lanes += 1;
+            }
+        }
+    }
+    converged_lanes
 }
 
 /// Solves `x = f(x)` by damped iteration from `initial`.
@@ -300,5 +409,210 @@ mod tests {
     #[should_panic(expected = "dimension")]
     fn rejects_dimension_change() {
         solve_fixed_point(vec![0.0], |_| vec![0.0, 1.0], FixedPointConfig::default());
+    }
+
+    /// Deterministic per-lane affine contractions for the batch tests: lane
+    /// `l` solves `x_i = a_l * x_i + b_l + i` element-wise.
+    fn lane_map(l: usize, x: &[f64], out: &mut Vec<f64>) {
+        let a = 0.2 + 0.1 * (l % 5) as f64;
+        let b = 1.0 + l as f64;
+        for (i, xi) in x.iter().enumerate() {
+            out.push(a * xi + b + i as f64);
+        }
+    }
+
+    #[test]
+    fn batch_lanes_match_scalar_solves_bitwise() {
+        // Mixed lane widths, including an empty lane in the middle.
+        let widths = [3usize, 1, 0, 5, 2, 4];
+        let cfg = FixedPointConfig {
+            max_iters: 120,
+            tolerance: 1e-7,
+            damping: 0.6,
+        };
+        let mut flat = Vec::new();
+        let mut lane_ends = Vec::new();
+        for (l, &w) in widths.iter().enumerate() {
+            for i in 0..w {
+                flat.push(0.25 * (l as f64) - 0.5 * (i as f64));
+            }
+            lane_ends.push(flat.len());
+        }
+        let initial = flat.clone();
+        let mut active = vec![true; widths.len()];
+        let mut stats = vec![
+            FixedPointStats {
+                iterations: 0,
+                converged: false,
+                residual: 0.0,
+            };
+            widths.len()
+        ];
+        let mut fx = Vec::new();
+        let converged = solve_fixed_point_batch_into(
+            &mut flat,
+            &lane_ends,
+            &mut active,
+            &mut stats,
+            &mut fx,
+            lane_map,
+            cfg,
+        );
+        assert_eq!(converged, widths.len());
+        assert!(active.iter().all(|&a| !a));
+
+        // Each lane re-solved alone must agree to the last bit.
+        let mut start = 0usize;
+        for (l, &end) in lane_ends.iter().enumerate() {
+            let mut lane: Vec<f64> = initial[start..end].to_vec();
+            let mut lane_fx = Vec::new();
+            let scalar =
+                solve_fixed_point_into(&mut lane, &mut lane_fx, |x, out| lane_map(l, x, out), cfg);
+            assert_eq!(&flat[start..end], &lane[..], "lane {l} state diverged");
+            assert_eq!(stats[l].iterations, scalar.iterations, "lane {l}");
+            assert_eq!(stats[l].converged, scalar.converged, "lane {l}");
+            assert_eq!(
+                stats[l].residual.to_bits(),
+                scalar.residual.to_bits(),
+                "lane {l}"
+            );
+            start = end;
+        }
+    }
+
+    #[test]
+    fn batch_empty_lane_converges_in_one_iteration() {
+        // An empty lane mirrors an empty scalar solve: one iteration, zero
+        // residual.
+        let mut x: [f64; 0] = [];
+        let mut active = [true];
+        let mut stats = [FixedPointStats {
+            iterations: 0,
+            converged: false,
+            residual: 1.0,
+        }];
+        let mut fx = Vec::new();
+        let converged = solve_fixed_point_batch_into(
+            &mut x,
+            &[0],
+            &mut active,
+            &mut stats,
+            &mut fx,
+            |_, _, _| {},
+            FixedPointConfig::default(),
+        );
+        assert_eq!(converged, 1);
+        assert_eq!(stats[0].iterations, 1);
+        assert!(stats[0].converged);
+        assert_eq!(stats[0].residual, 0.0);
+    }
+
+    #[test]
+    fn batch_converged_lanes_stop_being_evaluated() {
+        // Lane 0 converges instantly (identity start at the fixed point);
+        // lane 1 diverges and burns the whole budget. Count evaluations.
+        let mut evals = [0usize; 2];
+        let mut x = vec![2.0, 1.0];
+        let mut active = [true, true];
+        let mut stats = [FixedPointStats {
+            iterations: 0,
+            converged: false,
+            residual: 0.0,
+        }; 2];
+        let mut fx = Vec::new();
+        solve_fixed_point_batch_into(
+            &mut x,
+            &[1, 2],
+            &mut active,
+            &mut stats,
+            &mut fx,
+            |l, x, out| {
+                evals[l] += 1;
+                out.push(if l == 0 { x[0] } else { 2.0 * x[0] });
+            },
+            FixedPointConfig {
+                max_iters: 10,
+                tolerance: 1e-8,
+                damping: 1.0,
+            },
+        );
+        assert_eq!(evals[0], 1, "converged lane must drop out of the mask");
+        assert_eq!(evals[1], 10);
+        assert!(stats[0].converged && !stats[1].converged);
+        assert_eq!(stats[1].iterations, 10);
+    }
+
+    #[test]
+    fn batch_respects_initially_inactive_lanes() {
+        let mut x = vec![0.0, 7.0];
+        let mut active = [true, false];
+        let sentinel = FixedPointStats {
+            iterations: 99,
+            converged: false,
+            residual: 42.0,
+        };
+        let mut stats = [sentinel; 2];
+        let mut fx = Vec::new();
+        let converged = solve_fixed_point_batch_into(
+            &mut x,
+            &[1, 2],
+            &mut active,
+            &mut stats,
+            &mut fx,
+            |_, x, out| out.push(0.5 * x[0] + 1.0),
+            FixedPointConfig {
+                max_iters: 200,
+                tolerance: 1e-10,
+                damping: 1.0,
+            },
+        );
+        assert_eq!(converged, 1);
+        assert!((x[0] - 2.0).abs() < 1e-8);
+        assert_eq!(x[1], 7.0, "inactive lane state must be untouched");
+        assert_eq!(stats[1], sentinel, "inactive lane stats must be kept");
+    }
+
+    #[test]
+    #[should_panic(expected = "lane_ends must cover")]
+    fn batch_rejects_short_lane_layout() {
+        let mut x = vec![0.0, 0.0];
+        let mut active = [true];
+        let mut stats = [FixedPointStats {
+            iterations: 0,
+            converged: false,
+            residual: 0.0,
+        }];
+        let mut fx = Vec::new();
+        solve_fixed_point_batch_into(
+            &mut x,
+            &[1],
+            &mut active,
+            &mut stats,
+            &mut fx,
+            |_, _, out| out.push(0.0),
+            FixedPointConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "active mask")]
+    fn batch_rejects_mask_length_mismatch() {
+        let mut x = vec![0.0];
+        let mut active = [true, true];
+        let mut stats = [FixedPointStats {
+            iterations: 0,
+            converged: false,
+            residual: 0.0,
+        }];
+        let mut fx = Vec::new();
+        solve_fixed_point_batch_into(
+            &mut x,
+            &[1],
+            &mut active,
+            &mut stats,
+            &mut fx,
+            |_, _, out| out.push(0.0),
+            FixedPointConfig::default(),
+        );
     }
 }

@@ -9,6 +9,12 @@
 //! plus a probability of being a "hot" machine that spends part of the day
 //! near saturation, and compute each machine's 99 %-ile over its samples.
 
+use kelp_host::placement::FleetPlacer;
+use kelp_host::{
+    CpuAllocation, HostBatch, HostBatchStats, HostMachine, HostTaskId, MachineReport, Priority,
+    TaskSpec, ThreadProfile,
+};
+use kelp_mem::topology::{DomainId, MachineSpec, SncMode};
 use kelp_simcore::rng::SimRng;
 use kelp_simcore::stats::SampleSet;
 use serde::{Deserialize, Serialize};
@@ -105,6 +111,210 @@ impl FleetModel {
         FleetResult {
             p99_per_machine: p99s,
         }
+    }
+}
+
+/// Configuration for a stepped host fleet ([`FleetSim`], ISSUE 6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetSimConfig {
+    /// Number of simulated hosts.
+    pub machines: usize,
+    /// RNG seed for population build and churn.
+    pub seed: u64,
+    /// Per-machine, per-tick probability of a workload phase change.
+    pub churn_probability: f64,
+    /// Low-priority batch tasks placed across the fleet per machine (the
+    /// Borg-like placement loop: tasks go wherever [`FleetPlacer`] best-fits
+    /// them, not necessarily on their "own" machine).
+    pub batch_tasks_per_machine: usize,
+}
+
+impl Default for FleetSimConfig {
+    fn default() -> Self {
+        FleetSimConfig {
+            machines: 64,
+            seed: 0x0F1EE7,
+            churn_probability: 0.05,
+            batch_tasks_per_machine: 2,
+        }
+    }
+}
+
+/// A stepped fleet of [`HostMachine`]s under a Borg-like placement loop.
+///
+/// Each host runs one high-priority ML task plus its share of a fleet-wide
+/// pool of low-priority batch tasks, placed by a deterministic
+/// [`FleetPlacer`]. Per tick, [`FleetSim::churn`] flips a seeded ~5 % of
+/// machines to a different workload phase, then either
+/// [`FleetSim::step_serial`] (the scalar baseline: one
+/// [`HostMachine::solve`] per machine) or [`FleetSim::step_batched`] (the
+/// SoA path: machines sharded over worker threads, each worker driving one
+/// [`HostBatch`]) advances every machine one tick. The two step paths are
+/// bit-identical, and `step_batched` results are invariant in the worker
+/// count — machines are solved against their own scratch state regardless
+/// of how they shard.
+#[derive(Debug)]
+pub struct FleetSim {
+    machines: Vec<HostMachine>,
+    /// The ML task on each machine (churn target).
+    ml_tasks: Vec<HostTaskId>,
+    /// Fleet-wide batch-task registry: (machine index, task id).
+    batch_tasks: Vec<(usize, HostTaskId)>,
+    placer: FleetPlacer,
+    rng: SimRng,
+    churn_probability: f64,
+    /// One batch workspace per worker slot, reused across ticks.
+    workers: Vec<HostBatch>,
+}
+
+/// Workload-phase intensity alphabet: a small set so phases revisit earlier
+/// configurations and the steady-state memoization pays off, as in
+/// production diurnal load.
+const PHASE_LEVELS: [f64; 3] = [0.25, 0.5, 1.0];
+
+impl FleetSim {
+    /// Builds a fleet: per machine one high-priority ML task (4 cores on
+    /// domain (0,0)), then `batch_tasks_per_machine × machines` low-priority
+    /// batch tasks best-fit placed across the whole fleet's remaining cores.
+    pub fn new(config: FleetSimConfig) -> Self {
+        let mut rng = SimRng::seed_from(config.seed);
+        let mut machines: Vec<HostMachine> = Vec::with_capacity(config.machines);
+        let mut ml_tasks = Vec::with_capacity(config.machines);
+        for _ in 0..config.machines {
+            let mut m = HostMachine::new(MachineSpec::dual_socket(), SncMode::Disabled);
+            let ws = rng.uniform(1e9, 3e9);
+            let id = m.add_task(
+                TaskSpec::new("ml", Priority::High, ThreadProfile::streaming(ws), 4),
+                vec![CpuAllocation::local(DomainId::new(0, 0), 4)],
+            );
+            ml_tasks.push(id);
+            machines.push(m);
+        }
+        // Remaining capacity: socket 1 is entirely free for batch work.
+        let mut placer = FleetPlacer::new(vec![24; config.machines]);
+        let mut batch_tasks = Vec::new();
+        for i in 0..config.machines * config.batch_tasks_per_machine {
+            let cores = 4 + 2 * (rng.below(3) as usize);
+            let Some((_, machine)) = placer.place(cores) else {
+                continue;
+            };
+            let ws = rng.uniform(5e8, 2e9);
+            let id = machines[machine].add_task(
+                TaskSpec::new(
+                    format!("batch-{i}"),
+                    Priority::Low,
+                    ThreadProfile::streaming(ws),
+                    cores,
+                ),
+                vec![CpuAllocation::local(DomainId::new(1, 0), cores)],
+            );
+            batch_tasks.push((machine, id));
+        }
+        FleetSim {
+            machines,
+            ml_tasks,
+            batch_tasks,
+            placer,
+            rng,
+            churn_probability: config.churn_probability,
+            workers: Vec::new(),
+        }
+    }
+
+    /// The fleet's machines.
+    pub fn machines(&self) -> &[HostMachine] {
+        &self.machines
+    }
+
+    /// The placement bookkeeping.
+    pub fn placer(&self) -> &FleetPlacer {
+        &self.placer
+    }
+
+    /// One seeded churn round: each machine's ML task changes phase with
+    /// the configured probability (drawn from the small phase alphabet, so
+    /// configurations revisit and memoization applies); occasionally a
+    /// batch task flips too. Serial and deterministic — churn order never
+    /// depends on how a later step call shards machines over workers.
+    pub fn churn(&mut self) {
+        for (i, &ml) in self.ml_tasks.iter().enumerate() {
+            if self.rng.chance(self.churn_probability) {
+                let level = PHASE_LEVELS[self.rng.below(PHASE_LEVELS.len() as u64) as usize];
+                self.machines[i].set_intensity(ml, level);
+            }
+        }
+        if !self.batch_tasks.is_empty() && self.rng.chance(self.churn_probability) {
+            let k = self.rng.below(self.batch_tasks.len() as u64) as usize;
+            let (machine, id) = self.batch_tasks[k];
+            let level = PHASE_LEVELS[self.rng.below(PHASE_LEVELS.len() as u64) as usize];
+            self.machines[machine].set_intensity(id, level);
+        }
+    }
+
+    /// The scalar baseline: one [`HostMachine::solve`] per machine, in
+    /// order.
+    pub fn step_serial(&self) -> Vec<MachineReport> {
+        self.machines.iter().map(|m| m.solve()).collect()
+    }
+
+    /// The batched path: machines shard into `jobs` contiguous chunks, each
+    /// stepped by its own persistent [`HostBatch`] (on its own thread when
+    /// `jobs > 1`). Reports come back in machine order and are bit-identical
+    /// to [`FleetSim::step_serial`] on the same fleet state, for any `jobs`.
+    pub fn step_batched(&mut self, jobs: usize) -> Vec<MachineReport> {
+        let mut out = Vec::new();
+        self.step_batched_into(jobs, &mut out);
+        out
+    }
+
+    /// [`FleetSim::step_batched`] refreshing a caller-owned report vector
+    /// in place: `out` is resized to one slot per machine and every slot is
+    /// fully overwritten. Passing the same vector every tick keeps the
+    /// steady-state adaptive-skip refresh off the allocator, which is where
+    /// the batch path's fleet-scale throughput comes from.
+    pub fn step_batched_into(&mut self, jobs: usize, out: &mut Vec<MachineReport>) {
+        let n = self.machines.len();
+        if n == 0 {
+            out.clear();
+            return;
+        }
+        if out.len() != n {
+            out.clear();
+            out.resize_with(n, MachineReport::empty);
+        }
+        let jobs = jobs.clamp(1, n);
+        if self.workers.len() < jobs {
+            self.workers.resize_with(jobs, HostBatch::new);
+        }
+        let chunk = n.div_ceil(jobs);
+        if jobs == 1 {
+            self.workers[0].step_into(&self.machines, out);
+            return;
+        }
+        std::thread::scope(|scope| {
+            for ((mchunk, ochunk), worker) in self
+                .machines
+                .chunks_mut(chunk)
+                .zip(out.chunks_mut(chunk))
+                .zip(self.workers.iter_mut())
+            {
+                scope.spawn(move || worker.step_into(mchunk, ochunk));
+            }
+        });
+    }
+
+    /// Aggregate batch-path counters over all worker slots (saturating).
+    pub fn batch_stats(&self) -> HostBatchStats {
+        let mut total = HostBatchStats::default();
+        for w in &self.workers {
+            let s = w.stats();
+            total.machines_stepped = total.machines_stepped.saturating_add(s.machines_stepped);
+            total.adaptive_skips = total.adaptive_skips.saturating_add(s.adaptive_skips);
+            total.memo_hits = total.memo_hits.saturating_add(s.memo_hits);
+            total.lanes_solved = total.lanes_solved.saturating_add(s.lanes_solved);
+            total.lanes_converged = total.lanes_converged.saturating_add(s.lanes_converged);
+        }
+        total
     }
 }
 

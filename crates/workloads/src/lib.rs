@@ -31,6 +31,7 @@ pub mod registry;
 pub mod trainer;
 
 pub use batch::{BatchKind, BatchWorkload};
+pub use fleet::{FleetSim, FleetSimConfig};
 pub use inference::{InferenceParams, InferenceServer};
 pub use model::{InstallCtx, PerfSnapshot, WindowedWorkload, Workload, WorkloadKind};
 pub use registry::MlWorkloadKind;

@@ -52,4 +52,12 @@ KELP_QUICK=1 KELP_RESULTS_DIR="$smoke_results" \
   cargo run --release -q -p kelp-bench --bin ext_solver_hot -- \
   --quick >/dev/null
 
+echo "== fleet batch smoke (KELP_QUICK=1) =="
+# Exits nonzero when the batched runs record zero solved or zero converged
+# lanes — i.e. the batched SoA path silently fell back to scalar stepping
+# or the batch solver stopped converging.
+KELP_QUICK=1 KELP_RESULTS_DIR="$smoke_results" \
+  cargo run --release -q -p kelp-bench --bin ext_fleet_batch -- \
+  --quick >/dev/null
+
 echo "tier-1 OK"
