@@ -1,0 +1,100 @@
+//! Macro-benchmark for the fleet fault matrix (ISSUE 7): every
+//! machine-lifecycle fault class at two intensities against the
+//! self-healing placer and the static baseline, on identically seeded
+//! fleets stepped through the batched SoA path.
+//!
+//! Prints the per-cell matrix (fraction-in-distress, fleet SLO attainment,
+//! degraded ticks, displaced jobs, mean time-to-recover) and writes
+//! `results/bench_fleet_faults.json`. Exits nonzero when a cell's fault
+//! schedule came up empty or the self-healing placer fails its acceptance
+//! quorum (holding at least 11 of the 12 band cells — see
+//! `kelp::experiments::fleet_faults`).
+//!
+//! `--quick` (or `KELP_QUICK=1`) shrinks the fleet for smoke testing.
+
+use kelp::experiments::fleet_faults::{run_fleet_faults, FleetFaultsConfig, FleetFaultsResult};
+use kelp::report::write_json;
+use serde::Serialize;
+use std::time::Instant;
+
+/// The benchmark artifact: the matrix plus the harness wall time.
+#[derive(Debug, Clone, Serialize)]
+struct FleetFaultsReport {
+    host_cpus: usize,
+    wall_s: f64,
+    bands_held: usize,
+    bands_total: usize,
+    holds: bool,
+    #[serde(flatten)]
+    matrix: FleetFaultsResult,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var("KELP_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+
+    let mut config = if quick {
+        FleetFaultsConfig::quick()
+    } else {
+        FleetFaultsConfig {
+            machines: 96,
+            ticks: 192,
+            jobs: 4,
+            ..FleetFaultsConfig::default()
+        }
+    };
+    let arg_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    if let Some(m) = arg_of("--machines").and_then(|v| v.parse().ok()) {
+        config.machines = m;
+    }
+    if let Some(t) = arg_of("--ticks").and_then(|v| v.parse().ok()) {
+        config.ticks = t;
+    }
+    if let Some(j) = arg_of("--jobs").and_then(|v| v.parse().ok()) {
+        config.jobs = j;
+    }
+
+    let start = Instant::now();
+    let matrix = run_fleet_faults(&config);
+    let wall_s = start.elapsed().as_secs_f64();
+
+    println!("{}", matrix.table().render());
+    println!(
+        "bands held: {}/{}  ({} machines, {} ticks, jobs={}, {:.3}s)",
+        matrix.bands_held(),
+        matrix.bands_total(),
+        config.machines,
+        config.ticks,
+        config.jobs,
+        wall_s,
+    );
+
+    let report = FleetFaultsReport {
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        wall_s,
+        bands_held: matrix.bands_held(),
+        bands_total: matrix.bands_total(),
+        holds: matrix.holds(),
+        matrix,
+    };
+    let _ = write_json(kelp_bench::results_dir(), "bench_fleet_faults", &report);
+
+    if !report.matrix.injected_faults() {
+        eprintln!("FAIL: a cell's fault schedule injected nothing — the matrix measured air");
+        std::process::exit(1);
+    }
+    if !report.holds {
+        eprintln!(
+            "FAIL: self-healing placer held {}/{} band cells, need >= 11",
+            report.bands_held, report.bands_total
+        );
+        std::process::exit(2);
+    }
+}

@@ -89,6 +89,20 @@ pub fn magnitude(kind: FaultKind, intensity: Intensity) -> f64 {
         // Extra LP-domain traffic in GB/s during churn bursts.
         (FaultKind::WorkloadChurn, Intensity::Low) => 8.0,
         (FaultKind::WorkloadChurn, Intensity::High) => 20.0,
+        // Machine-lifecycle kinds (outside the runtime grid — see
+        // `FaultKind::machine_level`). Crash magnitude scales the seeded
+        // restart delay relative to the outage window.
+        (FaultKind::MachineCrash, Intensity::Low) => 0.5,
+        (FaultKind::MachineCrash, Intensity::High) => 1.5,
+        // Fraction of peak bandwidth lost while browned out. A saturated
+        // socket absorbs losses up to ~half of peak by shedding prefetch
+        // traffic, so the low level sits at the edge of the absorbable
+        // range and the high level cuts into demand delivery.
+        (FaultKind::MachineBrownout, Intensity::Low) => 0.35,
+        (FaultKind::MachineBrownout, Intensity::High) => 0.65,
+        // Solver-stress severity (fraction of the iteration budget cut).
+        (FaultKind::SolverStress, Intensity::Low) => 0.9,
+        (FaultKind::SolverStress, Intensity::High) => 1.0,
     }
 }
 

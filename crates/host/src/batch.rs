@@ -39,6 +39,12 @@ pub struct HostBatchStats {
     pub lanes_solved: u64,
     /// Batched lanes whose fixed point converged.
     pub lanes_converged: u64,
+    /// Steps answered with the safe-state report because the machine was
+    /// `Down`/`Recovering` (the lifecycle fast path, before any lowering).
+    pub down_steps: u64,
+    /// Batched lanes that fell back to the scalar rescue or safe-state
+    /// ladder after a diverged or non-finite solve (lane isolation).
+    pub lane_fallbacks: u64,
 }
 
 /// Reusable workspace for stepping a fleet of machines through the batched
@@ -97,6 +103,15 @@ impl HostBatch {
         let mut pending: Vec<(usize, LoweredStep)> = Vec::new();
         for (i, m) in machines.iter().enumerate() {
             self.stats.machines_stepped = self.stats.machines_stepped.saturating_add(1);
+            // Lifecycle fast path: a down machine serves the safe-state
+            // report — the same call the scalar path makes, so stats and
+            // reports stay bit-identical.
+            if !m.lifecycle().is_serving() {
+                reports[i] = m.safe_step();
+                filled += 1;
+                self.stats.down_steps = self.stats.down_steps.saturating_add(1);
+                continue;
+            }
             if m.solver_tuning().memo && !m.is_dirty() && m.replay_skip_into(&mut reports[i]) {
                 filled += 1;
                 self.stats.adaptive_skips = self.stats.adaptive_skips.saturating_add(1);
@@ -156,8 +171,15 @@ impl HostBatch {
             for (&p, output) in group.iter().zip(&outputs) {
                 let (i, lowered) = &pending[p];
                 let m = &machines[*i];
-                m.absorb_stats(&output.stats);
-                let report = m.assemble(lowered, output);
+                // Lane isolation: a diverged or non-finite lane resolves
+                // through the machine's rescue / safe-state ladder instead
+                // of shipping the damped estimate. `resolve_output` is the
+                // exact routine the scalar path runs, so a sick lane's
+                // report, stats and memo entry are path-invariant.
+                let report = m.resolve_output(lowered, output);
+                if report.health != crate::machine::SolveHealth::Healthy {
+                    self.stats.lane_fallbacks = self.stats.lane_fallbacks.saturating_add(1);
+                }
                 m.memo_put(lowered.input.clone(), &report);
                 m.finish_step(&report);
                 reports[*i] = report;

@@ -20,6 +20,8 @@ pub mod placement;
 pub mod task;
 
 pub use batch::{HostBatch, HostBatchStats};
-pub use machine::{Actuator, HostMachine, MachineReport, TaskStepResult};
-pub use placement::{CpuAllocation, MemPolicy, SmtModel};
+pub use machine::{
+    Actuator, HostMachine, MachineLifecycle, MachineReport, SolveHealth, TaskStepResult,
+};
+pub use placement::{CpuAllocation, FleetPlacer, MemPolicy, PlacementId, SmtModel};
 pub use task::{HostTaskId, Priority, TaskSpec, ThreadProfile};

@@ -34,6 +34,49 @@ fn assert_valid(result: Result<(), String>, what: &str) {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(pub usize);
 
+/// A machine's lifecycle state (the fleet robustness layer's state
+/// machine). Transitions are driven externally — by the fleet simulation's
+/// fault injector — through [`HostMachine::crash`],
+/// [`HostMachine::begin_recovery`], [`HostMachine::restore`] and
+/// [`HostMachine::set_brownout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineLifecycle {
+    /// Serving normally.
+    Up,
+    /// Serving, but browned out: machine-wide bandwidth is capped.
+    Degraded,
+    /// Crashed: serves nothing, every step yields the safe-state report.
+    Down,
+    /// Rebooting after an outage: still serves nothing.
+    Recovering,
+}
+
+impl MachineLifecycle {
+    /// Whether the machine runs solves in this state. `Down` and
+    /// `Recovering` machines answer every step with the deterministic
+    /// safe-state report instead.
+    pub fn is_serving(self) -> bool {
+        matches!(self, MachineLifecycle::Up | MachineLifecycle::Degraded)
+    }
+}
+
+/// Which rung of the fallback ladder produced a [`MachineReport`].
+///
+/// The ladder: a primary solve that converges with finite rates is
+/// `Healthy`; a diverged or non-finite primary is re-solved cold under the
+/// high-budget rescue configuration (`Rescued`); if the rescue also fails —
+/// or the machine is down — the deterministic zero-rate safe-state report
+/// ships instead (`SafeState`). Never silently the damped estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveHealth {
+    /// The primary solve converged with finite rates.
+    Healthy,
+    /// The primary solve failed; the cold rescue solve produced this report.
+    Rescued,
+    /// Both solves failed, or the machine is down: zero-rate safe state.
+    SafeState,
+}
+
 /// Per-task result of one solved step.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskStepResult {
@@ -75,6 +118,8 @@ pub struct MachineReport {
     pub counters: MemCounters,
     /// Whether the memory solve converged.
     pub converged: bool,
+    /// Which rung of the fallback ladder produced this report.
+    pub health: SolveHealth,
 }
 
 impl Clone for MachineReport {
@@ -84,6 +129,7 @@ impl Clone for MachineReport {
             flows: self.flows.clone(),
             counters: self.counters.clone(),
             converged: self.converged,
+            health: self.health,
         }
     }
 
@@ -109,6 +155,7 @@ impl Clone for MachineReport {
         }
         self.counters.clone_from(&source.counters);
         self.converged = source.converged;
+        self.health = source.health;
     }
 }
 
@@ -131,6 +178,7 @@ impl MachineReport {
             flows: BTreeMap::new(),
             counters: MemCounters::default(),
             converged: false,
+            health: SolveHealth::SafeState,
         }
     }
 }
@@ -205,6 +253,8 @@ pub struct HostMachine {
     dirty: std::cell::Cell<bool>,
     /// The last step's report — the adaptive-skip replay value.
     last_report: std::cell::RefCell<Option<MachineReport>>,
+    /// Lifecycle state (fleet robustness layer); `Up` at construction.
+    lifecycle: MachineLifecycle,
 }
 
 /// Capacity of the solve memoization cache.
@@ -230,6 +280,80 @@ impl HostMachine {
             actuation_fault: false,
             dirty: std::cell::Cell::new(true),
             last_report: std::cell::RefCell::new(None),
+            lifecycle: MachineLifecycle::Up,
+        }
+    }
+
+    /// The machine's lifecycle state.
+    pub fn lifecycle(&self) -> MachineLifecycle {
+        self.lifecycle
+    }
+
+    /// Crashes the machine: it enters `Down` and answers every step with
+    /// the deterministic safe-state report until restored. Safe-state
+    /// entry drops the adaptive-skip replay value — a dead machine has no
+    /// last report to replay — but keeps the actuation surface (it models
+    /// persisted firmware/BIOS-level settings).
+    pub fn crash(&mut self) {
+        self.lifecycle = MachineLifecycle::Down;
+        *self.last_report.borrow_mut() = None;
+        self.mark_dirty();
+    }
+
+    /// Moves a `Down` machine into `Recovering` (rebooting — still not
+    /// serving). No-op in any other state.
+    pub fn begin_recovery(&mut self) {
+        if self.lifecycle == MachineLifecycle::Down {
+            self.lifecycle = MachineLifecycle::Recovering;
+        }
+    }
+
+    /// Brings the machine back into service after an outage, with
+    /// warm-state invalidation: a restarted machine boots cold, so the
+    /// solve memo and the scratch's warm-start rates are discarded. Lands
+    /// in `Degraded` if a brownout is still active, otherwise `Up`.
+    pub fn restore(&mut self) {
+        self.lifecycle = if self.mem.machine_derate() < 1.0 {
+            MachineLifecycle::Degraded
+        } else {
+            MachineLifecycle::Up
+        };
+        self.cache.borrow_mut().clear();
+        self.scratch.borrow_mut().reset_warm_state();
+        self.mark_dirty();
+    }
+
+    /// Applies a machine-wide brownout: `retained` is the fraction of peak
+    /// memory bandwidth still available (clamped to `[0, 1]`; 1.0 clears
+    /// the brownout). Value-aware — re-asserting the same derate keeps the
+    /// machine clean — and flips the lifecycle between `Up` and `Degraded`
+    /// (a `Down`/`Recovering` machine keeps its state; `restore` picks the
+    /// right one on the way back).
+    pub fn set_brownout(&mut self, retained: f64) {
+        let retained = retained.clamp(0.0, 1.0);
+        if self.mem.machine_derate() != retained {
+            self.mem_mut().set_machine_derate(retained);
+        }
+        match self.lifecycle {
+            MachineLifecycle::Up if retained < 1.0 => self.lifecycle = MachineLifecycle::Degraded,
+            MachineLifecycle::Degraded if retained >= 1.0 => self.lifecycle = MachineLifecycle::Up,
+            _ => {}
+        }
+    }
+
+    /// Applies (or clears) solver stress — see
+    /// [`MemSystem::set_solver_stress`]. Value-aware: re-asserting the
+    /// same severity keeps the machine clean.
+    pub fn set_solver_stress(&mut self, severity: Option<f64>) {
+        let clamped = severity.map(|s| s.clamp(0.0, 1.0)).filter(|&s| s > 0.0);
+        if self.mem.solver_stress() != clamped {
+            self.mem_mut().set_solver_stress(clamped);
+            // Stress models pathological solver inputs: warm-start rates
+            // carried over from the other regime do not describe them, so
+            // every stress transition solves cold (in both directions —
+            // rates left behind by a starved solve are just as useless to
+            // the healthy fixed point).
+            self.scratch.borrow_mut().reset_warm_state();
         }
     }
 
@@ -405,8 +529,14 @@ impl HostMachine {
         spec.cores / self.mem.snc().domains_per_socket() as usize
     }
 
-    /// Solves the memory system for the current configuration.
+    /// Solves the memory system for the current configuration. A `Down` or
+    /// `Recovering` machine answers with the deterministic safe-state
+    /// report instead of solving; a failed solve walks the rescue /
+    /// safe-state ladder (see [`SolveHealth`]).
     pub fn solve(&self) -> MachineReport {
+        if !self.lifecycle.is_serving() {
+            return self.safe_step();
+        }
         let lowered = self.lower();
         if self.tuning.memo {
             if let Some(report) = self.memo_get(&lowered.input) {
@@ -418,11 +548,86 @@ impl HostMachine {
         let output = self
             .mem
             .solve_with(&lowered.input, &mut self.scratch.borrow_mut());
-        self.stats.borrow_mut().absorb(&output.stats);
-        let report = self.assemble(&lowered, &output);
+        let report = self.resolve_output(&lowered, &output);
         self.memo_put(lowered.input, &report);
         self.finish_step(&report);
         report
+    }
+
+    /// One non-serving (`Down`/`Recovering`) step: counts a safe-state
+    /// solve and returns the zero-rate report. Shared verbatim by the
+    /// scalar and batch paths so their stats stay bit-identical; the step
+    /// deliberately skips `finish_step` — a dead machine records no replay
+    /// value and stays dirty for its first post-restore solve.
+    pub(crate) fn safe_step(&self) -> MachineReport {
+        let mut stats = self.stats.borrow_mut();
+        stats.solves = stats.solves.saturating_add(1);
+        stats.safe_states = stats.safe_states.saturating_add(1);
+        drop(stats);
+        self.safe_report(true)
+    }
+
+    /// The deterministic safe-state report: every live task at zero rate,
+    /// every flow at zero, zero counters. `converged` is vacuously true for
+    /// a down machine (nothing was solved) and false when the ladder
+    /// exhausted both solve attempts.
+    pub(crate) fn safe_report(&self, converged: bool) -> MachineReport {
+        let mut tasks = BTreeMap::new();
+        for (ti, t) in self.tasks.iter().enumerate() {
+            if t.alive {
+                tasks.insert(HostTaskId(ti), TaskStepResult::zero());
+            }
+        }
+        let mut flows = BTreeMap::new();
+        for i in 0..self.flows.len() {
+            flows.insert(i, 0.0);
+        }
+        MachineReport {
+            tasks,
+            flows,
+            counters: MemCounters::default(),
+            converged,
+            health: SolveHealth::SafeState,
+        }
+    }
+
+    /// Turns a primary solver output into the step's report by walking the
+    /// fallback ladder: a healthy output assembles directly; a diverged or
+    /// non-finite one is re-solved cold under the rescue configuration; if
+    /// the rescue fails too, the safe-state report ships. Absorbs all solve
+    /// costs and ladder counters into the machine's stats — the scalar path
+    /// and the batch path both resolve through here, so stats and reports
+    /// are identical no matter which path ran the primary solve.
+    pub(crate) fn resolve_output(
+        &self,
+        lowered: &LoweredStep,
+        output: &SolverOutput,
+    ) -> MachineReport {
+        self.absorb_stats(&output.stats);
+        if output_is_healthy(output) {
+            return self.assemble(lowered, output);
+        }
+        let rescue = self.mem.solve_rescue(&lowered.input);
+        self.absorb_stats(&rescue.stats);
+        {
+            let mut stats = self.stats.borrow_mut();
+            stats.rescues = stats.rescues.saturating_add(1);
+        }
+        // The rescue is rung two: its careful configuration (4x budget,
+        // heavy damping) converges on anything recoverable, so unlike the
+        // primary it must actually converge to ship — a starved or still
+        // diverging rescue falls through to the safe state rather than
+        // shipping a one-iteration estimate.
+        if rescue.converged && finite_rates(&rescue) {
+            let mut report = self.assemble(lowered, &rescue);
+            report.health = SolveHealth::Rescued;
+            return report;
+        }
+        {
+            let mut stats = self.stats.borrow_mut();
+            stats.safe_states = stats.safe_states.saturating_add(1);
+        }
+        self.safe_report(false)
     }
 
     /// Lowers the current configuration to a solver input (steps 1–3 of a
@@ -650,8 +855,38 @@ impl HostMachine {
             flows,
             counters: output.counters.clone(),
             converged: output.converged,
+            health: SolveHealth::Healthy,
         }
     }
+}
+
+/// Relative residual above which a non-converged solve counts as
+/// *diverged* rather than merely truncated. The fixed-point tolerance is
+/// 1e-4, and heavily contended experiment mixes routinely exhaust the
+/// budget with residuals up to a few 1e-2 while their damped estimates
+/// remain usable — those ship as before (counted in
+/// [`kelp_mem::solver::SolveStats::non_converged`], but not sick). An
+/// iterate still moving by a quarter of its magnitude per step, though,
+/// has not settled at all; only those enter the rescue ladder.
+pub const DIVERGED_RESIDUAL: f64 = 0.25;
+
+/// Whether a solver output may ship as-is: finite rates, bandwidths,
+/// latencies and flow rates, and either converged or within
+/// [`DIVERGED_RESIDUAL`] of settling. Anything else enters the rescue /
+/// safe-state ladder instead of silently shipping the damped estimate.
+/// (A NaN residual fails the `<=` comparison, so it lands in the ladder.)
+fn output_is_healthy(o: &SolverOutput) -> bool {
+    (o.converged || o.residual <= DIVERGED_RESIDUAL) && finite_rates(o)
+}
+
+/// Every user-visible quantity in the output is finite.
+fn finite_rates(o: &SolverOutput) -> bool {
+    o.tasks.iter().all(|t| {
+        t.rate_per_thread.is_finite()
+            && t.bw_gbps.is_finite()
+            && t.latency_ns.is_finite()
+            && t.speed_factor.is_finite()
+    }) && o.fixed_flow_gbps.iter().all(|g| g.is_finite())
 }
 
 /// A lowered solver input plus the sub-task bookkeeping needed to aggregate
@@ -983,6 +1218,126 @@ mod tests {
         assert_eq!(b.solve_stats().memo_hits, 0);
         assert_eq!(b.solve_stats().warm_hits, 0);
         assert_eq!(b.solver_tuning(), SolverTuning::baseline());
+    }
+
+    #[test]
+    fn lifecycle_crash_recover_restore_roundtrip() {
+        let mut m = machine(SncMode::Disabled);
+        let id = m.add_task(
+            stream_spec(4),
+            vec![CpuAllocation::local(DomainId::new(0, 0), 4)],
+        );
+        let healthy = m.solve();
+        assert_eq!(healthy.health, SolveHealth::Healthy);
+        assert_eq!(m.lifecycle(), MachineLifecycle::Up);
+
+        m.crash();
+        assert_eq!(m.lifecycle(), MachineLifecycle::Down);
+        let down = m.solve();
+        assert_eq!(down.health, SolveHealth::SafeState);
+        assert_eq!(down.task(id).units_per_sec, 0.0);
+        assert!(down.converged, "a down machine solves nothing");
+        m.begin_recovery();
+        assert_eq!(m.lifecycle(), MachineLifecycle::Recovering);
+        let rec = m.solve();
+        assert_eq!(rec.health, SolveHealth::SafeState);
+        let stats = m.solve_stats();
+        assert_eq!(stats.safe_states, 2);
+
+        m.restore();
+        assert_eq!(m.lifecycle(), MachineLifecycle::Up);
+        // Warm-state invalidation: the memo is empty, so the first
+        // post-restore solve recomputes (and matches the pre-crash report).
+        assert!(m.memo_snapshot().is_empty());
+        let back = m.solve();
+        assert_eq!(back, healthy);
+        assert_eq!(m.solve_stats().memo_hits, 0, "no memo hit after restore");
+    }
+
+    #[test]
+    fn brownout_degrades_and_compounds_with_restore() {
+        let mut m = machine(SncMode::Disabled);
+        let id = m.add_task(
+            stream_spec(8),
+            vec![CpuAllocation::local(DomainId::new(0, 0), 8)],
+        );
+        let full = m.solve().task(id).bw_gbps;
+        m.set_brownout(0.3);
+        assert_eq!(m.lifecycle(), MachineLifecycle::Degraded);
+        let browned = m.solve();
+        assert_eq!(
+            browned.health,
+            SolveHealth::Healthy,
+            "degraded still serves"
+        );
+        assert!(browned.task(id).bw_gbps < full);
+        // A crash during the brownout restores to Degraded, not Up.
+        m.crash();
+        m.restore();
+        assert_eq!(m.lifecycle(), MachineLifecycle::Degraded);
+        m.set_brownout(1.0);
+        assert_eq!(m.lifecycle(), MachineLifecycle::Up);
+        // Value-aware: re-asserting clears nothing.
+        let _ = m.solve();
+        m.set_brownout(1.0);
+        assert!(!m.is_dirty());
+    }
+
+    #[test]
+    fn solver_stress_walks_the_fallback_ladder() {
+        // A heavily oversubscribed domain: the fixed point is contention-
+        // limited, so the undamped stressed iteration oscillates (rates
+        // collapse, latency falls, rates rebound) instead of settling —
+        // the pathological regime the SolverStress fault models.
+        let mut m = machine(SncMode::Disabled);
+        let id = m.add_task(
+            TaskSpec::new("hog", Priority::Low, ThreadProfile::streaming(50e9), 16),
+            vec![CpuAllocation::local(DomainId::new(0, 0), 16)],
+        );
+        let healthy = m.solve();
+        assert_eq!(healthy.health, SolveHealth::Healthy);
+
+        // Moderate stress: primary starves, rescue recovers. The crash /
+        // restore pair resets the warm state so the starved primary runs
+        // from a cold start (a warm iterate would converge in one step and
+        // mask the ladder).
+        m.crash();
+        m.restore();
+        m.set_solver_stress(Some(0.97));
+        let rescued = m.solve();
+        assert_eq!(rescued.health, SolveHealth::Rescued);
+        assert!(rescued.converged, "the rescue solve converged");
+        assert!(rescued.task(id).units_per_sec > 0.0);
+        let stats = m.solve_stats();
+        assert_eq!(stats.rescues, 1);
+        assert!(stats.non_converged >= 1);
+        assert_eq!(stats.safe_states, 0);
+
+        // Full wedge: rescue starves too; the safe state ships.
+        m.crash();
+        m.restore();
+        m.set_solver_stress(Some(1.0));
+        let safe = m.solve();
+        assert_eq!(safe.health, SolveHealth::SafeState);
+        assert!(!safe.converged);
+        assert_eq!(safe.task(id).units_per_sec, 0.0);
+        assert_eq!(m.solve_stats().safe_states, 1);
+
+        // A repeated wedged step is a memo hit on the safe report — the
+        // ladder does not re-run for an unchanged configuration.
+        let again = m.solve();
+        assert_eq!(again, safe);
+        assert_eq!(m.solve_stats().safe_states, 1);
+
+        m.set_solver_stress(None);
+        m.crash();
+        m.restore();
+        let recovered = m.solve();
+        assert_eq!(recovered.health, SolveHealth::Healthy);
+        assert_eq!(
+            recovered, healthy,
+            "cold restart reproduces the pre-fault report"
+        );
     }
 
     #[test]

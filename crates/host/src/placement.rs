@@ -148,6 +148,10 @@ pub struct PlacementId(pub usize);
 pub struct FleetPlacer {
     /// Free cores per machine.
     free: Vec<usize>,
+    /// Whether each machine accepts placements (healthy and not draining).
+    /// Marked down machines keep their core accounting but are skipped by
+    /// [`FleetPlacer::place`] / [`FleetPlacer::place_where`].
+    available: Vec<bool>,
     /// Live placements: `id -> (machine, cores)`; `None` after release.
     placements: Vec<Option<(usize, usize)>>,
 }
@@ -155,8 +159,10 @@ pub struct FleetPlacer {
 impl FleetPlacer {
     /// A placer over machines with the given per-machine core budgets.
     pub fn new(machine_cores: Vec<usize>) -> Self {
+        let available = vec![true; machine_cores.len()];
         FleetPlacer {
             free: machine_cores,
+            available,
             placements: Vec::new(),
         }
     }
@@ -187,9 +193,22 @@ impl FleetPlacer {
     /// machine has enough free cores. Zero-core requests still consume a
     /// placement id (they pin a task to a machine without reserving cores).
     pub fn place(&mut self, cores: usize) -> Option<(PlacementId, usize)> {
+        self.place_where(cores, |_| true)
+    }
+
+    /// [`FleetPlacer::place`] restricted to machines accepted by `pred`
+    /// (machine index → eligible). The self-healing fleet layer uses this
+    /// to reschedule displaced work *outside* the failure domain that just
+    /// lost a machine. Down machines are never eligible regardless of
+    /// `pred`; ties still break toward the lowest machine index.
+    pub fn place_where(
+        &mut self,
+        cores: usize,
+        pred: impl Fn(usize) -> bool,
+    ) -> Option<(PlacementId, usize)> {
         let mut best: Option<usize> = None;
         for (m, &f) in self.free.iter().enumerate() {
-            if f >= cores && best.is_none_or(|b| f < self.free[b]) {
+            if self.available[m] && pred(m) && f >= cores && best.is_none_or(|b| f < self.free[b]) {
                 best = Some(m);
             }
         }
@@ -197,6 +216,45 @@ impl FleetPlacer {
         self.free[machine] -= cores;
         self.placements.push(Some((machine, cores)));
         Some((PlacementId(self.placements.len() - 1), machine))
+    }
+
+    /// Whether `machine` currently accepts placements.
+    pub fn is_available(&self, machine: usize) -> bool {
+        self.available.get(machine).copied().unwrap_or(false)
+    }
+
+    /// Takes `machine` out of service and evicts every live placement on
+    /// it, returning the displaced `(id, cores)` pairs in placement-id
+    /// order (deterministic). The evicted ids are released — their cores
+    /// return to the (now unplaceable) machine — so callers re-place the
+    /// displaced work through [`FleetPlacer::place_where`] and get fresh
+    /// ids. Marking an already-down machine is a no-op returning no
+    /// evictions.
+    pub fn mark_down(&mut self, machine: usize) -> Vec<(PlacementId, usize)> {
+        if machine >= self.free.len() || !self.available[machine] {
+            return Vec::new();
+        }
+        self.available[machine] = false;
+        let mut displaced = Vec::new();
+        for (i, slot) in self.placements.iter_mut().enumerate() {
+            if let Some((m, cores)) = *slot {
+                if m == machine {
+                    *slot = None;
+                    self.free[machine] += cores;
+                    displaced.push((PlacementId(i), cores));
+                }
+            }
+        }
+        displaced
+    }
+
+    /// Returns a recovered `machine` to service; its full (freed) core
+    /// budget becomes placeable again. No-op for unknown or already-up
+    /// machines.
+    pub fn mark_up(&mut self, machine: usize) {
+        if let Some(a) = self.available.get_mut(machine) {
+            *a = true;
+        }
     }
 
     /// Releases a placement, returning its cores to the machine. Releasing
@@ -290,6 +348,51 @@ mod tests {
             }
             assert!(placed_ok > 0, "case {case} never placed anything");
         }
+    }
+
+    #[test]
+    fn mark_down_evicts_in_id_order_and_excludes_machine() {
+        let mut p = FleetPlacer::new(vec![8, 8]);
+        let (a, m_a) = p.place(4).expect("fits");
+        assert_eq!(m_a, 0);
+        let (b, m_b) = p.place(6).expect("fits");
+        assert_eq!(m_b, 1);
+        let (c, m_c) = p.place(3).expect("fits");
+        assert_eq!(m_c, 0);
+
+        let displaced = p.mark_down(0);
+        assert_eq!(displaced, vec![(a, 4), (c, 3)], "evicted in id order");
+        assert!(!p.is_available(0));
+        // Evicted cores are freed on the down machine (conservation holds)
+        // but it takes no new work: the next placement must land on 1.
+        assert_eq!(p.free_cores(0), 8);
+        assert_eq!(p.live_placements(), 1);
+        let (_, m) = p.place(2).expect("machine 1 still has room");
+        assert_eq!(m, 1);
+        // A predicate that also rules out machine 1 leaves nowhere to go.
+        assert!(p.place_where(2, |m| m != 1).is_none());
+        // Marking the same machine down again evicts nothing.
+        assert!(p.mark_down(0).is_empty());
+
+        p.mark_up(0);
+        let (_, m) = p.place(5).expect("recovered capacity is placeable");
+        assert_eq!(m, 0);
+        // Releasing an evicted id later is a harmless no-op (it was
+        // already released by the eviction).
+        let before = p.free_cores(0);
+        p.release(b); // b is live on machine 1 — releases normally
+        p.release(a); // a was evicted — no-op
+        assert_eq!(p.free_cores(0), before);
+        assert_eq!(p.free_cores(1), 6, "the 2-core placement is still live");
+    }
+
+    #[test]
+    fn place_where_prefers_tightest_eligible_machine() {
+        let mut p = FleetPlacer::new(vec![8, 4, 6]);
+        // Unrestricted best fit would pick machine 1 (tightest); the
+        // predicate forces the choice among {0, 2}.
+        let (_, m) = p.place_where(4, |m| m != 1).expect("fits");
+        assert_eq!(m, 2);
     }
 
     #[test]

@@ -17,11 +17,12 @@ const SHIM_CRATES: [&str; 3] = ["serde", "serde_derive", "serde_json"];
 /// the bench timing harness, the Runner's elapsed stamps, `repro_all`'s
 /// progress report, the driver's per-tick solve timer (reporting-only
 /// `SolveStats.solve_ns`), and the solver and fleet macro-benchmarks.
-const TIME_ALLOWLIST: [&str; 6] = [
+const TIME_ALLOWLIST: [&str; 7] = [
     "crates/bench/src/timing.rs",
     "crates/bench/src/bin/repro_all.rs",
     "crates/bench/src/bin/ext_solver_hot.rs",
     "crates/bench/src/bin/ext_fleet_batch.rs",
+    "crates/bench/src/bin/ext_fleet_faults.rs",
     "crates/core/src/driver.rs",
     "crates/core/src/runner.rs",
 ];

@@ -165,6 +165,21 @@ pub struct SolveStats {
     /// Wall time spent inside solve calls, in nanoseconds. The pure solver
     /// leaves this zero; timing callers fill it in.
     pub solve_ns: u64,
+    /// Computed solves whose fixed point exhausted its iteration budget
+    /// without meeting tolerance (non-convergence is a first-class outcome,
+    /// not a silent flag on the output).
+    #[serde(default)]
+    pub non_converged: u64,
+    /// Solves re-run through the cold high-budget rescue configuration
+    /// after the primary solve diverged or went non-finite. The pure solver
+    /// leaves this zero; the host's fallback ladder fills it in.
+    #[serde(default)]
+    pub rescues: u64,
+    /// Steps answered with a deterministic safe-state report — the machine
+    /// was down, or both the primary and rescue solves failed. The pure
+    /// solver leaves this zero; the host fills it in.
+    #[serde(default)]
+    pub safe_states: u64,
 }
 
 impl SolveStats {
@@ -181,6 +196,9 @@ impl SolveStats {
         self.memo_hits = self.memo_hits.saturating_add(other.memo_hits);
         self.warm_hits = self.warm_hits.saturating_add(other.warm_hits);
         self.solve_ns = self.solve_ns.saturating_add(other.solve_ns);
+        self.non_converged = self.non_converged.saturating_add(other.non_converged);
+        self.rescues = self.rescues.saturating_add(other.rescues);
+        self.safe_states = self.safe_states.saturating_add(other.safe_states);
     }
 }
 
@@ -232,6 +250,12 @@ pub struct SolverOutput {
     pub counters: MemCounters,
     /// Whether the fixed point converged within budget.
     pub converged: bool,
+    /// Final relative residual of the fixed point (infinity norm). A
+    /// non-converged solve with a residual near the tolerance is a
+    /// truncated-but-settling estimate; a residual orders of magnitude
+    /// above it marks a genuinely diverged solve.
+    #[serde(default)]
+    pub residual: f64,
     /// Cost of producing this output (one solve's worth).
     pub stats: SolveStats,
 }
@@ -461,6 +485,14 @@ pub struct MemSystem {
     /// Per-socket retained fraction of peak channel bandwidth (DIMM thermal
     /// throttling / fault injection). 1.0 everywhere when healthy.
     channel_derate: Vec<f64>,
+    /// Machine-wide retained fraction of peak memory bandwidth (brownout:
+    /// failing PSU rail, thermal capping). Compounds multiplicatively with
+    /// the per-socket channel derates. 1.0 when healthy.
+    machine_derate: f64,
+    /// Active solver-stress severity in `(0, 1]`, shrinking the fixed-point
+    /// iteration budget (see [`MemSystem::set_solver_stress`]). `None` when
+    /// the solver environment is healthy.
+    solver_stress: Option<f64>,
     /// Warm-start the fixed point from a reused scratch's previous rates.
     warm_start: bool,
 }
@@ -525,6 +557,8 @@ impl MemSystem {
                 damping: 0.45,
             },
             channel_derate: Vec::new(),
+            machine_derate: 1.0,
+            solver_stress: None,
             warm_start: true,
         }
     }
@@ -610,6 +644,38 @@ impl MemSystem {
         self.channel_derate.get(socket.0).copied().unwrap_or(1.0)
     }
 
+    /// Sets the machine-wide retained fraction of peak memory bandwidth
+    /// (clamped to `[0, 1]`; 1.0 restores full speed). Models whole-machine
+    /// brownouts; compounds multiplicatively with per-socket channel
+    /// derates.
+    pub fn set_machine_derate(&mut self, retained: f64) {
+        self.machine_derate = retained.clamp(0.0, 1.0);
+    }
+
+    /// The machine-wide retained bandwidth fraction.
+    pub fn machine_derate(&self) -> f64 {
+        self.machine_derate
+    }
+
+    /// Applies (or clears, with `None`) a solver-stress severity in
+    /// `(0, 1]`: the fixed-point iteration budget shrinks to a
+    /// `1 - severity` fraction of the configured maximum (at least one
+    /// iteration) and the damping escalates toward 1.0 (undamped), which
+    /// makes contended fixed points oscillate instead of settling —
+    /// deterministically forcing diverged solves at high severity so
+    /// callers' rescue/safe-state ladders get exercised. The rescue
+    /// configuration keeps its own budget and heavy damping below
+    /// [`RESCUE_DEFEAT_SEVERITY`] and is starved like the primary at or
+    /// above it.
+    pub fn set_solver_stress(&mut self, severity: Option<f64>) {
+        self.solver_stress = severity.map(|s| s.clamp(0.0, 1.0)).filter(|&s| s > 0.0);
+    }
+
+    /// The active solver-stress severity, if any.
+    pub fn solver_stress(&self) -> Option<f64> {
+        self.solver_stress
+    }
+
     /// Enables or disables warm-starting [`MemSystem::solve_with`] from a
     /// reused scratch's previous converged rates (default on).
     ///
@@ -657,9 +723,49 @@ impl MemSystem {
     }
 
     /// The fixed-point configuration this system solves under (shared with
-    /// the batch path so both drive identical iteration arithmetic).
+    /// the batch path so both drive identical iteration arithmetic), with
+    /// any active solver stress applied to the iteration budget.
     pub(crate) fn fp_config(&self) -> FixedPointConfig {
-        self.fp_config
+        let mut config = self.fp_config;
+        if let Some(s) = self.solver_stress {
+            config.max_iters = stressed_budget(config.max_iters, Some(s));
+            // Stress also pushes the damping toward 1.0 (undamped): on a
+            // contended system the undamped iteration oscillates instead of
+            // settling, which is exactly the pathological solver behaviour
+            // the fault models. The rescue configuration keeps its own
+            // heavy damping, so the fault is recoverable below
+            // [`RESCUE_DEFEAT_SEVERITY`].
+            config.damping = (config.damping + (1.0 - config.damping) * s).min(1.0);
+        }
+        config
+    }
+
+    /// The high-budget, heavily-damped configuration the rescue ladder
+    /// re-solves under after a primary solve diverges: 4× the configured
+    /// iteration budget at damping 0.25, same tolerance. Stress below
+    /// [`RESCUE_DEFEAT_SEVERITY`] leaves the rescue budget intact (the
+    /// retry usually recovers); at or above it the environment is treated
+    /// as fully wedged and the rescue runs under the same starved budget as
+    /// the primary, forcing safe-state entry.
+    pub(crate) fn rescue_config(&self) -> FixedPointConfig {
+        let base = self.fp_config;
+        let max_iters = match self.solver_stress {
+            Some(s) if s >= RESCUE_DEFEAT_SEVERITY => stressed_budget(base.max_iters, Some(s)),
+            _ => base.max_iters.saturating_mul(4),
+        };
+        FixedPointConfig {
+            max_iters,
+            tolerance: base.tolerance,
+            damping: 0.25,
+        }
+    }
+
+    /// Re-solves `input` cold under [`MemSystem::rescue_config`]: a fresh
+    /// scratch (no warm seed) and a private rate buffer, so the rescue is a
+    /// pure function of `(system, input)` — identical no matter which path
+    /// (scalar or batched) triggered it.
+    pub fn solve_rescue(&self, input: &SolverInput) -> SolverOutput {
+        self.solve_with_config(input, &mut SolverScratch::default(), self.rescue_config())
     }
 
     /// Whether warm starts are enabled (see [`MemSystem::set_warm_start`]).
@@ -685,6 +791,17 @@ impl MemSystem {
     /// enabled (the default) *and* the scratch carries converged rates from
     /// a previous call — see [`MemSystem::set_warm_start`].
     pub fn solve_with(&self, input: &SolverInput, scratch: &mut SolverScratch) -> SolverOutput {
+        self.solve_with_config(input, scratch, self.fp_config())
+    }
+
+    /// [`MemSystem::solve_with`] under an explicit fixed-point
+    /// configuration (the rescue ladder's entry point).
+    fn solve_with_config(
+        &self,
+        input: &SolverInput,
+        scratch: &mut SolverScratch,
+        config: FixedPointConfig,
+    ) -> SolverOutput {
         self.prepare(input, scratch);
 
         // Warm start: replace the zero-load initial guess with the previous
@@ -713,7 +830,7 @@ impl MemSystem {
                     self.eval_lean_view(x, input, shared, &mut lane.view(), bufs);
                     out.extend_from_slice(&bufs.next_rates);
                 },
-                self.fp_config,
+                config,
             );
 
             // One final full evaluation at the converged rates.
@@ -773,8 +890,11 @@ impl MemSystem {
 
         t.capacities.clear();
         for &d in &t.domains {
-            t.capacities
-                .push(self.machine.domain_peak_gbps(d, self.snc) * self.channel_derate(d.socket));
+            t.capacities.push(
+                self.machine.domain_peak_gbps(d, self.snc)
+                    * self.channel_derate(d.socket)
+                    * self.machine_derate,
+            );
         }
         let n_pairs = n_sockets * (n_sockets.saturating_sub(1)) / 2;
         for _ in 0..n_pairs {
@@ -1290,6 +1410,7 @@ impl MemSystem {
                 upi_utilization: upi_util,
             },
             converged: fp.converged,
+            residual: fp.residual,
             stats: SolveStats {
                 solves: 1,
                 iterations: fp.iterations as u64,
@@ -1297,6 +1418,9 @@ impl MemSystem {
                 memo_hits: 0,
                 warm_hits: u64::from(warm),
                 solve_ns: 0,
+                non_converged: u64::from(!fp.converged),
+                rescues: 0,
+                safe_states: 0,
             },
         }
     }
@@ -1311,6 +1435,20 @@ pub(crate) struct SolveOutcome {
     pub(crate) fp: FixedPointStats,
     /// Whether the solve started from a warm seed.
     pub(crate) warm: bool,
+}
+
+/// Solver-stress severity at or above which the rescue ladder's retry
+/// budget is starved like the primary's: the environment is fully wedged
+/// and safe-state entry is the only remaining fallback.
+pub const RESCUE_DEFEAT_SEVERITY: f64 = 0.995;
+
+/// Fixed-point iteration budget after applying solver stress: a
+/// `1 - severity` fraction of `base`, never below one iteration.
+fn stressed_budget(base: usize, stress: Option<f64>) -> usize {
+    match stress {
+        Some(s) => (((base as f64) * (1.0 - s)).round() as usize).max(1),
+        None => base,
+    }
 }
 
 /// Dense domain index of `d` via the table built in `prepare` (same
@@ -1403,6 +1541,8 @@ mod tests {
             memo_hits: 0,
             warm_hits: u64::MAX - 5,
             solve_ns: 7,
+            non_converged: u64::MAX,
+            ..Default::default()
         };
         acc.absorb(&SolveStats {
             solves: 5,
@@ -1411,6 +1551,9 @@ mod tests {
             memo_hits: 2,
             warm_hits: 5,
             solve_ns: 8,
+            non_converged: 1,
+            rescues: 2,
+            safe_states: 3,
         });
         assert_eq!(acc.solves, u64::MAX);
         assert_eq!(acc.iterations, u64::MAX);
@@ -1418,6 +1561,9 @@ mod tests {
         assert_eq!(acc.memo_hits, 2);
         assert_eq!(acc.warm_hits, u64::MAX);
         assert_eq!(acc.solve_ns, 15);
+        assert_eq!(acc.non_converged, u64::MAX);
+        assert_eq!(acc.rescues, 2);
+        assert_eq!(acc.safe_states, 3);
     }
 
     #[test]
@@ -1908,6 +2054,9 @@ mod tests {
             memo_hits: 0,
             warm_hits: 1,
             solve_ns: 100,
+            non_converged: 1,
+            rescues: 0,
+            safe_states: 1,
         };
         let b = SolveStats {
             solves: 2,
@@ -1916,6 +2065,9 @@ mod tests {
             memo_hits: 1,
             warm_hits: 0,
             solve_ns: 50,
+            non_converged: 2,
+            rescues: 1,
+            safe_states: 0,
         };
         a.absorb(&b);
         assert_eq!(a.solves, 3);
@@ -1924,6 +2076,9 @@ mod tests {
         assert_eq!(a.memo_hits, 1);
         assert_eq!(a.warm_hits, 1);
         assert_eq!(a.solve_ns, 150);
+        assert_eq!(a.non_converged, 3);
+        assert_eq!(a.rescues, 1);
+        assert_eq!(a.safe_states, 1);
     }
 
     #[test]
@@ -1932,5 +2087,58 @@ mod tests {
         assert!(t.memo && t.warm_start);
         let b = SolverTuning::baseline();
         assert!(!b.memo && !b.warm_start);
+    }
+
+    /// A machine-wide brownout caps every domain's effective capacity and
+    /// compounds with per-socket channel derates.
+    #[test]
+    fn machine_derate_caps_capacity_and_compounds() {
+        let mut sys = MemSystem::new(machine(), SncMode::Disabled);
+        let healthy = sys.solve(&mixed_input(6));
+        sys.set_machine_derate(0.5);
+        sys.set_channel_derate(SocketId(0), 0.8);
+        let mut tables = DomainTables::default();
+        sys.build_domain_tables(&mut tables);
+        let spec = sys.machine().clone();
+        for (i, &d) in tables.domains.iter().enumerate() {
+            let peak = spec.domain_peak_gbps(d, sys.snc());
+            let expect = peak * 0.5 * if d.socket.0 == 0 { 0.8 } else { 1.0 };
+            assert!((tables.capacities[i] - expect).abs() < 1e-9);
+        }
+        let browned = sys.solve(&mixed_input(6));
+        let bw = |o: &SolverOutput| -> f64 { o.tasks.iter().map(|t| t.bw_gbps).sum() };
+        assert!(bw(&browned) < bw(&healthy));
+        sys.set_machine_derate(1.0);
+        assert_eq!(sys.machine_derate(), 1.0);
+    }
+
+    /// High solver stress deterministically exhausts the iteration budget
+    /// (`non_converged` counts it); the rescue path — full 4× budget,
+    /// heavier damping, cold start — still converges below the defeat
+    /// severity and is starved like the primary at severity 1.
+    #[test]
+    fn solver_stress_forces_non_convergence_and_rescue_recovers() {
+        let mut sys = MemSystem::new(machine(), SncMode::Disabled);
+        let input = mixed_input(6);
+        assert!(sys.solve(&input).converged);
+
+        sys.set_solver_stress(Some(0.97));
+        assert_eq!(sys.fp_config().max_iters, 2);
+        let stressed = sys.solve(&input);
+        assert!(!stressed.converged);
+        assert_eq!(stressed.stats.non_converged, 1);
+        assert_eq!(sys.rescue_config().max_iters, 320);
+        let rescued = sys.solve_rescue(&input);
+        assert!(rescued.converged);
+        assert_eq!(rescued.stats.non_converged, 0);
+
+        sys.set_solver_stress(Some(1.0));
+        assert_eq!(sys.fp_config().max_iters, 1);
+        assert_eq!(sys.rescue_config().max_iters, 1);
+        assert!(!sys.solve_rescue(&input).converged);
+
+        sys.set_solver_stress(None);
+        assert!(sys.solve(&input).converged);
+        assert_eq!(sys.solver_stress(), None);
     }
 }

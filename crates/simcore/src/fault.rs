@@ -51,10 +51,26 @@ pub enum FaultKind {
     /// A workload churn burst: an extra best-effort traffic flow of
     /// `magnitude` GB/s appears on the low-priority subdomain.
     WorkloadChurn,
+    /// The whole machine crashes: it serves nothing while the window is
+    /// active and then restarts after a seeded delay of
+    /// `duration × magnitude × u` with `u ∈ [0.5, 1.5)` (`magnitude` is the
+    /// mean restart delay as a multiple of the outage length). See
+    /// [`FaultInjector::machine_phase`].
+    MachineCrash,
+    /// A machine-wide brownout (failing PSU rail, thermal capping): every
+    /// memory channel's peak bandwidth is multiplied by `1 - magnitude`
+    /// while active. Overlapping windows compound multiplicatively.
+    MachineBrownout,
+    /// A pathologically hard solver environment: the fixed-point iteration
+    /// budget is cut to a `1 - magnitude` fraction while active, forcing
+    /// non-converged solves that exercise the rescue/safe-state ladder.
+    SolverStress,
 }
 
 impl FaultKind {
-    /// All fault classes, in a stable order (the fault-matrix grid order).
+    /// The six runtime fault classes, in a stable order (the PR 2
+    /// fault-matrix grid order). Machine-lifecycle kinds are deliberately
+    /// excluded — see [`FaultKind::machine_level`].
     pub fn all() -> [FaultKind; 6] {
         [
             FaultKind::CounterDropout,
@@ -63,6 +79,16 @@ impl FaultKind {
             FaultKind::ActuationNoop,
             FaultKind::ChannelThrottle,
             FaultKind::WorkloadChurn,
+        ]
+    }
+
+    /// The machine-lifecycle fault classes, in the fleet fault-matrix grid
+    /// order.
+    pub fn machine_level() -> [FaultKind; 3] {
+        [
+            FaultKind::MachineCrash,
+            FaultKind::MachineBrownout,
+            FaultKind::SolverStress,
         ]
     }
 
@@ -75,6 +101,9 @@ impl FaultKind {
             FaultKind::ActuationNoop => "actuation-noop",
             FaultKind::ChannelThrottle => "channel-throttle",
             FaultKind::WorkloadChurn => "workload-churn",
+            FaultKind::MachineCrash => "machine-crash",
+            FaultKind::MachineBrownout => "machine-brownout",
+            FaultKind::SolverStress => "solver-stress",
         }
     }
 
@@ -88,6 +117,9 @@ impl FaultKind {
             FaultKind::ActuationNoop => 0x44,
             FaultKind::ChannelThrottle => 0x55,
             FaultKind::WorkloadChurn => 0x66,
+            FaultKind::MachineCrash => 0x77,
+            FaultKind::MachineBrownout => 0x88,
+            FaultKind::SolverStress => 0x99,
         }
     }
 }
@@ -183,6 +215,19 @@ pub enum CounterFault {
     Spiked(f64),
 }
 
+/// A machine's lifecycle phase as dictated by [`FaultKind::MachineCrash`]
+/// windows. See [`FaultInjector::machine_phase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MachinePhase {
+    /// No crash window covers `t`: the machine serves normally.
+    Up,
+    /// A crash window is active: the machine serves nothing.
+    Down,
+    /// The outage window has ended but the seeded restart delay has not
+    /// elapsed: the machine is rebooting and still serves nothing.
+    Recovering,
+}
+
 /// Interprets a [`FaultPlan`] for one run. Every query is a pure function of
 /// `(plan, seed, t)`: querying the same time twice, or in a different order,
 /// always yields the same answer.
@@ -256,6 +301,71 @@ impl FaultInjector {
             .filter(|e| e.kind == FaultKind::WorkloadChurn && e.active_at(t))
             .map(|e| e.magnitude.max(0.0))
             .sum()
+    }
+
+    /// The seeded restart delay of a [`FaultKind::MachineCrash`] window:
+    /// `duration × magnitude × u` with `u ∈ [0.5, 1.5)` drawn purely from
+    /// `(seed, window start)`, so the delay is a property of the plan, not
+    /// of when it is queried.
+    pub fn restart_delay(&self, event: &FaultEvent) -> SimDuration {
+        let stream = derive_seed(
+            self.seed ^ FaultKind::MachineCrash.salt(),
+            event.start.as_nanos(),
+        );
+        let u = SimRng::seed_from(stream).uniform(0.5, 1.5);
+        SimDuration::from_nanos_f64(event.duration.as_nanos_f64() * event.magnitude.max(0.0) * u)
+    }
+
+    /// The machine's lifecycle phase at `t` under the plan's
+    /// [`FaultKind::MachineCrash`] windows. An active outage window means
+    /// [`MachinePhase::Down`]; the seeded restart delay that follows each
+    /// window means [`MachinePhase::Recovering`] (an overlapping outage
+    /// shadows another window's recovery). Otherwise the machine is
+    /// [`MachinePhase::Up`].
+    pub fn machine_phase(&self, t: SimTime) -> MachinePhase {
+        let crashes = || {
+            self.plan
+                .events
+                .iter()
+                .filter(|e| e.kind == FaultKind::MachineCrash)
+        };
+        if crashes().any(|e| e.active_at(t)) {
+            return MachinePhase::Down;
+        }
+        let rebooting = crashes().any(|e| {
+            let end = e.start.as_nanos() + e.duration.as_nanos();
+            let delay = self.restart_delay(e).as_nanos();
+            t.as_nanos() >= end && t.as_nanos() - end < delay
+        });
+        if rebooting {
+            MachinePhase::Recovering
+        } else {
+            MachinePhase::Up
+        }
+    }
+
+    /// Retained fraction of machine-wide peak bandwidth at `t` under
+    /// [`FaultKind::MachineBrownout`] windows (1.0 = healthy). Overlapping
+    /// windows compound multiplicatively, mirroring
+    /// [`FaultInjector::channel_derate`].
+    pub fn brownout_derate(&self, t: SimTime) -> f64 {
+        self.plan
+            .events
+            .iter()
+            .filter(|e| e.kind == FaultKind::MachineBrownout && e.active_at(t))
+            .fold(1.0, |acc, e| acc * (1.0 - e.magnitude.clamp(0.0, 1.0)))
+    }
+
+    /// Severity of the worst active [`FaultKind::SolverStress`] window at
+    /// `t`, in `(0, 1]`, or `None` when the solver environment is healthy.
+    pub fn solver_stress(&self, t: SimTime) -> Option<f64> {
+        self.plan
+            .events
+            .iter()
+            .filter(|e| e.kind == FaultKind::SolverStress && e.active_at(t))
+            .map(|e| e.magnitude.clamp(0.0, 1.0))
+            .fold(None, |acc, m| Some(acc.map_or(m, |a: f64| a.max(m))))
+            .filter(|&m| m > 0.0)
     }
 }
 
@@ -383,9 +493,81 @@ mod tests {
     fn plan_round_trips_through_json() {
         let plan = FaultPlan::new()
             .with(window(FaultKind::CounterDropout, 1, 2, 1.0))
-            .with(window(FaultKind::WorkloadChurn, 3, 4, 8.5));
+            .with(window(FaultKind::WorkloadChurn, 3, 4, 8.5))
+            .with(window(FaultKind::MachineCrash, 5, 6, 0.5))
+            .with(window(FaultKind::MachineBrownout, 7, 8, 0.3))
+            .with(window(FaultKind::SolverStress, 9, 10, 0.9));
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn crash_phase_timeline_is_down_then_recovering_then_up() {
+        let plan = FaultPlan::new().with(window(FaultKind::MachineCrash, 10, 5, 1.0));
+        let inj = plan.injector(17);
+        let e = &inj.plan().events[0];
+        let delay = inj.restart_delay(e);
+        // magnitude 1.0 × window 5ms × u ∈ [0.5, 1.5) → delay ∈ [2.5ms, 7.5ms).
+        assert!(delay >= SimDuration::from_micros(2_500));
+        assert!(delay < SimDuration::from_micros(7_500));
+        assert!(!delay.is_zero());
+
+        assert_eq!(inj.machine_phase(SimTime::from_millis(9)), MachinePhase::Up);
+        assert_eq!(
+            inj.machine_phase(SimTime::from_millis(10)),
+            MachinePhase::Down
+        );
+        assert_eq!(
+            inj.machine_phase(SimTime::from_millis(14)),
+            MachinePhase::Down
+        );
+        // First instant past the outage is Recovering (delay > 0).
+        assert_eq!(
+            inj.machine_phase(SimTime::from_millis(15)),
+            MachinePhase::Recovering
+        );
+        // Exactly at outage end + delay the machine is back Up (half-open).
+        let back_up = SimTime::from_millis(15) + delay;
+        assert_eq!(inj.machine_phase(back_up), MachinePhase::Up);
+        assert_eq!(
+            inj.machine_phase(SimTime::from_millis(30)),
+            MachinePhase::Up
+        );
+    }
+
+    #[test]
+    fn restart_delay_is_pure_and_seed_dependent() {
+        let plan = FaultPlan::new().with(window(FaultKind::MachineCrash, 3, 4, 2.0));
+        let a = plan.injector(1);
+        let e = plan.events[0].clone();
+        assert_eq!(a.restart_delay(&e), a.restart_delay(&e));
+        // Another seed draws a different u for most plans (not guaranteed for
+        // any single pair, so probe a few seeds).
+        let diverged = (2..10).any(|s| plan.injector(s).restart_delay(&e) != a.restart_delay(&e));
+        assert!(diverged, "restart delays must depend on the run seed");
+    }
+
+    #[test]
+    fn brownout_compounds_and_stress_takes_worst_window() {
+        let plan = FaultPlan::new()
+            .with(window(FaultKind::MachineBrownout, 0, 10, 0.5))
+            .with(window(FaultKind::MachineBrownout, 5, 10, 0.2))
+            .with(window(FaultKind::SolverStress, 0, 10, 0.4))
+            .with(window(FaultKind::SolverStress, 5, 10, 0.9));
+        let inj = plan.injector(11);
+        assert!((inj.brownout_derate(SimTime::from_millis(2)) - 0.5).abs() < 1e-12);
+        assert!((inj.brownout_derate(SimTime::from_millis(7)) - 0.4).abs() < 1e-12);
+        assert_eq!(inj.brownout_derate(SimTime::from_millis(20)), 1.0);
+        assert_eq!(inj.solver_stress(SimTime::from_millis(2)), Some(0.4));
+        assert_eq!(inj.solver_stress(SimTime::from_millis(7)), Some(0.9));
+        assert_eq!(inj.solver_stress(SimTime::from_millis(20)), None);
+    }
+
+    #[test]
+    fn machine_level_kinds_stay_out_of_the_runtime_grid() {
+        for kind in FaultKind::machine_level() {
+            assert!(!FaultKind::all().contains(&kind));
+        }
     }
 }

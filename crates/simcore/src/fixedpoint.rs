@@ -84,6 +84,10 @@ where
         fx.clear();
         f(x, fx);
         assert_eq!(fx.len(), x.len(), "fixed-point map changed dimension");
+        debug_assert!(
+            fx.iter().all(|v| v.is_finite()),
+            "fixed-point map produced a non-finite rate"
+        );
         let mut max_rel = 0.0f64;
         for (xi, &fxi) in x.iter_mut().zip(fx.iter()) {
             let next = (1.0 - config.damping) * *xi + config.damping * fxi;
@@ -195,6 +199,10 @@ where
             fx.clear();
             f(l, lane, fx);
             assert_eq!(fx.len(), lane.len(), "fixed-point map changed dimension");
+            debug_assert!(
+                fx.iter().all(|v| v.is_finite()),
+                "fixed-point map produced a non-finite rate in lane {l}"
+            );
             // Bit-identical to the scalar solve_fixed_point_into update.
             let mut max_rel = 0.0f64;
             for (xi, &fxi) in lane.iter_mut().zip(fx.iter()) {

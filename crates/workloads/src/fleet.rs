@@ -63,7 +63,10 @@ pub struct FleetResult {
 }
 
 impl FleetResult {
-    /// Fraction of machines whose 99 %-ile exceeds `threshold`.
+    /// Fraction of machines whose 99 %-ile *strictly* exceeds `threshold`:
+    /// a machine sitting exactly at the threshold does not count (so
+    /// `fraction_above(max_p99)` is 0, never 1/n), and an empty fleet
+    /// reports 0.
     pub fn fraction_above(&self, threshold: f64) -> f64 {
         if self.p99_per_machine.is_empty() {
             return 0.0;
@@ -313,6 +316,8 @@ impl FleetSim {
             total.memo_hits = total.memo_hits.saturating_add(s.memo_hits);
             total.lanes_solved = total.lanes_solved.saturating_add(s.lanes_solved);
             total.lanes_converged = total.lanes_converged.saturating_add(s.lanes_converged);
+            total.down_steps = total.down_steps.saturating_add(s.down_steps);
+            total.lane_fallbacks = total.lane_fallbacks.saturating_add(s.lane_fallbacks);
         }
         total
     }
@@ -330,6 +335,37 @@ mod tests {
             (0.12..=0.20).contains(&frac),
             "fraction above 70% peak: {frac}"
         );
+    }
+
+    #[test]
+    fn ccdf_of_no_thresholds_is_empty() {
+        let result = FleetModel::default().simulate(9);
+        assert_eq!(result.ccdf(&[]), vec![]);
+    }
+
+    #[test]
+    fn fraction_above_is_strict_at_the_sample() {
+        // All-equal p99s: a threshold exactly at the common value excludes
+        // every machine (strict `>`), anything below includes all of them.
+        let result = FleetResult {
+            p99_per_machine: vec![0.5; 4],
+        };
+        assert_eq!(result.fraction_above(0.5), 0.0);
+        assert_eq!(result.fraction_above(0.5 - 1e-12), 1.0);
+        assert_eq!(result.fraction_above(0.6), 0.0);
+        assert_eq!(
+            result.ccdf(&[0.4, 0.5, 0.6]),
+            vec![(0.4, 1.0), (0.5, 0.0), (0.6, 0.0)]
+        );
+    }
+
+    #[test]
+    fn fraction_above_of_an_empty_fleet_is_zero() {
+        let result = FleetResult {
+            p99_per_machine: vec![],
+        };
+        assert_eq!(result.fraction_above(0.0), 0.0);
+        assert_eq!(result.ccdf(&[0.0, 1.0]), vec![(0.0, 0.0), (1.0, 0.0)]);
     }
 
     #[test]

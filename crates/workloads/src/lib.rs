@@ -28,6 +28,7 @@ pub mod fleet;
 pub mod inference;
 pub mod model;
 pub mod registry;
+pub mod resilient;
 pub mod trainer;
 
 pub use batch::{BatchKind, BatchWorkload};
@@ -35,4 +36,5 @@ pub use fleet::{FleetSim, FleetSimConfig};
 pub use inference::{InferenceParams, InferenceServer};
 pub use model::{InstallCtx, PerfSnapshot, WindowedWorkload, Workload, WorkloadKind};
 pub use registry::MlWorkloadKind;
+pub use resilient::{ResilientFleet, ResilientFleetConfig, ResilientRunMetrics};
 pub use trainer::{Trainer, TrainerParams};

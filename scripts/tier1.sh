@@ -60,4 +60,12 @@ KELP_QUICK=1 KELP_RESULTS_DIR="$smoke_results" \
   cargo run --release -q -p kelp-bench --bin ext_fleet_batch -- \
   --quick >/dev/null
 
+echo "== fleet fault smoke (KELP_QUICK=1) =="
+# Exits nonzero when a fleet fault-matrix cell injects nothing or the
+# self-healing placer fails its acceptance quorum (>= 11 of 12 band cells
+# vs the static placer under identical machine-lifecycle fault schedules).
+KELP_QUICK=1 KELP_RESULTS_DIR="$smoke_results" \
+  cargo run --release -q -p kelp-bench --bin ext_fleet_faults -- \
+  --quick >/dev/null
+
 echo "tier-1 OK"

@@ -264,3 +264,32 @@ fn fleet_reports_are_invariant_across_job_counts() {
         }
     });
 }
+
+/// (e) Regression: a churn round immediately followed by a batched step
+/// matches the scalar step bitwise — the batch path must see exactly the
+/// same dirty/clean machine states churn leaves behind, even when several
+/// churn rounds land between steps.
+#[test]
+fn churn_then_immediate_batched_step_matches_serial() {
+    for_cases(0xF1EE_7B04, |rng| {
+        let config = FleetSimConfig {
+            machines: 3 + rng.below(6) as usize,
+            seed: rng.below(u64::MAX),
+            churn_probability: 0.35,
+            batch_tasks_per_machine: rng.below(3) as usize,
+        };
+        let mut serial = FleetSim::new(config);
+        let mut batched = FleetSim::new(config);
+        let mut out = Vec::new();
+        for tick in 0..4 {
+            // One to three back-to-back churn rounds, no step in between.
+            for _ in 0..1 + rng.below(3) {
+                serial.churn();
+                batched.churn();
+            }
+            let reference = serial.step_serial();
+            batched.step_batched_into(2, &mut out);
+            assert_eq!(out, reference, "tick {tick} diverged after churn");
+        }
+    });
+}
