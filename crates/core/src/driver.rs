@@ -382,6 +382,7 @@ impl ExperimentBuilder {
         }
 
         let mut solve = machine.solve_stats();
+        // kelp-lint: allow(KL-T01): solve_ns is profiling telemetry (like RunMeta::wall_ms), excluded from payload byte comparisons.
         solve.solve_ns = solve_ns;
 
         ExperimentResult {

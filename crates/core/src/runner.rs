@@ -340,6 +340,7 @@ impl RunSpec {
     /// produce an error-carrying record (see [`RunRecord::error`]) so one
     /// bad spec cannot take down a batch or poison the worker pool.
     pub fn execute(&self) -> RunRecord {
+        // kelp-lint: allow(KL-T01): wall_ms/steps_per_sec are whole-run telemetry in RunMeta, excluded from payload byte comparisons.
         let start = Instant::now();
         if let Err(error) = self.validate() {
             return RunRecord::from_error(error, start.elapsed().as_secs_f64() * 1e3);
@@ -819,6 +820,7 @@ impl Runner {
         // Cache writes are best-effort: an unwritable directory degrades to
         // re-execution, never to failure.
         if std::fs::create_dir_all(dir).is_ok() {
+            // kelp-lint: allow(KL-T02): the env-configurable part is the cache *path*; the written bytes are the spec-derived record (value-coarse self taint).
             let _ = std::fs::write(Self::cache_path(dir, spec), text);
         }
     }

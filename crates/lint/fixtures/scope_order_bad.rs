@@ -1,0 +1,29 @@
+//! KL-C positive corpus: a `thread::scope` worker pool that gathers results
+//! through a Mutex with no index-keyed rendezvous (KL-C01), leaks a Relaxed
+//! counter value (KL-C03), and mutates a shared capture without routing
+//! (KL-C02). The first fn mirrors `Runner::run_batch`'s collector shape,
+//! minus the `records[slot] = …` placement that makes the real one
+//! deterministic.
+
+pub fn gather(pending: &[u64]) -> Vec<(usize, u64)> {
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&slot) = pending.get(i) else { break };
+                done.lock().unwrap().push((slot, slot * 2));
+            });
+        }
+    });
+    done.into_inner().unwrap()
+}
+
+pub fn tally(out: &mut Vec<u64>) {
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            out.push(1);
+        });
+    });
+}

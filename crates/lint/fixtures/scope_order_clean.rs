@@ -1,0 +1,37 @@
+//! KL-C negative corpus: the same worker-pool shapes made deterministic.
+//! `gather` is the full `Runner::run_batch` idiom — Relaxed work-stealing
+//! counter, Mutex-collected `(slot, record)` pairs, then an index-keyed
+//! placement rendezvous that restores a deterministic order. `shard` is the
+//! `FleetSim::step_batched_into` idiom — per-worker disjoint chunks bound
+//! inside the region.
+
+pub fn gather(pending: &[u64]) -> Vec<Option<u64>> {
+    let mut records = vec![None; pending.len()];
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&slot) = pending.get(i) else { break };
+                done.lock().unwrap().push((slot, slot * 2));
+            });
+        }
+    });
+    for (slot, record) in done.into_inner().unwrap() {
+        records[slot] = Some(record);
+    }
+    records
+}
+
+pub fn shard(machines: &mut [u64], out: &mut [u64]) {
+    std::thread::scope(|scope| {
+        for (m, o) in machines.chunks_mut(8).zip(out.chunks_mut(8)) {
+            scope.spawn(move || {
+                step(m, o);
+            });
+        }
+    });
+}
+
+fn step(_m: &mut [u64], _o: &mut [u64]) {}

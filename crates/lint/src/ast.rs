@@ -80,6 +80,10 @@ pub struct FnItem {
     /// where clause), for type co-occurrence checks (KL-F03) without a
     /// full type grammar.
     pub sig_idents: Vec<String>,
+    /// Parameter names in declaration order (`self` receivers are recorded
+    /// as `"self"`). Destructuring parameters contribute their bound
+    /// identifiers. Feeds the dataflow engine's per-parameter summaries.
+    pub params: Vec<String>,
     /// `None` for bodiless trait-method declarations.
     pub body: Option<Expr>,
 }
@@ -179,8 +183,55 @@ pub enum Expr {
         ty_idents: Vec<String>,
         line: u32,
     },
-    /// `|…| body` / `move |…| body`.
-    Closure { body: Box<Expr>, line: u32 },
+    /// `|…| body` / `move |…| body`. `params` are the parameter names
+    /// (destructuring parameters contribute their bound identifiers).
+    Closure {
+        params: Vec<String>,
+        body: Box<Expr>,
+        line: u32,
+    },
+    /// `let PAT (= init)? (else { … })?` — statement form, plus the
+    /// binding half of `if let` / `while let` / let-chains. `pat_idents`
+    /// are the lowercase identifiers the pattern binds (enum constructors
+    /// and type names are filtered out by case convention).
+    Let {
+        pat_idents: Vec<String>,
+        init: Option<Box<Expr>>,
+        els: Option<Box<Expr>>,
+        line: u32,
+    },
+    /// `target = value` or a compound assignment (`+=`, `|=`, `<<=`, …).
+    Assign {
+        target: Box<Expr>,
+        value: Option<Box<Expr>>,
+        compound: bool,
+        line: u32,
+    },
+    /// `Name { field: expr, … }` — a struct literal with its field names.
+    /// Shorthand fields become `(name, Path(name))`; `..base` spreads and
+    /// anything unparseable land in `rest`.
+    StructLit {
+        name: String,
+        fields: Vec<(String, Expr)>,
+        rest: Vec<Expr>,
+        line: u32,
+    },
+    /// `for PAT in iter { body }`.
+    For {
+        pat_idents: Vec<String>,
+        iter: Option<Box<Expr>>,
+        body: Option<Box<Expr>>,
+        line: u32,
+    },
+    /// `match scrutinee { arms }` with per-arm bound identifiers (guards
+    /// and bodies are the arm's `children`).
+    Match {
+        scrutinee: Option<Box<Expr>>,
+        arms: Vec<Arm>,
+        line: u32,
+    },
+    /// `return expr?`.
+    Ret { value: Option<Box<Expr>>, line: u32 },
     /// A block, which may contain nested items (`fn` in `fn`).
     Block {
         stmts: Vec<Expr>,
@@ -200,6 +251,14 @@ pub enum Expr {
     Opaque { line: u32 },
 }
 
+/// One `match` arm: the identifiers its pattern binds plus its guard and
+/// body expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arm {
+    pub pat_idents: Vec<String>,
+    pub children: Vec<Expr>,
+}
+
 impl Expr {
     /// The source line the expression starts on.
     pub fn line(&self) -> u32 {
@@ -216,6 +275,12 @@ impl Expr {
             | Expr::Range { line, .. }
             | Expr::Lit { line }
             | Expr::Many { line, .. }
+            | Expr::Let { line, .. }
+            | Expr::Assign { line, .. }
+            | Expr::StructLit { line, .. }
+            | Expr::For { line, .. }
+            | Expr::Match { line, .. }
+            | Expr::Ret { line, .. }
             | Expr::Opaque { line } => *line,
         }
     }
@@ -260,6 +325,53 @@ impl Expr {
             } => {
                 for c in operands {
                     c.walk(visit);
+                }
+            }
+            Expr::Let { init, els, .. } => {
+                if let Some(i) = init {
+                    i.walk(visit);
+                }
+                if let Some(e) = els {
+                    e.walk(visit);
+                }
+            }
+            Expr::Assign { target, value, .. } => {
+                target.walk(visit);
+                if let Some(v) = value {
+                    v.walk(visit);
+                }
+            }
+            Expr::StructLit { fields, rest, .. } => {
+                for (_, v) in fields {
+                    v.walk(visit);
+                }
+                for r in rest {
+                    r.walk(visit);
+                }
+            }
+            Expr::For { iter, body, .. } => {
+                if let Some(i) = iter {
+                    i.walk(visit);
+                }
+                if let Some(b) = body {
+                    b.walk(visit);
+                }
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                if let Some(s) = scrutinee {
+                    s.walk(visit);
+                }
+                for arm in arms {
+                    for c in &arm.children {
+                        c.walk(visit);
+                    }
+                }
+            }
+            Expr::Ret { value, .. } => {
+                if let Some(v) = value {
+                    v.walk(visit);
                 }
             }
             Expr::Path { .. } | Expr::Lit { .. } | Expr::Opaque { .. } => {}

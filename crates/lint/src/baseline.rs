@@ -103,7 +103,7 @@ pub fn apply(diags: Vec<Diagnostic>, entries: &[Entry]) -> Applied {
 /// Renders a deterministic baseline document for the given diagnostics
 /// (sorted, deduplicated by match key).
 pub fn render(diags: &[Diagnostic]) -> String {
-    let mut entries: Vec<Entry> = diags
+    let entries: Vec<Entry> = diags
         .iter()
         .map(|d| Entry {
             rule: d.rule.to_string(),
@@ -112,6 +112,13 @@ pub fn render(diags: &[Diagnostic]) -> String {
             line: if d.symbol.is_empty() { d.line } else { 0 },
         })
         .collect();
+    render_entries(entries)
+}
+
+/// Renders a deterministic baseline document from existing entries (the
+/// `--prune-stale` path: the surviving entries are re-rendered verbatim, so
+/// pruning is a pure subtraction — it never rewrites or re-keys pins).
+pub fn render_entries(mut entries: Vec<Entry>) -> String {
     entries.sort();
     entries.dedup();
     let mut out = format!("{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"findings\": [\n");
@@ -155,6 +162,7 @@ mod tests {
             line,
             symbol: symbol.into(),
             message: "m".into(),
+            witness: Vec::new(),
         }
     }
 
@@ -201,6 +209,45 @@ mod tests {
         assert!(parse("not json").is_none());
         assert!(parse("{\"findings\": 3}").is_none());
         assert!(parse("{}").is_none());
+    }
+
+    #[test]
+    fn prune_round_trip_removes_only_stale_entries() {
+        let live_sym = diag("KL-R02", "a.rs", 100, "core::f");
+        let live_line = diag("KL-D01", "b.rs", 5, "");
+        let stale = diag("KL-R03", "gone.rs", 9, "core::deleted");
+        let doc = render(&[live_sym.clone(), live_line.clone(), stale]);
+        let entries = parse(&doc).expect("valid");
+        assert_eq!(entries.len(), 3);
+
+        // Current diagnostics no longer include the stale finding.
+        let applied = apply(vec![live_sym, live_line], &entries);
+        assert_eq!(applied.stale.len(), 1);
+        let kept: Vec<Entry> = entries
+            .into_iter()
+            .filter(|e| !applied.stale.contains(e))
+            .collect();
+        let pruned_doc = render_entries(kept);
+        let pruned = parse(&pruned_doc).expect("pruned doc parses");
+        assert_eq!(pruned.len(), 2);
+        assert!(pruned.iter().all(|e| e.file != "gone.rs"));
+
+        // Pruning is idempotent: a second pass removes nothing and the
+        // document round-trips byte-identically.
+        let applied2 = apply(
+            vec![
+                diag("KL-R02", "a.rs", 100, "core::f"),
+                diag("KL-D01", "b.rs", 5, ""),
+            ],
+            &pruned,
+        );
+        assert!(applied2.stale.is_empty());
+        let kept2: Vec<Entry> = pruned
+            .iter()
+            .filter(|e| !applied2.stale.contains(e))
+            .cloned()
+            .collect();
+        assert_eq!(render_entries(kept2), pruned_doc);
     }
 
     #[test]

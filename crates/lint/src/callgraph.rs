@@ -69,7 +69,7 @@ enum CallRef {
 
 /// One function node.
 #[derive(Debug, Clone)]
-pub struct FnNode {
+pub struct FnNode<'a> {
     pub name: String,
     /// Enclosing impl/trait type name for methods; `None` for free fns.
     pub owner: Option<String>,
@@ -82,10 +82,17 @@ pub struct FnNode {
     /// The file lives in a panic-scope crate (KL-R reports only these).
     pub panic_scope: bool,
     pub sites: Vec<PanicSite>,
+    /// Parameter names in declaration order (dataflow summaries).
+    pub params: Vec<String>,
+    /// Signature identifier tokens (parameter/return types, where clause),
+    /// for type co-occurrence checks without a type grammar.
+    pub sig_idents: Vec<String>,
+    /// The parsed body, for expression-level analyses over the graph.
+    pub body: Option<&'a Expr>,
     calls: Vec<CallRef>,
 }
 
-impl FnNode {
+impl FnNode<'_> {
     /// `Type::name` for methods, bare `name` for free functions.
     pub fn display(&self) -> String {
         match &self.owner {
@@ -109,94 +116,133 @@ pub struct SourceUnit<'a> {
 }
 
 /// The workspace call graph.
-pub struct CallGraph {
-    pub fns: Vec<FnNode>,
+pub struct CallGraph<'a> {
+    pub fns: Vec<FnNode<'a>>,
     /// caller index → sorted, deduplicated callee indices.
     edges: Vec<Vec<usize>>,
     /// callee index → caller indices (for reverse BFS).
     redges: Vec<Vec<usize>>,
+    // Resolution indices (kept so expression-level analyses can resolve
+    // individual call sites). BTreeMaps keep iteration deterministic.
+    free_by_crate: BTreeMap<(String, String), Vec<usize>>,
+    free_by_name: BTreeMap<String, Vec<usize>>,
+    by_type: BTreeMap<(String, String), Vec<usize>>,
+    methods_by_name: BTreeMap<String, Vec<usize>>,
 }
 
-impl CallGraph {
+impl<'a> CallGraph<'a> {
     /// Builds the graph from every file's AST.
-    pub fn build(units: &[SourceUnit<'_>]) -> CallGraph {
+    pub fn build(units: &[SourceUnit<'a>]) -> CallGraph<'a> {
         let mut fns = Vec::new();
         for unit in units {
             collect_fns(unit.items, unit, None, false, &mut fns);
         }
 
-        // Resolution indices. BTreeMaps keep iteration deterministic.
-        let mut free_by_crate: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
-        let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-        let mut by_type: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
-        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut free_by_crate: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut by_type: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         for (i, f) in fns.iter().enumerate() {
             match &f.owner {
                 None => {
                     free_by_crate
-                        .entry((f.krate.as_str(), f.name.as_str()))
+                        .entry((f.krate.clone(), f.name.clone()))
                         .or_default()
                         .push(i);
-                    free_by_name.entry(f.name.as_str()).or_default().push(i);
+                    free_by_name.entry(f.name.clone()).or_default().push(i);
                 }
                 Some(t) => {
                     by_type
-                        .entry((t.as_str(), f.name.as_str()))
+                        .entry((t.clone(), f.name.clone()))
                         .or_default()
                         .push(i);
-                    methods_by_name.entry(f.name.as_str()).or_default().push(i);
+                    methods_by_name.entry(f.name.clone()).or_default().push(i);
                 }
             }
         }
 
-        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
-        for (i, f) in fns.iter().enumerate() {
+        let mut graph = CallGraph {
+            fns,
+            edges: Vec::new(),
+            redges: Vec::new(),
+            free_by_crate,
+            free_by_name,
+            by_type,
+            methods_by_name,
+        };
+
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); graph.fns.len()];
+        for (i, slot) in edges.iter_mut().enumerate() {
             let mut callees: Vec<usize> = Vec::new();
-            for call in &f.calls {
+            for call in &graph.fns[i].calls {
                 match call {
-                    CallRef::Method(name) => {
-                        if let Some(ix) = methods_by_name.get(name.as_str()) {
-                            callees.extend_from_slice(ix);
-                        }
+                    CallRef::Method(name) => callees.extend(graph.resolve_method(name)),
+                    CallRef::Path(segments) => {
+                        callees.extend(graph.resolve_path(i, segments));
                     }
-                    CallRef::Path(segments) => match segments.as_slice() {
-                        [] => {}
-                        [name] => {
-                            if let Some(ix) = free_by_crate.get(&(f.krate.as_str(), name.as_str()))
-                            {
-                                callees.extend_from_slice(ix);
-                            }
-                        }
-                        [.., qual, name] => {
-                            let qual = if qual == "Self" {
-                                f.owner.as_deref().unwrap_or(qual)
-                            } else {
-                                qual
-                            };
-                            if let Some(ix) = by_type.get(&(qual, name.as_str())) {
-                                callees.extend_from_slice(ix);
-                            } else if qual_is_module(qual) {
-                                if let Some(ix) = free_by_name.get(name.as_str()) {
-                                    callees.extend_from_slice(ix);
-                                }
-                            }
-                        }
-                    },
                 }
             }
             callees.sort_unstable();
             callees.dedup();
-            edges[i] = callees;
+            *slot = callees;
         }
 
-        let mut redges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+        let mut redges: Vec<Vec<usize>> = vec![Vec::new(); graph.fns.len()];
         for (caller, callees) in edges.iter().enumerate() {
             for &callee in callees {
                 redges[callee].push(caller);
             }
         }
 
-        CallGraph { fns, edges, redges }
+        graph.edges = edges;
+        graph.redges = redges;
+        graph
+    }
+
+    /// Resolves a path call appearing in `caller`'s body to candidate
+    /// callee indices, under the module-level over-approximation rules.
+    pub fn resolve_path(&self, caller: usize, segments: &[String]) -> &[usize] {
+        static EMPTY: [usize; 0] = [];
+        let f = &self.fns[caller];
+        match segments {
+            [] => &EMPTY,
+            // Same-crate candidates win; otherwise the name was brought in
+            // by a `use` import, so fall back to every crate's free fns
+            // (the usual name-based over-approximation).
+            [name] => self
+                .free_by_crate
+                .get(&(f.krate.clone(), name.clone()))
+                .map(Vec::as_slice)
+                .filter(|c| !c.is_empty())
+                .or_else(|| self.free_by_name.get(name.as_str()).map(Vec::as_slice))
+                .unwrap_or(&EMPTY),
+            [.., qual, name] => {
+                let qual = if qual == "Self" {
+                    f.owner.as_deref().unwrap_or(qual)
+                } else {
+                    qual
+                };
+                if let Some(ix) = self.by_type.get(&(qual.to_string(), name.clone())) {
+                    ix.as_slice()
+                } else if qual_is_module(qual) {
+                    self.free_by_name
+                        .get(name.as_str())
+                        .map(Vec::as_slice)
+                        .unwrap_or(&EMPTY)
+                } else {
+                    &EMPTY
+                }
+            }
+        }
+    }
+
+    /// Resolves a method call by name to every workspace method candidate.
+    pub fn resolve_method(&self, name: &str) -> &[usize] {
+        static EMPTY: [usize; 0] = [];
+        self.methods_by_name
+            .get(name)
+            .map(Vec::as_slice)
+            .unwrap_or(&EMPTY)
     }
 
     /// Shortest distance (in call hops) from each function to a panic site
@@ -280,12 +326,12 @@ fn qual_is_module(qual: &str) -> bool {
 
 /// Recursively collects function nodes, tracking the enclosing impl/trait
 /// type and `#[cfg(test)]` inheritance. Test functions are skipped.
-fn collect_fns(
-    items: &[Item],
-    unit: &SourceUnit<'_>,
+fn collect_fns<'a>(
+    items: &'a [Item],
+    unit: &SourceUnit<'a>,
     owner: Option<&str>,
     in_test: bool,
-    out: &mut Vec<FnNode>,
+    out: &mut Vec<FnNode<'a>>,
 ) {
     for item in items {
         let item_test = in_test || item.attrs.iter().any(|a| a.is_cfg_test());
@@ -317,21 +363,25 @@ fn collect_fns(
                     public: item.public && !item.restricted,
                     panic_scope: unit.panic_scope,
                     sites: Vec::new(),
+                    params: f.params.clone(),
+                    sig_idents: f.sig_idents.clone(),
+                    body: f.body.as_ref(),
                     calls: Vec::new(),
                 };
                 if let Some(body) = &f.body {
                     harvest_body(body, &mut node);
                     out.push(node);
-                    // Nested `fn` items inside the body are functions too.
-                    let mut nested: Vec<&Item> = Vec::new();
+                    // Nested `fn` items inside the body are functions too
+                    // (never public API; owner does not apply).
+                    let mut nested: Vec<&'a Item> = Vec::new();
                     body.walk(&mut |e| {
                         if let Expr::Block { items, .. } = e {
                             nested.extend(items.iter());
                         }
                     });
-                    // Nested fns are never public API; owner does not apply.
-                    let nested_owned: Vec<Item> = nested.into_iter().cloned().collect();
-                    collect_fns(&nested_owned, unit, None, item_test, out);
+                    for n in nested {
+                        collect_fns(std::slice::from_ref(n), unit, None, item_test, out);
+                    }
                 } else {
                     out.push(node);
                 }
@@ -342,7 +392,7 @@ fn collect_fns(
 }
 
 /// Collects panic sites and call references from one function body.
-fn harvest_body(body: &Expr, node: &mut FnNode) {
+fn harvest_body(body: &Expr, node: &mut FnNode<'_>) {
     body.walk(&mut |e| match e {
         Expr::Call { callee, .. } => {
             if let Expr::Path { segments, .. } = callee.as_ref() {
@@ -392,12 +442,15 @@ mod tests {
     use crate::lexer::lex;
     use crate::parse::parse_items;
 
-    fn graph(srcs: &[(&str, &str, &str)]) -> CallGraph {
-        let parsed: Vec<Vec<Item>> = srcs
-            .iter()
-            .map(|(_, _, src)| parse_items(&lex(src)))
-            .collect();
-        let units: Vec<SourceUnit<'_>> = srcs
+    fn graph(srcs: &[(&'static str, &'static str, &'static str)]) -> CallGraph<'static> {
+        // Tests leak the parsed trees so the graph can borrow them freely.
+        let parsed: &'static [Vec<Item>] = Box::leak(
+            srcs.iter()
+                .map(|(_, _, src)| parse_items(&lex(src)))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        );
+        let units: Vec<SourceUnit<'static>> = srcs
             .iter()
             .zip(parsed.iter())
             .map(|((file, krate, _), items)| SourceUnit {
@@ -410,7 +463,7 @@ mod tests {
         CallGraph::build(&units)
     }
 
-    fn idx(g: &CallGraph, name: &str) -> usize {
+    fn idx(g: &CallGraph<'_>, name: &str) -> usize {
         g.fns.iter().position(|f| f.display() == name).expect(name)
     }
 
@@ -501,7 +554,25 @@ mod tests {
     }
 
     #[test]
-    fn same_crate_free_call_does_not_leak_across_crates() {
+    fn same_crate_free_call_shadows_cross_crate_fallback() {
+        // A same-crate definition wins outright: the benign local `helper`
+        // resolves and the panicking one in `mem` does not leak in.
+        let g = graph(&[
+            (
+                "crates/core/src/f.rs",
+                "core",
+                "pub fn go() { helper(); }\npub fn helper() {}",
+            ),
+            (
+                "crates/mem/src/g.rs",
+                "mem",
+                "pub fn helper() { panic!(\"other crate\"); }",
+            ),
+        ]);
+        assert_eq!(g.distances(PanicKind::Macro)[idx(&g, "go")], None);
+
+        // Without a same-crate candidate the name must have arrived via a
+        // `use` import, so resolution falls back across crates.
         let g = graph(&[
             ("crates/core/src/f.rs", "core", "pub fn go() { helper(); }"),
             (
@@ -510,6 +581,6 @@ mod tests {
                 "pub fn helper() { panic!(\"other crate\"); }",
             ),
         ]);
-        assert_eq!(g.distances(PanicKind::Macro)[idx(&g, "go")], None);
+        assert_eq!(g.distances(PanicKind::Macro)[idx(&g, "go")], Some(1));
     }
 }

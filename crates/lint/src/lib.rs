@@ -20,6 +20,7 @@
 pub mod ast;
 pub mod baseline;
 pub mod callgraph;
+pub mod dataflow;
 pub mod jsonmini;
 pub mod lexer;
 pub mod parse;
@@ -43,7 +44,9 @@ fn crate_label(path: &str) -> &str {
 
 /// Lints every classifiable file under `root`: the per-file rules plus the
 /// workspace passes (KL-R panic reachability over the call graph, KL-S
-/// schema drift against `results/*.json`). Returns the diagnostics in a
+/// schema drift against `results/*.json`, KL-T interprocedural
+/// nondeterminism-taint dataflow, KL-C `thread::scope` order-sensitivity).
+/// Returns the diagnostics in a
 /// total order — (file, line, rule, symbol, message) — and the number of
 /// files scanned.
 pub fn lint_workspace(root: &std::path::Path) -> (Vec<Diagnostic>, usize) {
@@ -81,6 +84,24 @@ pub fn lint_workspace(root: &std::path::Path) -> (Vec<Diagnostic>, usize) {
     }
     let goldens = rules_v2::load_goldens(root);
     workspace_diags.extend(rules_v2::schema_rules(&types, &goldens));
+
+    // Workspace pass 3: interprocedural nondeterminism-taint dataflow
+    // (KL-T) and thread::scope order-sensitivity (KL-C).
+    workspace_diags.extend(dataflow::taint_pass(&graph, &types));
+    workspace_diags.extend(dataflow::scope_pass(&graph));
+
+    // A witness-chain diagnostic (KL-T/KL-C) is suppressed by an inline
+    // allow at ANY step of its chain — in particular at the taint source,
+    // so one documented allow at an intentional nondeterminism root covers
+    // every sink it feeds.
+    workspace_diags.retain(|d| {
+        !d.witness.iter().any(|s| {
+            analyses
+                .iter_mut()
+                .find(|fa| fa.ctx.path == s.file)
+                .is_some_and(|fa| fa.try_allow(d.rule, s.line))
+        })
+    });
 
     // Route workspace findings to their owning file so the inline allow
     // mechanism (and KL-H05 stale-allow detection) covers them uniformly.

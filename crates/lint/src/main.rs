@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! kelp-lint [--deny] [--json] [--fix-forbid] [--root PATH]
-//!           [--baseline FILE] [--write-baseline FILE]
+//!           [--baseline FILE] [--write-baseline FILE] [--prune-stale]
 //! ```
 //!
 //! * `--deny`       exit non-zero when any diagnostic is emitted (the tier-1
@@ -17,6 +17,9 @@
 //!   fails solely on *new* findings
 //! * `--write-baseline FILE`  write the current findings as a baseline
 //!   document and exit (how `lint-baseline.json` is regenerated)
+//! * `--prune-stale`  with `--baseline`: rewrite the baseline file with the
+//!   entries that pin nothing removed (a pure subtraction — surviving pins
+//!   are kept byte-identical), then continue as usual
 
 #![forbid(unsafe_code)]
 
@@ -29,6 +32,7 @@ struct Options {
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
+    prune_stale: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -39,6 +43,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         root: None,
         baseline: None,
         write_baseline: None,
+        prune_stale: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -58,6 +63,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let path = it.next().ok_or("--write-baseline needs a file")?;
                 opts.write_baseline = Some(PathBuf::from(path));
             }
+            "--prune-stale" => opts.prune_stale = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -83,7 +89,7 @@ fn find_root() -> Option<PathBuf> {
 }
 
 const USAGE: &str = "usage: kelp-lint [--deny] [--json] [--fix-forbid] [--root PATH] \
-                     [--baseline FILE] [--write-baseline FILE]";
+                     [--baseline FILE] [--write-baseline FILE] [--prune-stale]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -160,6 +166,25 @@ fn main() {
                 eprintln!(
                     "kelp-lint: note: stale baseline entry {} {} {} pins nothing",
                     stale.rule, stale.file, stale.symbol
+                );
+            }
+            if opts.prune_stale && !applied.stale.is_empty() {
+                let kept: Vec<kelp_lint::baseline::Entry> = entries
+                    .into_iter()
+                    .filter(|e| !applied.stale.contains(e))
+                    .collect();
+                let kept_len = kept.len();
+                let doc = kelp_lint::baseline::render_entries(kept);
+                if let Err(e) = std::fs::write(path, doc) {
+                    eprintln!("error: cannot rewrite baseline {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+                eprintln!(
+                    "kelp-lint: pruned {} stale entr{} from {} ({} kept)",
+                    applied.stale.len(),
+                    if applied.stale.len() == 1 { "y" } else { "ies" },
+                    path.display(),
+                    kept_len
                 );
             }
             applied.fresh

@@ -18,15 +18,80 @@
 //!    checks.
 //!
 //! Known approximations (documented in DESIGN.md §"Static analysis v2"):
-//! match-arm *patterns* are skipped (guard expressions are parsed), generic
-//! arguments are skipped wholesale, and `where` clauses are scanned only to
-//! find the body brace.
+//! generic arguments are skipped wholesale, `where` clauses are scanned only
+//! to find the body brace, and patterns are reduced to their bound
+//! identifier lists (lowercase identifiers by case convention — enum
+//! constructors and type names are filtered out, and a lowercase path
+//! segment in a pattern over-approximates as a binding).
 
 use crate::ast::{
-    Attr, EnumItem, Expr, FieldDef, FnItem, ImplBlock, Item, ItemKind, ModItem, StructItem,
+    Arm, Attr, EnumItem, Expr, FieldDef, FnItem, ImplBlock, Item, ItemKind, ModItem, StructItem,
     TraitItem,
 };
 use crate::lexer::{Lexed, Tok, Token};
+
+/// Collects the identifiers a pattern binds, by case convention: lowercase
+/// identifiers are bindings, uppercase ones are enum constructors / type
+/// names, and pattern keywords (`mut`, `ref`, …) plus `_` are dropped.
+fn collect_pat_idents(toks: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    for t in toks {
+        if let Tok::Ident(s) = &t.kind {
+            if matches!(
+                s.as_str(),
+                "mut" | "ref" | "box" | "move" | "in" | "if" | "else"
+            ) {
+                continue;
+            }
+            if s == "_" || s.starts_with(|c: char| c.is_ascii_uppercase()) {
+                continue;
+            }
+            out.push(s.clone());
+        }
+    }
+    out
+}
+
+/// Extracts parameter names from a function's `( … )` parameter group
+/// tokens (delimiters included). A first `:` at paren depth 1 (outside
+/// generic angles) switches each parameter from pattern to type position;
+/// `self` receivers are recorded literally.
+fn collect_fn_params(toks: &[Token]) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut in_type = false;
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i].kind {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle = (angle - 1).max(0),
+            Tok::Punct(',') if depth == 1 && angle == 0 => in_type = false,
+            Tok::Punct(':') if depth == 1 && !in_type => {
+                if matches!(toks.get(i + 1).map(|t| &t.kind), Some(Tok::Punct(':'))) {
+                    i += 1; // `::` path separator, not a type annotation
+                } else {
+                    in_type = true;
+                }
+            }
+            Tok::Ident(s) if !in_type => {
+                if s == "self" {
+                    params.push(String::from("self"));
+                } else if !matches!(s.as_str(), "mut" | "ref" | "box")
+                    && s != "_"
+                    && !s.starts_with(|c: char| c.is_ascii_uppercase())
+                {
+                    params.push(s.clone());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    params
+}
 
 /// Recursion guard: beyond this expression/item nesting depth the parser
 /// emits [`Expr::Opaque`] and unwinds gracefully instead of risking stack
@@ -424,8 +489,11 @@ impl<'a> Parser<'a> {
         if self.is_punct(0, '<') {
             self.skip_angles();
         }
+        let mut params = Vec::new();
         if self.is_punct(0, '(') {
+            let paren_start = self.pos;
             self.skip_group();
+            params = collect_fn_params(&self.toks[paren_start..self.pos]);
         }
         self.scan_to_body();
         let mut sig_idents = Vec::new();
@@ -444,6 +512,7 @@ impl<'a> Parser<'a> {
             name,
             line,
             sig_idents,
+            params,
             body,
         }
     }
@@ -728,19 +797,37 @@ impl<'a> Parser<'a> {
     fn let_stmt(&mut self) -> Expr {
         let line = self.line();
         self.bump(); // `let`
-                     // Pattern and optional type: skip to `=` or `;` at depth 0.
+        let pat_start = self.pos;
+        // Pattern and optional type: scan to `=` or `;` at depth 0. A first
+        // single `:` at depth 0 marks where the type annotation starts, so
+        // type identifiers do not pollute the binding list.
+        let mut ty_mark: Option<usize> = None;
+        let pat_end;
         loop {
             match self.peek(0) {
                 None | Some(Tok::Punct(';')) => {
+                    let end = ty_mark.unwrap_or(self.pos);
+                    let pat_idents = collect_pat_idents(&self.toks[pat_start..end]);
                     self.eat_punct(';');
-                    return Expr::Many {
-                        children: Vec::new(),
+                    return Expr::Let {
+                        pat_idents,
+                        init: None,
+                        els: None,
                         line,
                     };
                 }
                 Some(Tok::Punct('=')) if !self.is_punct(1, '=') => {
+                    pat_end = ty_mark.unwrap_or(self.pos);
                     self.bump();
                     break;
+                }
+                Some(Tok::Punct(':')) if self.is_punct(1, ':') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some(Tok::Punct(':')) if ty_mark.is_none() => {
+                    ty_mark = Some(self.pos);
+                    self.bump();
                 }
                 Some(Tok::Punct('(')) | Some(Tok::Punct('[')) | Some(Tok::Punct('{')) => {
                     self.skip_group()
@@ -749,16 +836,21 @@ impl<'a> Parser<'a> {
                 _ => self.bump(),
             }
         }
-        let mut children = Vec::new();
-        if let Some(init) = self.expr(false) {
-            children.push(init);
-        }
-        if self.ident_at(0) == Some("else") && self.is_punct(1, '{') {
+        let pat_idents = collect_pat_idents(&self.toks[pat_start..pat_end]);
+        let init = self.expr(false).map(Box::new);
+        let els = if self.ident_at(0) == Some("else") && self.is_punct(1, '{') {
             self.bump();
-            children.push(self.block());
-        }
+            Some(Box::new(self.block()))
+        } else {
+            None
+        };
         self.eat_punct(';');
-        Expr::Many { children, line }
+        Expr::Let {
+            pat_idents,
+            init,
+            els,
+            line,
+        }
     }
 
     /// Parses one expression. `no_struct` suppresses struct-literal `{`
@@ -897,6 +989,10 @@ impl<'a> Parser<'a> {
                     '-' if two(self, '>') => Err(lhs),
                     '+' | '-' | '*' | '/' | '%' | '^' | '!' | '&' | '|' | '<' | '>' | '=' => {
                         self.bump();
+                        // Plain `=` is an assignment (`==` is excluded
+                        // below); compound forms are detected from the tail.
+                        let mut assign = op == '=';
+                        let mut compound = false;
                         // Consume a compound-op tail when the pair actually
                         // forms an operator (`==`, `+=`, `<<`, `&&`…).
                         if let Some(Tok::Punct(next)) = self.peek(0) {
@@ -917,16 +1013,37 @@ impl<'a> Parser<'a> {
                                     | ('/', '=')
                                     | ('%', '=')
                                     | ('^', '=')
+                                    | ('&', '=')
+                                    | ('|', '=')
                             );
                             if forms_op {
                                 self.bump();
+                                if op == '=' {
+                                    assign = false; // `==` comparison
+                                } else if next == '='
+                                    && matches!(op, '+' | '-' | '*' | '/' | '%' | '^' | '&' | '|')
+                                {
+                                    assign = true;
+                                    compound = true;
+                                }
                                 // `<<=` / `>>=` third char.
                                 if matches!((op, next), ('<', '<') | ('>', '>'))
                                     && self.is_punct(0, '=')
                                 {
                                     self.bump();
+                                    assign = true;
+                                    compound = true;
                                 }
                             }
+                        }
+                        if assign {
+                            let value = self.try_operand(no_struct).map(Box::new);
+                            return Ok(Expr::Assign {
+                                target: Box::new(lhs),
+                                value,
+                                compound,
+                                line,
+                            });
                         }
                         let mut children = vec![lhs];
                         if let Some(rhs) = self.try_operand(no_struct) {
@@ -1098,8 +1215,11 @@ impl<'a> Parser<'a> {
     /// `|…| body` closure, cursor on the first `|`.
     fn closure(&mut self, line: u32) -> Expr {
         self.bump(); // '|'
-                     // Parameter list to the closing `|` at depth 0. `||` (no params)
-                     // falls straight through.
+                     // Parameter list to the closing `|` at depth 0, collecting the
+                     // bound names (a `:` switches to type position until the next
+                     // `,`). `||` (no params) falls straight through.
+        let mut params = Vec::new();
+        let mut in_type = false;
         loop {
             match self.peek(0) {
                 None => break,
@@ -1107,10 +1227,31 @@ impl<'a> Parser<'a> {
                     self.bump();
                     break;
                 }
+                Some(Tok::Punct(',')) => {
+                    in_type = false;
+                    self.bump();
+                }
+                Some(Tok::Punct(':')) => {
+                    in_type = true;
+                    self.bump();
+                }
                 Some(Tok::Punct('(')) | Some(Tok::Punct('[')) | Some(Tok::Punct('{')) => {
-                    self.skip_group()
+                    let start = self.pos;
+                    self.skip_group();
+                    if !in_type {
+                        params.extend(collect_pat_idents(&self.toks[start..self.pos]));
+                    }
                 }
                 Some(Tok::Punct('<')) => self.skip_angles(),
+                Some(Tok::Ident(s)) => {
+                    if !in_type {
+                        params.extend(collect_pat_idents(std::slice::from_ref(
+                            &self.toks[self.pos],
+                        )));
+                    }
+                    let _ = s;
+                    self.bump();
+                }
                 _ => self.bump(),
             }
         }
@@ -1130,6 +1271,7 @@ impl<'a> Parser<'a> {
         }
         let body = self.expr(false).unwrap_or(Expr::Opaque { line });
         Expr::Closure {
+            params,
             body: Box::new(body),
             line,
         }
@@ -1143,9 +1285,16 @@ impl<'a> Parser<'a> {
                 self.bump();
                 let mut children = Vec::new();
                 if self.eat_ident("let") {
-                    self.skip_pattern_to_eq();
-                }
-                if let Some(cond) = self.expr(true) {
+                    let pat_idents = self.pattern_to_eq();
+                    if let Some(cond) = self.expr(true) {
+                        children.push(Expr::Let {
+                            pat_idents,
+                            init: Some(Box::new(cond)),
+                            els: None,
+                            line,
+                        });
+                    }
+                } else if let Some(cond) = self.expr(true) {
                     children.push(cond);
                 }
                 if self.is_punct(0, '{') {
@@ -1164,9 +1313,16 @@ impl<'a> Parser<'a> {
                 self.bump();
                 let mut children = Vec::new();
                 if self.eat_ident("let") {
-                    self.skip_pattern_to_eq();
-                }
-                if let Some(cond) = self.expr(true) {
+                    let pat_idents = self.pattern_to_eq();
+                    if let Some(cond) = self.expr(true) {
+                        children.push(Expr::Let {
+                            pat_idents,
+                            init: Some(Box::new(cond)),
+                            els: None,
+                            line,
+                        });
+                    }
+                } else if let Some(cond) = self.expr(true) {
                     children.push(cond);
                 }
                 if self.is_punct(0, '{') {
@@ -1177,7 +1333,10 @@ impl<'a> Parser<'a> {
             "for" => {
                 self.bump();
                 // Pattern to `in` at depth 0.
+                let pat_start = self.pos;
+                let mut pat_end = self.pos;
                 loop {
+                    pat_end = pat_end.max(self.pos);
                     match self.peek(0) {
                         None | Some(Tok::Punct('{')) => break,
                         Some(Tok::Ident(s)) if s == "in" => {
@@ -1188,14 +1347,19 @@ impl<'a> Parser<'a> {
                         _ => self.bump(),
                     }
                 }
-                let mut children = Vec::new();
-                if let Some(iter) = self.expr(true) {
-                    children.push(iter);
-                }
-                if self.is_punct(0, '{') {
-                    children.push(self.block());
-                }
-                Some(Expr::Many { children, line })
+                let pat_idents = collect_pat_idents(&self.toks[pat_start..pat_end]);
+                let iter = self.expr(true).map(Box::new);
+                let body = if self.is_punct(0, '{') {
+                    Some(Box::new(self.block()))
+                } else {
+                    None
+                };
+                Some(Expr::For {
+                    pat_idents,
+                    iter,
+                    body,
+                    line,
+                })
             }
             "loop" => {
                 self.bump();
@@ -1210,10 +1374,8 @@ impl<'a> Parser<'a> {
             }
             "match" => {
                 self.bump();
-                let mut children = Vec::new();
-                if let Some(scrutinee) = self.expr(true) {
-                    children.push(scrutinee);
-                }
+                let scrutinee = self.expr(true).map(Box::new);
+                let mut arms = Vec::new();
                 if self.eat_punct('{') {
                     loop {
                         if self.at_end() || self.eat_punct('}') {
@@ -1222,8 +1384,17 @@ impl<'a> Parser<'a> {
                         while self.is_punct(0, '#') {
                             self.attr();
                         }
-                        // Pattern to `=>`; a guard's `if EXPR` is parsed.
+                        let mut children = Vec::new();
+                        // Pattern to `=>`; a guard's `if EXPR` is parsed and
+                        // freezes the pattern span so guard identifiers do
+                        // not become arm bindings.
+                        let pat_start = self.pos;
+                        let mut pat_end = self.pos;
+                        let mut frozen = false;
                         loop {
+                            if !frozen {
+                                pat_end = self.pos;
+                            }
                             match self.peek(0) {
                                 None | Some(Tok::Punct('}')) => break,
                                 Some(Tok::Punct('=')) if self.is_punct(1, '>') => {
@@ -1232,6 +1403,7 @@ impl<'a> Parser<'a> {
                                     break;
                                 }
                                 Some(Tok::Ident(s)) if s == "if" => {
+                                    frozen = true;
                                     self.bump();
                                     if let Some(guard) = self.expr(true) {
                                         children.push(guard);
@@ -1243,21 +1415,35 @@ impl<'a> Parser<'a> {
                                 _ => self.bump(),
                             }
                         }
+                        let pat_idents = collect_pat_idents(&self.toks[pat_start..pat_end]);
                         let before = self.pos;
-                        if let Some(arm) = self.expr(false) {
-                            children.push(arm);
+                        if let Some(arm_body) = self.expr(false) {
+                            children.push(arm_body);
                         }
                         self.eat_punct(',');
                         if self.pos == before && !self.is_punct(0, '}') {
                             self.bump();
                         }
+                        arms.push(Arm {
+                            pat_idents,
+                            children,
+                        });
                     }
                 }
-                Some(Expr::Many { children, line })
+                Some(Expr::Match {
+                    scrutinee,
+                    arms,
+                    line,
+                })
             }
-            "return" | "break" => {
+            "return" => {
                 self.bump();
-                if word == "break" && matches!(self.peek(0), Some(Tok::Lifetime)) {
+                let value = self.try_operand(no_struct).map(Box::new);
+                Some(Expr::Ret { value, line })
+            }
+            "break" => {
+                self.bump();
+                if matches!(self.peek(0), Some(Tok::Lifetime)) {
                     self.bump();
                 }
                 let mut children = Vec::new();
@@ -1293,30 +1479,41 @@ impl<'a> Parser<'a> {
                 }
             }
             "let" => {
-                // `let` chain inside a condition: skip pattern, parse init.
+                // `let` chain inside a condition: bind pattern, parse init.
                 self.bump();
-                self.skip_pattern_to_eq();
-                self.expr(no_struct)
+                let pat_idents = self.pattern_to_eq();
+                let init = self.expr(no_struct).map(Box::new);
+                Some(Expr::Let {
+                    pat_idents,
+                    init,
+                    els: None,
+                    line,
+                })
             }
             _ => Some(self.path_expr(no_struct, line)),
         }
     }
 
-    /// `PAT =` — skips a pattern to the `=` sign at depth 0 (for `if let` /
-    /// `while let` / let-chains). Stops before `{` as a safety net.
-    fn skip_pattern_to_eq(&mut self) {
+    /// `PAT =` — consumes a pattern to the `=` sign at depth 0 (for `if
+    /// let` / `while let` / let-chains), returning the identifiers it
+    /// binds. Stops before `{` as a safety net.
+    fn pattern_to_eq(&mut self) -> Vec<String> {
+        let start = self.pos;
+        let mut end;
         loop {
+            end = self.pos;
             match self.peek(0) {
-                None | Some(Tok::Punct('{')) => return,
+                None | Some(Tok::Punct('{')) => break,
                 Some(Tok::Punct('=')) if !self.is_punct(1, '=') => {
                     self.bump();
-                    return;
+                    break;
                 }
                 Some(Tok::Punct('(')) | Some(Tok::Punct('[')) => self.skip_group(),
                 Some(Tok::Punct('<')) => self.skip_angles(),
                 _ => self.bump(),
             }
         }
+        collect_pat_idents(&self.toks[start..end])
     }
 
     /// A path expression with its immediate continuations: macro bang,
@@ -1360,7 +1557,9 @@ impl<'a> Parser<'a> {
         // Struct literal.
         if self.is_punct(0, '{') && !no_struct {
             self.bump();
-            let mut children = Vec::new();
+            let name = segments.last().cloned().unwrap_or_default();
+            let mut fields = Vec::new();
+            let mut rest = Vec::new();
             loop {
                 if self.at_end() || self.eat_punct('}') {
                     break;
@@ -1369,19 +1568,43 @@ impl<'a> Parser<'a> {
                     continue;
                 }
                 let before = self.pos;
-                // `field: expr`, shorthand `field`, or `..base`.
-                if let (Some(Tok::Ident(_)), true) = (self.peek(0), self.is_punct(1, ':')) {
-                    self.bump();
-                    self.bump();
+                // `field: expr` (`field::path` is a value), shorthand
+                // `field`, or `..base` / anything unrecognized into `rest`.
+                if let Some(Tok::Ident(fname)) = self.peek(0) {
+                    let fname = fname.clone();
+                    let fline = self.line();
+                    if self.is_punct(1, ':') && !self.is_punct(2, ':') {
+                        self.bump();
+                        self.bump();
+                        let value = self.expr(false).unwrap_or(Expr::Opaque { line: fline });
+                        fields.push((fname, value));
+                        continue;
+                    }
+                    if self.is_punct(1, ',') || self.is_punct(1, '}') {
+                        self.bump();
+                        fields.push((
+                            fname.clone(),
+                            Expr::Path {
+                                segments: vec![fname],
+                                line: fline,
+                            },
+                        ));
+                        continue;
+                    }
                 }
                 if let Some(e) = self.expr(false) {
-                    children.push(e);
+                    rest.push(e);
                 }
                 if self.pos == before {
                     self.bump();
                 }
             }
-            return Expr::Many { children, line };
+            return Expr::StructLit {
+                name,
+                fields,
+                rest,
+                line,
+            };
         }
         Expr::Path { segments, line }
     }

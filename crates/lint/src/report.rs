@@ -23,13 +23,16 @@ pub fn human(diags: &[Diagnostic], files_scanned: usize) -> String {
     out
 }
 
-/// The JSON report format version. Bumped to 2 when the `symbol` field and
-/// the total (file, line, rule, symbol, message) sort order were added.
-pub const SCHEMA_VERSION: u32 = 2;
+/// The JSON report format version. History: 2 added the `symbol` field and
+/// the total (file, line, rule, symbol, message) sort order; 3 added the
+/// per-diagnostic `witness` array (source→…→sink provenance for the KL-T
+/// taint-flow and KL-C scope-order families; empty for other rules).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Renders diagnostics as a byte-stable JSON document:
-/// `{"schema_version":2,"diagnostics":[{"rule":…,"file":…,"line":…,
-/// "symbol":…,"message":…}],"count":N,"files_scanned":M}`.
+/// `{"schema_version":3,"diagnostics":[{"rule":…,"file":…,"line":…,
+/// "symbol":…,"message":…,"witness":[{"what":…,"file":…,"line":…},…]}],
+/// "count":N,"files_scanned":M}`.
 pub fn json(diags: &[Diagnostic], files_scanned: usize) -> String {
     let mut out = format!("{{\"schema_version\":{SCHEMA_VERSION},\"diagnostics\":[");
     for (i, d) in diags.iter().enumerate() {
@@ -37,13 +40,25 @@ pub fn json(diags: &[Diagnostic], files_scanned: usize) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"rule\":{},\"file\":{},\"line\":{},\"symbol\":{},\"message\":{}}}",
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"symbol\":{},\"message\":{},\"witness\":[",
             escape(d.rule),
             escape(&d.file),
             d.line,
             escape(&d.symbol),
             escape(&d.message)
         ));
+        for (j, w) in d.witness.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"what\":{},\"file\":{},\"line\":{}}}",
+                escape(&w.what),
+                escape(&w.file),
+                w.line
+            ));
+        }
+        out.push_str("]}");
     }
     out.push_str(&format!(
         "],\"count\":{},\"files_scanned\":{}}}",
@@ -84,12 +99,43 @@ mod tests {
             line: 7,
             symbol: "core::f".into(),
             message: "x\ny".into(),
+            witness: Vec::new(),
         }];
         let doc = json(&diags, 3);
-        assert!(doc.starts_with("{\"schema_version\":2,"));
+        assert!(doc.starts_with("{\"schema_version\":3,"));
         assert!(doc.contains("\"a\\\"b.rs\""));
         assert!(doc.contains("\"symbol\":\"core::f\""));
         assert!(doc.contains("\"x\\ny\""));
+        assert!(doc.contains("\"witness\":[]"));
         assert!(doc.ends_with("\"count\":1,\"files_scanned\":3}"));
+    }
+
+    #[test]
+    fn json_renders_witness_chain_as_structured_array() {
+        use crate::rules::WitnessStep;
+        let diags = vec![Diagnostic {
+            rule: "KL-T01",
+            file: "b.rs".into(),
+            line: 9,
+            symbol: "RunMeta::wall_ms".into(),
+            message: "clock taint reaches …".into(),
+            witness: vec![
+                WitnessStep {
+                    what: "`Instant::now`".into(),
+                    file: "a.rs".into(),
+                    line: 3,
+                },
+                WitnessStep {
+                    what: "let `wall`".into(),
+                    file: "a.rs".into(),
+                    line: 4,
+                },
+            ],
+        }];
+        let doc = json(&diags, 1);
+        assert!(doc.contains(
+            "\"witness\":[{\"what\":\"`Instant::now`\",\"file\":\"a.rs\",\"line\":3},\
+             {\"what\":\"let `wall`\",\"file\":\"a.rs\",\"line\":4}]"
+        ));
     }
 }

@@ -36,10 +36,17 @@
 //! | KL-F03 | float-det    | float reduction over hash-ordered iteration (operand order nondeterministic) |
 //! | KL-S01 | schema-drift | serialized field of a `RunRecord`/`ExperimentResult`-reachable struct absent from every `results/*.json` golden |
 //! | KL-S02 | schema-drift | golden object holds keys its best-matching reachable struct no longer produces |
+//! | KL-T01 | taint-flow   | nondeterminism taint (clock/rand/env/hash-order/jobs) flows into a serde-serialized `RunRecord`/`ExperimentResult`-reachable field (witness chain in the message) |
+//! | KL-T02 | taint-flow   | nondeterminism taint flows into a results writer (`fs::write` content argument) |
+//! | KL-T03 | taint-flow   | nondeterminism taint flows into cache-key computation (`fnv1a64`, `.hash(…)`) |
+//! | KL-C01 | scope-order  | order-sensitive fold (`push`/`insert`/`extend`/compound assign) on a `Mutex`-gathered collector inside a `thread::scope` worker without an index-keyed or sort rendezvous |
+//! | KL-C02 | scope-order  | shared capture bound outside a `thread::scope` region mutated inside a spawned worker without `Mutex`/atomic routing |
+//! | KL-C03 | scope-order  | `Ordering::Relaxed` atomic op inside a spawned worker whose value is used, with no index-keyed rendezvous |
 //!
-//! The KL-R/KL-S families need the whole workspace (call graph, goldens) and
-//! only fire from [`crate::lint_workspace`]; the rest, including KL-F, also
-//! fire from the single-file [`lint_source`] entry point.
+//! The KL-R/KL-S/KL-T/KL-C families need the whole workspace (call graph,
+//! goldens, dataflow summaries) and only fire from
+//! [`crate::lint_workspace`]; the rest, including KL-F, also fire from the
+//! single-file [`lint_source`] entry point.
 
 use crate::ast::Item;
 use crate::lexer::{lex, Comment, Tok, Token};
@@ -61,9 +68,19 @@ pub struct FileCtx {
     pub time_allowlisted: bool,
 }
 
+/// One step of a source→…→sink witness chain (KL-T/KL-C): a short display
+/// form plus the location it happened at. The `--json` report renders the
+/// chain as a structured array; the human message joins the `what`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessStep {
+    pub what: String,
+    pub file: String,
+    pub line: u32,
+}
+
 /// One finding: a stable rule ID, a location, a stable symbol path (for
-/// line-drift-robust baseline matching; empty for token-level rules), and a
-/// human message.
+/// line-drift-robust baseline matching; empty for token-level rules), a
+/// human message, and — for the dataflow families — a witness chain.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     pub rule: &'static str,
@@ -71,13 +88,15 @@ pub struct Diagnostic {
     pub line: u32,
     pub symbol: String,
     pub message: String,
+    /// Source→…→sink provenance for KL-T/KL-C; empty for other families.
+    pub witness: Vec<WitnessStep>,
 }
 
 /// Every rule ID the engine can emit, in catalog order.
-pub const ALL_RULES: [&str; 20] = [
+pub const ALL_RULES: [&str; 26] = [
     "KL-D01", "KL-D02", "KL-D03", "KL-D04", "KL-P01", "KL-P02", "KL-P03", "KL-H01", "KL-H02",
     "KL-H03", "KL-H04", "KL-H05", "KL-R01", "KL-R02", "KL-R03", "KL-F01", "KL-F02", "KL-F03",
-    "KL-S01", "KL-S02",
+    "KL-S01", "KL-S02", "KL-T01", "KL-T02", "KL-T03", "KL-C01", "KL-C02", "KL-C03",
 ];
 
 /// An inline suppression parsed from a comment.
@@ -99,6 +118,27 @@ pub struct FileAnalysis {
     allows: Vec<Allow>,
 }
 
+impl FileAnalysis {
+    /// Tries to consume an inline allow for `rule` covering `line` (an
+    /// allow covers its own line and the next). The workspace passes use
+    /// this to honor allows anywhere along a witness chain — one documented
+    /// allow at an intentional nondeterminism *source* suppresses every
+    /// sink it feeds, instead of requiring an allow per sink.
+    pub fn try_allow(&mut self, rule: &str, line: u32) -> bool {
+        match self
+            .allows
+            .iter_mut()
+            .find(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+        {
+            Some(a) => {
+                a.used = true;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
 /// Runs every per-file rule (token rules, comment rules, KL-F float rules)
 /// without applying suppressions yet.
 pub fn collect_file(ctx: &FileCtx, src: &str) -> FileAnalysis {
@@ -118,6 +158,7 @@ pub fn collect_file(ctx: &FileCtx, src: &str) -> FileAnalysis {
             line: 1,
             symbol: String::new(),
             message: "crate root is missing `#![forbid(unsafe_code)]`".into(),
+            witness: Vec::new(),
         });
     }
 
@@ -165,6 +206,7 @@ pub fn finish(analysis: FileAnalysis) -> Vec<Diagnostic> {
                 line: a.line,
                 symbol: String::new(),
                 message: format!("`allow({})` suppresses nothing; delete it", a.rule),
+                witness: Vec::new(),
             });
         }
     }
@@ -199,6 +241,7 @@ fn token_rules(
             line,
             symbol: String::new(),
             message,
+            witness: Vec::new(),
         });
     };
 
@@ -308,6 +351,7 @@ fn comment_rules(ctx: &FileCtx, comments: &[Comment], diags: &mut Vec<Diagnostic
                     line: c.line,
                     symbol: String::new(),
                     message: format!("`{marker}` without an issue tag; write `{marker}(#NNN): …`"),
+                    witness: Vec::new(),
                 });
             }
         }
@@ -333,6 +377,7 @@ fn parse_allows(comments: &[Comment], diags: &mut Vec<Diagnostic>, ctx: &FileCtx
                 line: c.line,
                 symbol: String::new(),
                 message: format!("malformed kelp-lint comment: {why}"),
+                witness: Vec::new(),
             });
         };
         let Some(inner) = rest.strip_prefix("allow(") else {

@@ -20,9 +20,10 @@ use crate::rules::{Diagnostic, FileCtx};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
-/// Serialization roots for the schema-drift pass: the cache record every
-/// run persists, and the per-experiment aggregate.
-const SCHEMA_ROOTS: [&str; 2] = ["RunRecord", "ExperimentResult"];
+/// Serialization roots for the schema-drift pass (and the KL-T01 serialized
+/// sink set): the cache record every run persists, and the per-experiment
+/// aggregate.
+pub(crate) const SCHEMA_ROOTS: [&str; 2] = ["RunRecord", "ExperimentResult"];
 
 // ---------------------------------------------------------------------------
 // KL-R: panic reachability
@@ -70,6 +71,7 @@ pub fn panic_reachability(graph: &CallGraph) -> Vec<Diagnostic> {
                 site.line,
                 site.what
             ),
+            witness: Vec::new(),
         });
     }
     diags
@@ -132,6 +134,7 @@ pub fn float_rules(ctx: &FileCtx, items: &[Item]) -> Vec<Diagnostic> {
                         message: format!(
                             "`partial_cmp(…).{method}(…)` panics on NaN; use `total_cmp`"
                         ),
+                        witness: Vec::new(),
                     });
                 }
             }
@@ -146,6 +149,7 @@ pub fn float_rules(ctx: &FileCtx, items: &[Item]) -> Vec<Diagnostic> {
                     message: "`as f32` narrows; accumulate and report in f64 (goldens are \
                               byte-stable)"
                         .into(),
+                    witness: Vec::new(),
                 });
             }
             Expr::MethodCall {
@@ -163,6 +167,7 @@ pub fn float_rules(ctx: &FileCtx, items: &[Item]) -> Vec<Diagnostic> {
                         "`.{method}(…)` over hash-ordered iteration: float reduction order is \
                          nondeterministic; collect into a BTree or sort first"
                     ),
+                    witness: Vec::new(),
                 });
             }
             _ => {}
@@ -391,6 +396,7 @@ pub fn schema_rules(types: &[TypeDef], goldens: &[(String, Value)]) -> Vec<Diagn
                              golden; regenerate goldens or justify",
                             def.name
                         ),
+                        witness: Vec::new(),
                     });
                 }
             }
@@ -419,6 +425,7 @@ pub fn schema_rules(types: &[TypeDef], goldens: &[(String, Value)]) -> Vec<Diagn
                                 extra.join(", "),
                                 def.name
                             ),
+                            witness: Vec::new(),
                         });
                     }
                 }

@@ -16,10 +16,26 @@ echo "== kelp-lint --deny --baseline lint-baseline.json =="
 # Static analysis (crates/lint): token-level determinism / panic-safety /
 # hygiene rules plus the v2 AST passes (KL-R panic reachability over the
 # workspace call graph, KL-F float determinism, KL-S serde schema drift
-# against results/*.json). Accepted pre-existing findings are pinned in
-# lint-baseline.json (regenerate with --write-baseline); any NEW finding
-# not covered by a justified inline allow fails the gate.
+# against results/*.json) and the v3 dataflow passes (KL-T nondeterminism
+# taint, KL-C parallel order sensitivity). Accepted pre-existing findings
+# are pinned in lint-baseline.json (regenerate with --write-baseline, drop
+# stale pins with --prune-stale); any NEW finding not covered by a
+# justified inline allow fails the gate.
+#
+# The scan is also held to a wall-clock budget (lint-budget.json): the
+# interprocedural fixed point must stay effectively linear in workspace
+# size, and a complexity regression should fail loudly here rather than
+# slowly rot CI.
+lint_budget_ms="$(sed -n 's/.*"scan_budget_ms": *\([0-9][0-9]*\).*/\1/p' lint-budget.json)"
+cargo build --release -q -p kelp-lint  # compile outside the timed window
+lint_start_ns="$(date +%s%N)"
 cargo run --release -q -p kelp-lint -- --deny --baseline lint-baseline.json
+lint_wall_ms="$(( ($(date +%s%N) - lint_start_ns) / 1000000 ))"
+echo "kelp-lint workspace scan: ${lint_wall_ms} ms (budget ${lint_budget_ms} ms)"
+if (( lint_wall_ms > lint_budget_ms )); then
+  echo "tier-1 FAIL: kelp-lint scan exceeded its wall-clock budget" >&2
+  exit 1
+fi
 
 if [[ "${KELP_QUICK:-}" == "1" ]]; then
   echo "== clippy skipped (KELP_QUICK=1) =="
