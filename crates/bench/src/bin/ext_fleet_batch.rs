@@ -9,7 +9,9 @@
 //! accounting. Exits nonzero when the batched runs record zero solved or
 //! zero converged lanes (the batch path silently fell back to scalar or the
 //! solver diverged) or, with `--strict`, when the best batched mode is
-//! below 5x the scalar baseline's host-steps/sec.
+//! below 1.5x the scalar baseline's host-steps/sec. (The bar was 5x before
+//! the clean-machine replay fast path landed in `HostMachine::step_into`;
+//! the scalar loop now shares that shortcut, which compresses the ratio.)
 //!
 //! `--quick` (or `KELP_QUICK=1`) shrinks the fleet for smoke testing; the
 //! strict speedup bar only applies at full scale.
@@ -190,8 +192,8 @@ fn main() {
         );
         std::process::exit(1);
     }
-    if strict && speedup < 5.0 {
-        eprintln!("FAIL: best batched mode is {speedup:.2}x scalar host-steps/sec, need >= 5x");
+    if strict && speedup < 1.5 {
+        eprintln!("FAIL: best batched mode is {speedup:.2}x scalar host-steps/sec, need >= 1.5x");
         std::process::exit(3);
     }
 }

@@ -9,8 +9,8 @@
 
 use crate::measure::{MeasurementAvg, Measurements};
 use crate::policy::{Policy, PolicyCtx, PolicyKind, PolicySnapshot};
-use kelp_host::{HostMachine, HostTaskId};
-use kelp_mem::solver::{FixedFlow, SolveStats, SolverTuning};
+use kelp_host::{HostMachine, HostTaskId, MachineReport};
+use kelp_mem::solver::{FixedFlow, SolveStats, SolverScratch, SolverTuning};
 use kelp_mem::topology::{MachineSpec, SocketId};
 use kelp_mem::MemCounters;
 use kelp_simcore::fault::{CounterFault, FaultInjector, FaultKind, FaultPlan};
@@ -69,6 +69,37 @@ impl ExperimentResult {
 
 /// A one-shot memory-system configuration hook.
 type MemTweak = Box<dyn FnOnce(&mut kelp_mem::MemSystem)>;
+
+/// Reusable per-worker execution state threaded through
+/// [`ExperimentBuilder::run_with`]: the per-tick report buffer and the
+/// solver workspace survive from one experiment to the next, so a worker
+/// sweeping many specs stops rebuilding the solver arenas per spec. The
+/// workspace's warm-start state is reset before each adoption
+/// ([`SolverScratch::reset_warm_state`]), which is bit-identical to a fresh
+/// scratch — the scratch-reuse ≡ fresh contract `tests/solver_hot.rs` pins.
+#[derive(Debug)]
+pub struct ExecScratch {
+    /// Per-tick report buffer (same-shape refreshes are allocation-free).
+    report: MachineReport,
+    /// Solver workspace handed machine-to-machine across specs.
+    solver: SolverScratch,
+}
+
+impl ExecScratch {
+    /// A fresh workspace (arenas grow on first use).
+    pub fn new() -> Self {
+        ExecScratch {
+            report: MachineReport::empty(),
+            solver: SolverScratch::default(),
+        }
+    }
+}
+
+impl Default for ExecScratch {
+    fn default() -> Self {
+        ExecScratch::new()
+    }
+}
 
 /// Builder for an experiment.
 pub struct ExperimentBuilder {
@@ -205,6 +236,13 @@ impl ExperimentBuilder {
 
     /// Runs the experiment to completion.
     pub fn run(self) -> ExperimentResult {
+        self.run_with(&mut ExecScratch::new())
+    }
+
+    /// Runs the experiment to completion against a reusable workspace.
+    /// Bit-identical to [`ExperimentBuilder::run`]; the workspace only
+    /// recycles allocations (report buffer, solver arenas) between specs.
+    pub fn run_with(self, scratch: &mut ExecScratch) -> ExperimentResult {
         let ExperimentBuilder {
             mut ml,
             machine_spec,
@@ -224,6 +262,12 @@ impl ExperimentBuilder {
             tweak(machine.mem_mut());
         }
         machine.set_solver_tuning(solver_tuning);
+        // Machine reuse across specs: adopt the previous run's solver
+        // workspace with its warm state reset (≡ fresh), so the arena
+        // allocations amortize over a whole sweep.
+        let mut warm = std::mem::take(&mut scratch.solver);
+        warm.reset_warm_state();
+        machine.adopt_scratch(warm);
         let install_ctx = InstallCtx {
             hp_domain,
             lp_domain,
@@ -308,8 +352,9 @@ impl ExperimentBuilder {
                 }
             }
             let solve_start = std::time::Instant::now();
-            let report = machine.solve();
+            machine.step_into(&mut scratch.report);
             solve_ns += solve_start.elapsed().as_nanos() as u64;
+            let report = &scratch.report;
             // What the memory system actually did this step (reporting).
             let true_m =
                 Measurements::from_counters(&report.counters, socket, hp_domain, lp_domain);
@@ -355,7 +400,7 @@ impl ExperimentBuilder {
                 window_avg.add(true_m);
             }
             for w in ml.iter_mut().chain(cpu.iter_mut()) {
-                w.post_step(now, config.dt, &report);
+                w.post_step(now, config.dt, report);
             }
             now += config.dt;
 
@@ -384,6 +429,8 @@ impl ExperimentBuilder {
         let mut solve = machine.solve_stats();
         // kelp-lint: allow(KL-T01): solve_ns is profiling telemetry (like RunMeta::wall_ms), excluded from payload byte comparisons.
         solve.solve_ns = solve_ns;
+        // Hand the solver workspace back for the next spec.
+        scratch.solver = machine.take_scratch();
 
         ExperimentResult {
             policy: policy.kind(),

@@ -6,19 +6,24 @@
 //! seed — and folds the resulting [`RunRecord`]s into its figure struct.
 //! The [`Runner`] executes batches:
 //!
-//! * **in parallel** on a `std::thread::scope` worker pool (`--jobs N`),
-//!   bit-identical to serial execution because every run is a pure function
-//!   of its spec (seeds are derived per-spec, never shared);
+//! * **in parallel** on a persistent chunk-claiming worker pool (`--jobs N`)
+//!   spawned once per engine and reused across batches, bit-identical to
+//!   serial execution because every run is a pure function of its spec
+//!   (seeds are derived per-spec, never shared). `jobs = 1` — and batches
+//!   below the spawn threshold — run inline with zero thread machinery,
+//!   and every path reuses one [`ExecScratch`] per worker across specs;
 //! * **memoized** through an optional content-addressed cache: each spec's
-//!   canonical JSON encoding is hashed (FNV-1a 64) to
-//!   `results/cache/<hash>.json`, and a warm rerun loads the record instead
-//!   of re-simulating.
+//!   canonical JSON encoding is hashed (FNV-1a 64, streamed straight from
+//!   the renderer without materializing the bytes) to
+//!   `results/cache/<hash>.json`. One directory scan per engine builds an
+//!   in-memory hash index, so a cold spec costs a set probe instead of a
+//!   file open, and fresh records are flushed in one batched pass.
 //!
 //! The engine records per-run wall time and simulation throughput in
 //! [`RunMeta`] so `repro_all` can report where the time goes.
 
 use crate::config::ExperimentConfig;
-use crate::driver::{Experiment, ExperimentBuilder, ExperimentResult};
+use crate::driver::{ExecScratch, Experiment, ExperimentBuilder, ExperimentResult};
 use crate::experiments::backpressure::FixedPrefetchPolicy;
 use crate::measure::Measurements;
 use crate::policy::{KelpPolicy, PolicyKind, PolicySnapshot};
@@ -33,10 +38,11 @@ use kelp_workloads::model::PerfSnapshot;
 use kelp_workloads::MlWorkloadKind;
 use kelp_workloads::{calib, BatchKind, BatchWorkload, InferenceParams, InferenceServer};
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 /// Salt decorrelating the fault-injection RNG stream from the workload
@@ -240,14 +246,19 @@ impl RunSpec {
     }
 
     /// The content hash identifying this spec in the result cache: FNV-1a 64
-    /// over the spec's canonical (compact) JSON encoding.
+    /// over the spec's canonical (compact) JSON encoding. The renderer
+    /// streams its output fragments straight into the hasher, so no byte
+    /// buffer is materialized, and the hash equals
+    /// `fnv1a64(&serde_json::to_vec(self))` byte for byte (the randomized
+    /// property suite pins the two paths together).
     pub fn hash(&self) -> u64 {
-        // Serializing a plain data struct cannot fail with the vendored
-        // serde; if it ever did, the empty-bytes hash degrades to a cache
-        // *miss* (lookups verify stored-spec equality before trusting an
-        // entry), never to a wrong result or a panic.
-        let bytes = serde_json::to_vec(self).unwrap_or_default();
-        fnv1a64(&bytes)
+        // Rendering a plain data struct cannot fail with the vendored
+        // serde; if it ever did, the partial-stream hash degrades to a
+        // cache *miss* (lookups verify stored-spec equality before trusting
+        // an entry), never to a wrong result or a panic.
+        let mut sink = FnvSink(FNV_OFFSET);
+        let _ = serde_json::to_sink(self, &mut sink);
+        sink.0
     }
 
     /// RNN1 inference parameters with this spec's seed applied.
@@ -340,12 +351,23 @@ impl RunSpec {
     /// produce an error-carrying record (see [`RunRecord::error`]) so one
     /// bad spec cannot take down a batch or poison the worker pool.
     pub fn execute(&self) -> RunRecord {
+        self.execute_with(&mut ExecScratch::new())
+    }
+
+    /// [`RunSpec::execute`] reusing a caller-owned [`ExecScratch`] —
+    /// bit-identical to a fresh-scratch run (the workspace resets its
+    /// warm state on adoption), but the solver arenas amortize across the
+    /// specs a worker retires. A caught panic may leave the scratch's
+    /// arenas defaulted; the next run simply regrows them.
+    pub fn execute_with(&self, scratch: &mut ExecScratch) -> RunRecord {
         // kelp-lint: allow(KL-T01): wall_ms/steps_per_sec are whole-run telemetry in RunMeta, excluded from payload byte comparisons.
         let start = Instant::now();
         if let Err(error) = self.validate() {
             return RunRecord::from_error(error, start.elapsed().as_secs_f64() * 1e3);
         }
-        let outcome = catch_unwind(AssertUnwindSafe(|| self.build().map(|b| b.run())));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.build().map(|b| b.run_with(scratch))
+        }));
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         match outcome {
             Ok(Ok(result)) => RunRecord::from_result(&result, &self.config, wall_ms),
@@ -626,14 +648,35 @@ impl<'a> RecordCursor<'a> {
     }
 }
 
-/// FNV-1a 64-bit hash.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf29ce484222325u64;
+/// FNV-1a 64-bit offset basis (the hash of the empty byte string).
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+/// Folds `bytes` into an in-progress FNV-1a 64 hash. Seeding with
+/// [`FNV_OFFSET`] and feeding fragments in order produces exactly
+/// [`fnv1a64`] of their concatenation — the property the streaming cache
+/// key relies on.
+pub fn fnv1a64_continue(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x100000001b3);
     }
     hash
+}
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_continue(FNV_OFFSET, bytes)
+}
+
+/// Hashing sink for [`serde_json::to_sink`]: folds the renderer's UTF-8
+/// fragments into an FNV-1a 64 accumulator as they are produced, hashing
+/// the exact [`serde_json::to_vec`] byte stream without allocating it.
+struct FnvSink(u64);
+
+impl serde_json::JsonSink for FnvSink {
+    fn write_str(&mut self, s: &str) {
+        self.0 = fnv1a64_continue(self.0, s.as_bytes());
+    }
 }
 
 /// On-disk cache entry: the spec is stored alongside the record so a hash
@@ -645,11 +688,105 @@ struct CacheEntry {
     record: RunRecord,
 }
 
+/// Batches smaller than this run inline even at `jobs > 1`: dispatching a
+/// handful of specs to the pool costs more in channel traffic and wake-ups
+/// than the parallelism returns.
+const POOL_SPAWN_THRESHOLD: usize = 4;
+
+/// One batch's worth of work broadcast to every pool worker. Workers claim
+/// chunks of `specs` by racing `next` and send `(index, record)` pairs back
+/// through `out`; dropping the last clone (all workers done) disconnects
+/// the channel and releases the collecting thread.
+#[derive(Clone)]
+struct PoolTask {
+    specs: Arc<Vec<RunSpec>>,
+    next: Arc<AtomicUsize>,
+    chunk: usize,
+    out: mpsc::Sender<(usize, RunRecord)>,
+}
+
+/// The persistent worker pool: spawned once per engine on the first batch
+/// that warrants threads, then reused — each worker keeps its
+/// [`ExecScratch`] across batches, so solver arenas amortize across the
+/// whole campaign, not just one batch.
+struct WorkerPool {
+    txs: Vec<mpsc::Sender<PoolTask>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.txs.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads, each owning a task receiver and a
+    /// persistent scratch.
+    fn spawn(workers: usize) -> Self {
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<PoolTask>();
+            txs.push(tx);
+            handles.push(std::thread::spawn(move || {
+                let mut scratch = ExecScratch::new();
+                while let Ok(task) = rx.recv() {
+                    let n = task.specs.len();
+                    loop {
+                        let start = task.next.fetch_add(task.chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + task.chunk).min(n) {
+                            let record = task.specs[i].execute_with(&mut scratch);
+                            // A disconnected collector means the batch was
+                            // abandoned; stop claiming work for it.
+                            if task.out.send((i, record)).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        WorkerPool { txs, handles }
+    }
+
+    /// Broadcasts one batch to every worker. A send to a dead worker fails
+    /// silently — the surviving workers' chunk claims cover its share, so a
+    /// poisoned thread degrades throughput, never results.
+    fn dispatch(&self, task: PoolTask) {
+        for tx in &self.txs {
+            let _ = tx.send(task.clone());
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect every task channel first so workers fall out of their
+        // recv loops, then reap the threads.
+        self.txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// The batch execution engine.
 #[derive(Debug, Clone)]
 pub struct Runner {
     jobs: usize,
     cache_dir: Option<PathBuf>,
+    /// Lazily built hash index over `cache_dir` (`None` = not scanned yet).
+    /// Shared across clones, which share the same directory.
+    cache_index: Arc<Mutex<Option<BTreeSet<u64>>>>,
+    /// Lazily spawned persistent worker pool (`None` until the first batch
+    /// that warrants threads). Shared across clones.
+    pool: Arc<Mutex<Option<WorkerPool>>>,
 }
 
 impl Default for Runner {
@@ -661,23 +798,27 @@ impl Default for Runner {
 impl Runner {
     /// A serial engine with no cache — semantically the seed's inline loops.
     pub fn serial() -> Self {
-        Runner {
-            jobs: 1,
-            cache_dir: None,
-        }
+        Runner::new(1)
     }
 
-    /// An engine with `jobs` worker threads (clamped to at least 1).
+    /// An engine with `jobs` worker threads (clamped to at least 1). The
+    /// pool itself is spawned lazily, so a `jobs > 1` engine that only ever
+    /// sees tiny batches never pays the thread spawn cost.
     pub fn new(jobs: usize) -> Self {
         Runner {
             jobs: jobs.max(1),
             cache_dir: None,
+            cache_index: Arc::new(Mutex::new(None)),
+            pool: Arc::new(Mutex::new(None)),
         }
     }
 
     /// Enables the content-addressed result cache rooted at `dir`.
     pub fn with_cache(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cache_dir = Some(dir.into());
+        // The index describes the previous directory (if any); rebuild it
+        // on the next batch.
+        self.cache_index = Arc::new(Mutex::new(None));
         self
     }
 
@@ -703,72 +844,135 @@ impl Runner {
     /// Identical specs within the batch are executed once and their record
     /// cloned. Output order — and content — is independent of `jobs`.
     pub fn run_batch(&self, specs: &[RunSpec]) -> Vec<RunRecord> {
-        // Dedup by content hash (verified by spec equality), keeping the
-        // first occurrence as the canonical executor.
+        // Dedup by content hash, verified by spec equality so a hash
+        // collision costs a duplicate execution, never a wrong record.
+        // Each spec is hashed exactly once; the hash is reused for the
+        // cache probe, the cache write and the dedup bucket.
         let mut unique: Vec<usize> = Vec::new();
+        let mut hashes: Vec<u64> = Vec::new(); // parallel to `unique`
         let mut assignment: Vec<usize> = Vec::with_capacity(specs.len());
+        let mut buckets: BTreeMap<u64, Vec<usize>> = BTreeMap::new(); // hash → slots
         for (i, spec) in specs.iter().enumerate() {
-            match unique.iter().position(|&u| specs[u] == *spec) {
+            let hash = spec.hash();
+            let bucket = buckets.entry(hash).or_default();
+            match bucket
+                .iter()
+                .copied()
+                .find(|&slot| specs[unique[slot]] == *spec)
+            {
                 Some(slot) => assignment.push(slot),
                 None => {
                     unique.push(i);
-                    assignment.push(unique.len() - 1);
+                    hashes.push(hash);
+                    let slot = unique.len() - 1;
+                    bucket.push(slot);
+                    assignment.push(slot);
                 }
             }
         }
 
-        // Resolve cache hits up front; collect the rest for execution.
+        // Resolve cache hits up front; collect the rest for execution. The
+        // index turns a cold spec into a set probe (no file open); only
+        // probable hits touch the filesystem, and a stale index entry
+        // (file deleted underneath us, or a hash collision) degrades to a
+        // miss and re-execution.
         let mut records: Vec<Option<RunRecord>> = vec![None; unique.len()];
         let mut pending: Vec<usize> = Vec::new(); // indices into `unique`
-        for (slot, &spec_idx) in unique.iter().enumerate() {
-            match self.cache_lookup(&specs[spec_idx]) {
-                Some(record) => records[slot] = Some(record),
-                None => pending.push(slot),
-            }
-        }
-
-        // Execute what remains, on a worker pool when it pays off.
-        let workers = self.jobs.min(pending.len());
-        if workers <= 1 {
-            for &slot in &pending {
-                records[slot] = Some(specs[unique[slot]].execute());
+        if let Some(dir) = self.cache_dir.as_deref() {
+            let mut index = self
+                .cache_index
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let known = index.get_or_insert_with(|| Self::scan_cache_dir(dir));
+            for (slot, &spec_idx) in unique.iter().enumerate() {
+                let hit = known
+                    .contains(&hashes[slot])
+                    .then(|| Self::cache_read(dir, hashes[slot], &specs[spec_idx]))
+                    .flatten();
+                match hit {
+                    Some(record) => records[slot] = Some(record),
+                    None => pending.push(slot),
+                }
             }
         } else {
-            let next = AtomicUsize::new(0);
-            let done: Mutex<Vec<(usize, RunRecord)>> = Mutex::new(Vec::new());
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&slot) = pending.get(i) else {
-                            break;
-                        };
-                        let record = specs[unique[slot]].execute();
-                        // `execute` never panics, but stay poison-tolerant
-                        // anyway: a poisoned collector only means some other
-                        // worker died mid-push, and recovering the partial
-                        // vector is strictly better than cascading the panic.
-                        done.lock()
-                            .unwrap_or_else(|poisoned| poisoned.into_inner())
-                            .push((slot, record));
-                    });
-                }
-            });
-            for (slot, record) in done
-                .into_inner()
-                .unwrap_or_else(|poisoned| poisoned.into_inner())
+            pending.extend(0..unique.len());
+        }
+
+        // Execute what remains: inline below the spawn threshold (one
+        // scratch reused across the whole batch), otherwise on the
+        // persistent pool with `records[slot]` as the rendezvous — output
+        // is bit-identical at any jobs count because every record lands in
+        // its slot no matter which worker produced it.
+        let workers = self.jobs.min(pending.len());
+        if workers <= 1 || pending.len() < POOL_SPAWN_THRESHOLD {
+            let mut scratch = ExecScratch::new();
+            for &slot in &pending {
+                records[slot] = Some(specs[unique[slot]].execute_with(&mut scratch));
+            }
+        } else {
+            let task_specs: Arc<Vec<RunSpec>> = Arc::new(
+                pending
+                    .iter()
+                    .map(|&slot| specs[unique[slot]].clone())
+                    .collect(),
+            );
+            let (out_tx, out_rx) = mpsc::channel();
+            let task = PoolTask {
+                specs: task_specs,
+                next: Arc::new(AtomicUsize::new(0)),
+                chunk: pending.len().div_ceil(workers * 4).max(1),
+                out: out_tx,
+            };
             {
-                records[slot] = Some(record);
+                let mut pool = self
+                    .pool
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                pool.get_or_insert_with(|| WorkerPool::spawn(self.jobs))
+                    .dispatch(task);
+            }
+            // Drain until every worker has dropped its task (and with it
+            // its sender clone). A slot no worker delivered — a worker
+            // death mid-chunk — falls through to the internal-error record
+            // in the assignment pass below.
+            while let Ok((i, record)) = out_rx.recv() {
+                records[pending[i]] = Some(record);
             }
         }
 
-        // Persist freshly executed records. Error records are never cached:
-        // a fixed spec should re-execute, not replay its failure.
-        if self.cache_dir.is_some() {
+        // Persist freshly executed records in one batched pass: serialize
+        // everything first, then one directory creation, one index lock,
+        // one write per record. Error records are never cached: a fixed
+        // spec should re-execute, not replay its failure.
+        if let Some(dir) = self.cache_dir.as_deref() {
+            let mut writes: Vec<(u64, String)> = Vec::new();
             for &slot in &pending {
-                if let Some(record) = &records[slot] {
-                    if record.error.is_none() {
-                        self.cache_store(&specs[unique[slot]], record);
+                let Some(record) = &records[slot] else {
+                    continue;
+                };
+                if record.error.is_some() {
+                    continue;
+                }
+                let entry = CacheEntry {
+                    spec: specs[unique[slot]].clone(),
+                    record: record.clone(),
+                };
+                if let Ok(text) = serde_json::to_string(&entry) {
+                    writes.push((hashes[slot], text));
+                }
+            }
+            // Cache writes are best-effort: an unwritable directory
+            // degrades to re-execution, never to failure.
+            if !writes.is_empty() && std::fs::create_dir_all(dir).is_ok() {
+                let mut index = self
+                    .cache_index
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                let known = index.get_or_insert_with(|| Self::scan_cache_dir(dir));
+                for (hash, text) in writes {
+                    // kelp-lint: allow(KL-T02): the env-configurable part is the cache *path*; the written bytes are the spec-derived record (value-coarse self taint).
+                    if std::fs::write(Self::hash_path(dir, hash), text).is_ok() {
+                        known.insert(hash);
                     }
                 }
             }
@@ -787,16 +991,41 @@ impl Runner {
             .collect()
     }
 
-    fn cache_path(dir: &Path, spec: &RunSpec) -> PathBuf {
-        dir.join(format!("{:016x}.json", spec.hash()))
+    /// The cache file for a spec hash.
+    fn hash_path(dir: &Path, hash: u64) -> PathBuf {
+        dir.join(format!("{hash:016x}.json"))
     }
 
-    /// Loads a cached record for `spec`, verifying the stored spec matches.
-    /// Stale entries (hash collision or schema drift) are treated as misses
-    /// so the spec re-executes.
-    fn cache_lookup(&self, spec: &RunSpec) -> Option<RunRecord> {
-        let dir = self.cache_dir.as_ref()?;
-        let text = std::fs::read_to_string(Self::cache_path(dir, spec)).ok()?;
+    /// One directory scan building the hash index: every `<16-hex>.json`
+    /// entry contributes its hash. A missing or unreadable directory yields
+    /// an empty index (every lookup misses, every store backfills).
+    fn scan_cache_dir(dir: &Path) -> BTreeSet<u64> {
+        let mut known = BTreeSet::new();
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return known;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else {
+                continue;
+            };
+            let Some(hex) = name.strip_suffix(".json") else {
+                continue;
+            };
+            if hex.len() == 16 && hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+                if let Ok(hash) = u64::from_str_radix(hex, 16) {
+                    known.insert(hash);
+                }
+            }
+        }
+        known
+    }
+
+    /// Loads the cached record stored under `hash`, verifying the stored
+    /// spec matches. Stale entries (hash collision or schema drift) are
+    /// treated as misses so the spec re-executes.
+    fn cache_read(dir: &Path, hash: u64, spec: &RunSpec) -> Option<RunRecord> {
+        let text = std::fs::read_to_string(Self::hash_path(dir, hash)).ok()?;
         let entry: CacheEntry = serde_json::from_str(&text).ok()?;
         if entry.spec != *spec {
             return None;
@@ -804,25 +1033,6 @@ impl Runner {
         let mut record = entry.record;
         record.meta.cached = true;
         Some(record)
-    }
-
-    fn cache_store(&self, spec: &RunSpec, record: &RunRecord) {
-        let Some(dir) = self.cache_dir.as_ref() else {
-            return;
-        };
-        let entry = CacheEntry {
-            spec: spec.clone(),
-            record: record.clone(),
-        };
-        let Ok(text) = serde_json::to_string(&entry) else {
-            return;
-        };
-        // Cache writes are best-effort: an unwritable directory degrades to
-        // re-execution, never to failure.
-        if std::fs::create_dir_all(dir).is_ok() {
-            // kelp-lint: allow(KL-T02): the env-configurable part is the cache *path*; the written bytes are the spec-derived record (value-coarse self taint).
-            let _ = std::fs::write(Self::cache_path(dir, spec), text);
-        }
     }
 }
 
@@ -848,6 +1058,34 @@ mod tests {
         let back: RunSpec = serde_json::from_str(&text).unwrap();
         assert_eq!(back, spec);
         assert_eq!(back.hash(), spec.hash());
+    }
+
+    #[test]
+    fn streaming_hash_matches_buffered_hash() {
+        use kelp_simcore::fault::{FaultEvent, FaultKind};
+        use kelp_simcore::time::SimDuration;
+        let specs = [
+            quick_spec(),
+            quick_spec()
+                .with_cpu(CpuSpec::new(BatchKind::Stitch, 4).with_label("St\"itch\n#1"))
+                .with_policy(PolicySpec::FixedPrefetch(0.125))
+                .with_seed(u64::MAX),
+            RunSpec::cpu_only(PolicyKind::Baseline, &ExperimentConfig::quick())
+                .with_ml(MlSpec::Rnn1AtLoad(123.456)),
+            quick_spec().with_faults(FaultPlan::new().with(FaultEvent::new(
+                FaultKind::CounterDropout,
+                SimDuration::from_millis(100),
+                SimDuration::from_millis(50),
+                1.0,
+            ))),
+        ];
+        for spec in &specs {
+            assert_eq!(
+                spec.hash(),
+                fnv1a64(&serde_json::to_vec(spec).unwrap()),
+                "streaming hash diverged from the buffered path for {spec:?}"
+            );
+        }
     }
 
     #[test]

@@ -118,15 +118,10 @@ impl HostBatch {
                 continue;
             }
             let lowered = m.lower();
-            if m.solver_tuning().memo {
-                if let Some(report) = m.memo_get(&lowered.input) {
-                    m.note_memo_hit();
-                    m.finish_step(&report);
-                    reports[i] = report;
-                    filled += 1;
-                    self.stats.memo_hits = self.stats.memo_hits.saturating_add(1);
-                    continue;
-                }
+            if m.solver_tuning().memo && m.memo_hit_into(&lowered.input, &mut reports[i]) {
+                filled += 1;
+                self.stats.memo_hits = self.stats.memo_hits.saturating_add(1);
+                continue;
             }
             pending.push((i, lowered));
         }

@@ -534,16 +534,32 @@ impl HostMachine {
     /// report instead of solving; a failed solve walks the rescue /
     /// safe-state ladder (see [`SolveHealth`]).
     pub fn solve(&self) -> MachineReport {
+        let mut out = MachineReport::empty();
+        self.step_into(&mut out);
+        out
+    }
+
+    /// [`HostMachine::solve`] refreshing a caller-owned report in place.
+    /// Bit-identical to `solve` — same report, stats, memo and replay state
+    /// — but allocation-free in the steady state: a clean machine replays
+    /// its last report ([`HostMachine::replay_skip_into`], the same fast
+    /// path the fleet batch layer takes), and a memoized input copies the
+    /// cached report into `out` via `clone_from` instead of cloning twice.
+    pub fn step_into(&self, out: &mut MachineReport) {
         if !self.lifecycle.is_serving() {
-            return self.safe_step();
+            *out = self.safe_step();
+            return;
+        }
+        // Clean machine: the lowered input would be bit-identical to the
+        // previous step's, whose report is still memoized (FIFO eviction
+        // only happens on insert), so the memo hit is guaranteed — replay
+        // it without lowering or scanning.
+        if self.tuning.memo && !self.is_dirty() && self.replay_skip_into(out) {
+            return;
         }
         let lowered = self.lower();
-        if self.tuning.memo {
-            if let Some(report) = self.memo_get(&lowered.input) {
-                self.note_memo_hit();
-                self.finish_step(&report);
-                return report;
-            }
+        if self.tuning.memo && self.memo_hit_into(&lowered.input, out) {
+            return;
         }
         let output = self
             .mem
@@ -551,7 +567,7 @@ impl HostMachine {
         let report = self.resolve_output(&lowered, &output);
         self.memo_put(lowered.input, &report);
         self.finish_step(&report);
-        report
+        *out = report;
     }
 
     /// One non-serving (`Down`/`Recovering`) step: counts a safe-state
@@ -738,13 +754,22 @@ impl HostMachine {
         }
     }
 
-    /// Looks up a memoized report for `input` (no stats side effects).
-    pub(crate) fn memo_get(&self, input: &SolverInput) -> Option<MachineReport> {
-        self.cache
-            .borrow()
-            .iter()
-            .find(|(k, _)| k == input)
-            .map(|(_, r)| r.clone())
+    /// Serves a memoized step for `input` into `out`, counting the memo hit
+    /// and finishing the step — the whole scalar memo-hit branch in one
+    /// call, with `clone_from` in place of an owned clone of the cache
+    /// entry (allocation-free when `out` has the entry's shape).
+    /// Returns `false` — and does nothing — when `input` is not memoized.
+    pub(crate) fn memo_hit_into(&self, input: &SolverInput, out: &mut MachineReport) -> bool {
+        {
+            let cache = self.cache.borrow();
+            let Some((_, report)) = cache.iter().find(|(k, _)| k == input) else {
+                return false;
+            };
+            out.clone_from(report);
+        }
+        self.note_memo_hit();
+        self.finish_step(out);
+        true
     }
 
     /// Counts one memo-served solve (the scalar memo-hit stat bump, shared
@@ -784,10 +809,32 @@ impl HostMachine {
     }
 
     /// Ends a solved step: records the report for adaptive-skip replay and
-    /// marks the configuration clean.
+    /// marks the configuration clean. `clone_from` keeps the steady-state
+    /// refresh of an unchanged-shape replay value off the allocator.
     pub(crate) fn finish_step(&self, report: &MachineReport) {
-        *self.last_report.borrow_mut() = Some(report.clone());
+        let mut last = self.last_report.borrow_mut();
+        match last.as_mut() {
+            Some(prev) => prev.clone_from(report),
+            None => *last = Some(report.clone()),
+        }
         self.dirty.set(false);
+    }
+
+    /// Replaces the machine's solver workspace with `scratch` — the
+    /// cross-spec machine-reuse hook: a worker that retires one experiment
+    /// hands the (warm-state-reset) arena to the next machine it builds, so
+    /// the solver's table and buffer allocations amortize across specs.
+    /// Callers must [`SolverScratch::reset_warm_state`] first; every other
+    /// table in the scratch is rebuilt per solve, so a reset transplanted
+    /// scratch is bit-identical to a fresh one.
+    pub fn adopt_scratch(&mut self, scratch: SolverScratch) {
+        *self.scratch.borrow_mut() = scratch;
+    }
+
+    /// Takes the machine's solver workspace, leaving a default in place
+    /// (the other half of the [`HostMachine::adopt_scratch`] reuse cycle).
+    pub fn take_scratch(&mut self) -> SolverScratch {
+        std::mem::take(&mut *self.scratch.borrow_mut())
     }
 
     /// The adaptive-skip fast path: replays the last report for a clean

@@ -1,0 +1,37 @@
+//! The retired `Runner::run_batch` scope region, frozen as a corpus entry
+//! when the engine moved to a persistent worker pool (no `thread::scope`).
+//! This is the exact pre-pool shape: Relaxed work-stealing counter, Mutex
+//! poison-tolerant `(slot, record)` collector, and the `records[slot] = …`
+//! placement rendezvous that makes the whole region deterministic. The
+//! mutation test deletes only the rendezvous and asserts the Mutex fold
+//! (KL-C01) and the Relaxed counter (KL-C03) both fire — proving the pass
+//! analyzes this shape rather than skipping it.
+
+pub fn run_batch(specs: &[RunSpec], unique: &[usize], pending: &[usize], workers: usize) {
+    let mut records: Vec<Option<RunRecord>> = vec![None; unique.len()];
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, RunRecord)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&slot) = pending.get(i) else {
+                    break;
+                };
+                let record = specs[unique[slot]].execute();
+                // `execute` never panics, but stay poison-tolerant anyway:
+                // recovering the partial vector is strictly better than
+                // cascading the panic.
+                done.lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .push((slot, record));
+            });
+        }
+    });
+    for (slot, record) in done
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+    {
+        records[slot] = Some(record);
+    }
+}

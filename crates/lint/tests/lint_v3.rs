@@ -2,7 +2,7 @@
 //! nondeterminism-taint pass (KL-T01..T03) and the parallel
 //! order-sensitivity pass (KL-C01..C03), sanitizer negatives for both,
 //! dataflow totality fuzzing, byte-stability of witness rendering, and a
-//! mutation test proving the real `Runner::run_batch` scope region is
+//! mutation test proving the retired `Runner::run_batch` scope region is
 //! analyzed (its index rendezvous is exactly what keeps it silent).
 //!
 //! Fixtures live under `crates/lint/fixtures/` (a `fixtures` path component
@@ -212,20 +212,24 @@ fn scope_diags_for(rel: &'static str, src: &str) -> Vec<Diagnostic> {
     dataflow::scope_pass(&CallGraph::build(&units))
 }
 
-/// Acceptance criterion: the real `Runner::run_batch` scope region is
-/// demonstrably analyzed. Unmutated it is silent — and deleting only its
+/// The retired `Runner::run_batch` scope region (the engine now runs on a
+/// persistent channel-fed pool with no `thread::scope`) is demonstrably
+/// analyzed: unmutated it is silent — and deleting only its
 /// `records[slot] = …` placement rendezvous makes both the Mutex fold and
 /// the Relaxed counter fire, proving the silence comes from the sanitizer,
-/// not from the region being skipped.
+/// not from the region being skipped. The real runner.rs is asserted
+/// scope-free so this fixture cannot silently diverge from it.
 #[test]
-fn real_runner_scope_region_is_sanitized_by_its_index_rendezvous() {
-    let src = workspace_file("crates/core/src/runner.rs");
+fn retired_runner_scope_region_is_sanitized_by_its_index_rendezvous() {
+    let real = workspace_file("crates/core/src/runner.rs");
     assert!(
-        src.contains("std::thread::scope"),
-        "runner.rs no longer has a scope region; retire this test"
+        !real.contains("std::thread::scope"),
+        "runner.rs grew a scope region again; point this test back at it"
     );
-    let clean = scope_diags_for("crates/core/src/runner.rs", &src);
-    assert_eq!(clean, vec![], "real runner region fired: {clean:?}");
+
+    let src = fixture("runner_scope_retired.rs");
+    let clean = scope_diags_for("crates/core/src/runner_scope_retired.rs", &src);
+    assert_eq!(clean, vec![], "retired runner region fired: {clean:?}");
 
     let mutated = src.replace("records[slot] = ", "let _ = ");
     assert!(
@@ -233,7 +237,7 @@ fn real_runner_scope_region_is_sanitized_by_its_index_rendezvous() {
         "mutation did not remove the rendezvous"
     );
     assert_ne!(src, mutated, "mutation was a no-op");
-    let fired = scope_diags_for("crates/core/src/runner.rs", &mutated);
+    let fired = scope_diags_for("crates/core/src/runner_scope_retired.rs", &mutated);
     let rules: Vec<&str> = fired.iter().map(|d| d.rule).collect();
     assert!(
         rules.contains(&"KL-C01") && rules.contains(&"KL-C03"),

@@ -56,6 +56,54 @@ pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
     to_string(value).map(String::into_bytes)
 }
 
+/// Streams `value`'s compact JSON rendering into `sink` without building
+/// the intermediate text buffer. The byte stream delivered to the sink is
+/// exactly the [`to_string`] / [`to_vec`] output — hashing sinks therefore
+/// see the same bytes a buffered caller would hash, keeping content hashes
+/// stable across the two paths.
+pub fn to_sink<T: Serialize + ?Sized, S: JsonSink + ?Sized>(
+    value: &T,
+    sink: &mut S,
+) -> Result<(), Error> {
+    write_value(sink, &value.to_value(), None, 0);
+    Ok(())
+}
+
+/// Byte-stream receiver for the JSON writer: the renderer pushes UTF-8
+/// fragments in output order, so a sink can hash or count bytes without a
+/// backing buffer. `String` is the canonical buffering sink.
+pub trait JsonSink {
+    /// Receives the next UTF-8 fragment of the rendering.
+    fn write_str(&mut self, s: &str);
+
+    /// Receives a single character (default: via a stack-encoded fragment).
+    fn write_char(&mut self, c: char) {
+        let mut buf = [0u8; 4];
+        self.write_str(c.encode_utf8(&mut buf));
+    }
+}
+
+impl JsonSink for String {
+    fn write_str(&mut self, s: &str) {
+        self.push_str(s);
+    }
+
+    fn write_char(&mut self, c: char) {
+        self.push(c);
+    }
+}
+
+/// `fmt::Write` adapter so `Display` values (ints, floats) render straight
+/// into a sink without a temporary `String`.
+struct FmtSink<'a, S: JsonSink + ?Sized>(&'a mut S);
+
+impl<S: JsonSink + ?Sized> std::fmt::Write for FmtSink<'_, S> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0.write_str(s);
+        Ok(())
+    }
+}
+
 /// Parses a value from a JSON string.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let value = parse(s)?;
@@ -72,59 +120,64 @@ pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
 // Writer
 // ---------------------------------------------------------------------------
 
-fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+fn write_value<S: JsonSink + ?Sized>(out: &mut S, v: &Value, indent: Option<usize>, depth: usize) {
+    use std::fmt::Write as _;
     match v {
-        Value::Null => out.push_str("null"),
-        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::UInt(n) => out.push_str(&n.to_string()),
-        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Null => out.write_str("null"),
+        Value::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => {
+            let _ = write!(FmtSink(out), "{n}");
+        }
+        Value::Int(n) => {
+            let _ = write!(FmtSink(out), "{n}");
+        }
         Value::Float(f) => write_float(out, *f),
         Value::Str(s) => write_string(out, s),
         Value::Seq(items) => {
             if items.is_empty() {
-                out.push_str("[]");
+                out.write_str("[]");
                 return;
             }
-            out.push('[');
+            out.write_char('[');
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',');
                 }
                 newline_indent(out, indent, depth + 1);
                 write_value(out, item, indent, depth + 1);
             }
             newline_indent(out, indent, depth);
-            out.push(']');
+            out.write_char(']');
         }
         Value::Map(entries) => {
             if entries.is_empty() {
-                out.push_str("{}");
+                out.write_str("{}");
                 return;
             }
-            out.push('{');
+            out.write_char('{');
             for (i, (k, val)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',');
                 }
                 newline_indent(out, indent, depth + 1);
                 write_string(out, k);
-                out.push(':');
+                out.write_char(':');
                 if indent.is_some() {
-                    out.push(' ');
+                    out.write_char(' ');
                 }
                 write_value(out, val, indent, depth + 1);
             }
             newline_indent(out, indent, depth);
-            out.push('}');
+            out.write_char('}');
         }
     }
 }
 
-fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+fn newline_indent<S: JsonSink + ?Sized>(out: &mut S, indent: Option<usize>, depth: usize) {
     if let Some(width) = indent {
-        out.push('\n');
+        out.write_char('\n');
         for _ in 0..width * depth {
-            out.push(' ');
+            out.write_char(' ');
         }
     }
 }
@@ -132,34 +185,36 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
 /// Formats a float the way serde_json does: non-finite values become `null`,
 /// integral values keep a `.0` suffix, everything else uses Rust's shortest
 /// round-trip representation.
-fn write_float(out: &mut String, f: f64) {
+fn write_float<S: JsonSink + ?Sized>(out: &mut S, f: f64) {
+    use std::fmt::Write as _;
     if !f.is_finite() {
-        out.push_str("null");
+        out.write_str("null");
     } else if f == f.trunc() && f.abs() < 1e16 {
-        out.push_str(&format!("{f:.1}"));
+        let _ = write!(FmtSink(out), "{f:.1}");
     } else {
-        out.push_str(&format!("{f}"));
+        let _ = write!(FmtSink(out), "{f}");
     }
 }
 
-fn write_string(out: &mut String, s: &str) {
-    out.push('"');
+fn write_string<S: JsonSink + ?Sized>(out: &mut S, s: &str) {
+    use std::fmt::Write as _;
+    out.write_char('"');
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{08}' => out.push_str("\\b"),
-            '\u{0c}' => out.push_str("\\f"),
+            '"' => out.write_str("\\\""),
+            '\\' => out.write_str("\\\\"),
+            '\n' => out.write_str("\\n"),
+            '\r' => out.write_str("\\r"),
+            '\t' => out.write_str("\\t"),
+            '\u{08}' => out.write_str("\\b"),
+            '\u{0c}' => out.write_str("\\f"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                let _ = write!(FmtSink(out), "\\u{:04x}", c as u32);
             }
-            c => out.push(c),
+            c => out.write_char(c),
         }
     }
-    out.push('"');
+    out.write_char('"');
 }
 
 // ---------------------------------------------------------------------------
@@ -365,6 +420,35 @@ mod tests {
             to_string_pretty(&v).unwrap(),
             "{\n  \"a\": 1.0,\n  \"b\": [\n    1,\n    2\n  ],\n  \"c\": null\n}"
         );
+    }
+
+    #[test]
+    fn to_sink_streams_the_exact_to_string_bytes() {
+        // A sink that records fragment boundaries as well as content, so
+        // the test proves both byte identity and that streaming actually
+        // happened in pieces (no single buffered push).
+        struct Frags(Vec<String>);
+        impl JsonSink for Frags {
+            fn write_str(&mut self, s: &str) {
+                self.0.push(s.to_string());
+            }
+        }
+        let v = Value::Map(vec![
+            ("a".into(), Value::Float(1.0)),
+            ("esc\n".into(), Value::Str("q\"uote\\".into())),
+            ("big".into(), Value::UInt(u64::MAX)),
+            ("neg".into(), Value::Int(-7)),
+            (
+                "seq".into(),
+                Value::Seq(vec![Value::Bool(true), Value::Null, Value::Float(0.125)]),
+            ),
+            ("empty".into(), Value::Seq(vec![])),
+            ("emptym".into(), Value::Map(vec![])),
+        ]);
+        let mut frags = Frags(Vec::new());
+        to_sink(&v, &mut frags).unwrap();
+        assert_eq!(frags.0.concat(), to_string(&v).unwrap());
+        assert!(frags.0.len() > 1, "rendering should stream in fragments");
     }
 
     #[test]

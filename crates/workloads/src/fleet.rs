@@ -175,6 +175,13 @@ pub struct FleetSim {
 /// production diurnal load.
 const PHASE_LEVELS: [f64; 3] = [0.25, 0.5, 1.0];
 
+/// Spawn threshold for the batched fleet path: a shard must carry at least
+/// this many machines before it earns its own thread. A steady-state tick
+/// over memo-warm machines costs well under a microsecond per machine, so
+/// below roughly this many machines per shard the per-tick spawn/join of
+/// `std::thread::scope` costs more than the shard saves.
+const MIN_MACHINES_PER_SHARD: usize = 2048;
+
 impl FleetSim {
     /// Builds a fleet: per machine one high-priority ML task (4 cores on
     /// domain (0,0)), then `batch_tasks_per_machine × machines` low-priority
@@ -275,6 +282,13 @@ impl FleetSim {
     /// fully overwritten. Passing the same vector every tick keeps the
     /// steady-state adaptive-skip refresh off the allocator, which is where
     /// the batch path's fleet-scale throughput comes from.
+    ///
+    /// `jobs` is a ceiling, not a mandate: the fleet shards onto threads
+    /// only when every shard clears [`MIN_MACHINES_PER_SHARD`], so a small
+    /// fleet at `jobs = 8` runs single-shard with zero thread machinery —
+    /// per-tick spawn cost cannot exceed what the parallelism returns.
+    /// Shard assignment is deterministic in fleet size alone, and each
+    /// shard's persistent [`HostBatch`] is reused across ticks.
     pub fn step_batched_into(&mut self, jobs: usize, out: &mut Vec<MachineReport>) {
         let n = self.machines.len();
         if n == 0 {
@@ -285,12 +299,15 @@ impl FleetSim {
             out.clear();
             out.resize_with(n, MachineReport::empty);
         }
-        let jobs = jobs.clamp(1, n);
-        if self.workers.len() < jobs {
-            self.workers.resize_with(jobs, HostBatch::new);
+        let shards = jobs
+            .clamp(1, n)
+            .min(n.div_ceil(MIN_MACHINES_PER_SHARD))
+            .max(1);
+        if self.workers.len() < shards {
+            self.workers.resize_with(shards, HostBatch::new);
         }
-        let chunk = n.div_ceil(jobs);
-        if jobs == 1 {
+        let chunk = n.div_ceil(shards);
+        if shards == 1 {
             self.workers[0].step_into(&self.machines, out);
             return;
         }

@@ -84,4 +84,12 @@ KELP_QUICK=1 KELP_RESULTS_DIR="$smoke_results" \
   cargo run --release -q -p kelp-bench --bin ext_fleet_faults -- \
   --quick >/dev/null
 
+echo "== perf gate (perf-baseline.json) =="
+# Compares the checked-in benchmark artifacts (results/bench_*.json) against
+# the per-host wall-clock baselines in perf-baseline.json. Denies on a host
+# whose fingerprint has a recorded baseline, advisory elsewhere. Runs
+# WITHOUT KELP_RESULTS_DIR so it judges the committed artifacts, not the
+# smoke-run scratch output.
+cargo run --release -q -p kelp-bench --bin perf_gate
+
 echo "tier-1 OK"
