@@ -1,9 +1,10 @@
 //! Perf-regression gate over the checked-in benchmark artifacts (ISSUE 9).
 //!
-//! Reads `results/bench_repro_wallclock.json` and
-//! `results/bench_fleet_batch.json`, compares the headline wall-clock
-//! numbers against `perf-baseline.json` at the repo root, and exits nonzero
-//! when a metric regressed past its per-host relative threshold.
+//! Reads `results/bench_repro_wallclock.json`,
+//! `results/bench_fleet_batch.json`, and `results/bench_solver_hot.json`,
+//! compares the headline wall-clock numbers against `perf-baseline.json` at
+//! the repo root, and exits nonzero when a metric regressed past its
+//! per-host relative threshold.
 //!
 //! Baselines are keyed by a host fingerprint (`{os}-{cpus}cpu`) because raw
 //! wall-clock is meaningless across machines: on a host whose fingerprint
@@ -83,7 +84,35 @@ fn collect_metrics(results: &Path) -> Vec<Metric> {
             });
         }
     }
+    if let Some(solver) = load_json(&results.join("bench_solver_hot.json")) {
+        for (workload, name) in [
+            ("timeline", "solver_hot_timeline_opt_s"),
+            ("overall", "solver_hot_overall_opt_s"),
+        ] {
+            if let Some(v) = solver_hot_wall_s(&solver, workload) {
+                metrics.push(Metric { name, value: v });
+            }
+        }
+    }
     metrics
+}
+
+/// Wall seconds of the *optimized* solver-hot mode for a workload, if
+/// recorded — the steady-state memoized path whose regression would mean
+/// the scratch-reuse/memo engine silently stopped paying off.
+fn solver_hot_wall_s(solver: &Value, workload: &str) -> Option<f64> {
+    let Some(Value::Seq(modes)) = get(solver, "modes") else {
+        return None;
+    };
+    modes
+        .iter()
+        .find(|m| {
+            get(m, "workload").map(|v| matches!(v, Value::Str(s) if s == workload)) == Some(true)
+                && get(m, "mode").map(|v| matches!(v, Value::Str(s) if s == "optimized"))
+                    == Some(true)
+        })
+        .and_then(|m| get(m, "wall_s"))
+        .and_then(as_f64)
 }
 
 /// Wall seconds of the batched mode with the given job count, if recorded.

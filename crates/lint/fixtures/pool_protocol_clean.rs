@@ -1,0 +1,97 @@
+//! KL-X negative corpus: the live persistent-pool protocol in miniature —
+//! every sanitizer present, so the whole v4 pass must stay silent.
+//!
+//! Mirrors `Runner`'s pool: a `(slot, record)` rendezvous restores order
+//! at the collector (X01), lock guards are block-scoped with no nesting
+//! (X02), the `Relaxed` cursor only partitions work (X03), and the pool's
+//! `Drop` closes the task channels then joins every handle (X04).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+#[derive(Clone)]
+pub struct PoolTask {
+    specs: Arc<Vec<u64>>,
+    next: Arc<AtomicUsize>,
+    chunk: usize,
+    out: mpsc::Sender<(usize, u64)>,
+}
+
+pub struct WorkerPool {
+    txs: Vec<mpsc::Sender<PoolTask>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    pub fn spawn(workers: usize) -> Self {
+        let mut txs = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<PoolTask>();
+            txs.push(tx);
+            handles.push(std::thread::spawn(move || {
+                while let Ok(task) = rx.recv() {
+                    let n = task.specs.len();
+                    loop {
+                        let start = task.next.fetch_add(task.chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + task.chunk).min(n) {
+                            let record = task.specs[i] * 2;
+                            if task.out.send((i, record)).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        WorkerPool { txs, handles }
+    }
+
+    pub fn dispatch(&self, task: PoolTask) {
+        for tx in &self.txs {
+            let _ = tx.send(task.clone());
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+pub struct Engine {
+    pool: Mutex<Option<WorkerPool>>,
+    cache: Mutex<Vec<u64>>,
+}
+
+impl Engine {
+    pub fn run_batch(&self, specs: Arc<Vec<u64>>) -> Vec<u64> {
+        let mut records = vec![0u64; specs.len()];
+        {
+            let mut cache = self.cache.lock().unwrap();
+            cache.push(specs.len() as u64);
+        }
+        let (out_tx, out_rx) = mpsc::channel();
+        let task = PoolTask {
+            specs,
+            next: Arc::new(AtomicUsize::new(0)),
+            chunk: 4,
+            out: out_tx,
+        };
+        {
+            let mut pool = self.pool.lock().unwrap();
+            pool.get_or_insert_with(|| WorkerPool::spawn(2)).dispatch(task);
+        }
+        while let Ok((i, record)) = out_rx.recv() {
+            records[i] = record;
+        }
+        records
+    }
+}

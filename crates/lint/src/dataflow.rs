@@ -801,8 +801,8 @@ impl Eval<'_, '_> {
 }
 
 /// Peels single-child wrappers (`*x`, parens) so assignment targets and
-/// spines see through unary operators.
-fn peel(mut e: &Expr) -> &Expr {
+/// spines see through unary operators. (Shared with [`crate::concurrency`].)
+pub(crate) fn peel(mut e: &Expr) -> &Expr {
     while let Expr::Many { children, .. } = e {
         match children.as_slice() {
             [only] => e = only,
@@ -813,8 +813,9 @@ fn peel(mut e: &Expr) -> &Expr {
 }
 
 /// The root variable of an lvalue/receiver spine (`a.b[i].c` → `a`), if it
-/// is a simple identifier (including `self`).
-fn root_var(e: &Expr) -> Option<&str> {
+/// is a simple identifier (including `self`). (Shared with
+/// [`crate::concurrency`].)
+pub(crate) fn root_var(e: &Expr) -> Option<&str> {
     match peel(e) {
         Expr::Path { segments, .. } => match segments.as_slice() {
             [name] => Some(name.as_str()),
@@ -1017,8 +1018,9 @@ const MUTATING: [&str; 11] = [
 const FOLDS: [&str; 3] = ["push", "insert", "extend"];
 
 /// Atomic ops whose `Ordering::Relaxed` use is checked when the value is
-/// consumed. (Also exempts these calls from the KL-C02 mutation check.)
-const ATOMIC_OPS: [&str; 12] = [
+/// consumed. (Also exempts these calls from the KL-C02 mutation check, and
+/// seeds the KL-X03 Relaxed-flow check in [`crate::concurrency`].)
+pub(crate) const ATOMIC_OPS: [&str; 12] = [
     "load",
     "store",
     "swap",
@@ -1037,7 +1039,7 @@ fn is_thread_scope_call(segments: &[String]) -> bool {
     segments.last().is_some_and(|l| l == "scope") && segments.iter().any(|s| s == "thread")
 }
 
-fn first_closure(e: &Expr) -> Option<&Expr> {
+pub(crate) fn first_closure(e: &Expr) -> Option<&Expr> {
     let mut found: Option<&Expr> = None;
     e.walk(&mut |x| {
         if found.is_none() {
@@ -1097,7 +1099,7 @@ impl ScopeCtx<'_> {
     }
 }
 
-fn arg_mentions_relaxed(args: &[Expr]) -> bool {
+pub(crate) fn arg_mentions_relaxed(args: &[Expr]) -> bool {
     let mut found = false;
     for a in args {
         a.walk(&mut |e| {

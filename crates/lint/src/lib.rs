@@ -20,6 +20,7 @@
 pub mod ast;
 pub mod baseline;
 pub mod callgraph;
+pub mod concurrency;
 pub mod dataflow;
 pub mod jsonmini;
 pub mod lexer;
@@ -32,8 +33,9 @@ pub mod scan;
 pub use rules::{lint_source, Diagnostic, FileCtx};
 
 /// The crate label a workspace-relative path belongs to (`crates/mem/…` →
-/// `mem`; top-level `src/` → `root`). Used for call-graph name resolution.
-fn crate_label(path: &str) -> &str {
+/// `mem`; top-level `src/` → `root`). Used for call-graph name resolution
+/// and for synthesizing type-level symbols in [`concurrency`].
+pub(crate) fn crate_label(path: &str) -> &str {
     let mut parts = path.split('/');
     if parts.next() == Some("crates") {
         parts.next().unwrap_or("root")
@@ -45,7 +47,8 @@ fn crate_label(path: &str) -> &str {
 /// Lints every classifiable file under `root`: the per-file rules plus the
 /// workspace passes (KL-R panic reachability over the call graph, KL-S
 /// schema drift against `results/*.json`, KL-T interprocedural
-/// nondeterminism-taint dataflow, KL-C `thread::scope` order-sensitivity).
+/// nondeterminism-taint dataflow, KL-C `thread::scope` order-sensitivity,
+/// KL-X whole-program concurrency protocols).
 /// Returns the diagnostics in a
 /// total order — (file, line, rule, symbol, message) — and the number of
 /// files scanned.
@@ -89,6 +92,11 @@ pub fn lint_workspace(root: &std::path::Path) -> (Vec<Diagnostic>, usize) {
     // (KL-T) and thread::scope order-sensitivity (KL-C).
     workspace_diags.extend(dataflow::taint_pass(&graph, &types));
     workspace_diags.extend(dataflow::scope_pass(&graph));
+
+    // Workspace pass 4: concurrency protocols beyond `thread::scope` —
+    // channel rendezvous, lock ordering, Relaxed discipline, join
+    // contracts (KL-X01…X04).
+    workspace_diags.extend(concurrency::protocol_pass(&graph, &types));
 
     // A witness-chain diagnostic (KL-T/KL-C) is suppressed by an inline
     // allow at ANY step of its chain — in particular at the taint source,

@@ -14,7 +14,8 @@
 //!   directory to the first `Cargo.toml` declaring `[workspace]`)
 //! * `--baseline FILE`  pin pre-existing accepted findings: diagnostics
 //!   matching an entry in FILE are reported as a count only, and `--deny`
-//!   fails solely on *new* findings
+//!   fails solely on *new* findings — plus on *stale* pins (entries that
+//!   match nothing), which must be pruned with `--prune-stale`
 //! * `--write-baseline FILE`  write the current findings as a baseline
 //!   document and exit (how `lint-baseline.json` is regenerated)
 //! * `--prune-stale`  with `--baseline`: rewrite the baseline file with the
@@ -140,6 +141,7 @@ fn main() {
         return;
     }
 
+    let mut stale_pins = 0usize;
     let diags = match &opts.baseline {
         None => diags,
         Some(path) => {
@@ -186,6 +188,8 @@ fn main() {
                     path.display(),
                     kept_len
                 );
+            } else {
+                stale_pins = applied.stale.len();
             }
             applied.fresh
         }
@@ -197,6 +201,18 @@ fn main() {
         print!("{}", kelp_lint::report::human(&diags, files_scanned));
     }
     if opts.deny && !diags.is_empty() {
+        std::process::exit(1);
+    }
+    // Under --deny a stale pin is an error, not a note: a pin that matches
+    // nothing means the baseline has drifted from the code, and leaving it
+    // in place would silently mask the next *real* finding with the same
+    // (rule, file, symbol) signature.
+    if opts.deny && stale_pins > 0 {
+        eprintln!(
+            "kelp-lint: error: {stale_pins} stale baseline pin{} (listed above); \
+             run `kelp-lint --baseline <file> --prune-stale` to remove them",
+            if stale_pins == 1 { "" } else { "s" }
+        );
         std::process::exit(1);
     }
 }

@@ -26,11 +26,13 @@ pub fn human(diags: &[Diagnostic], files_scanned: usize) -> String {
 /// The JSON report format version. History: 2 added the `symbol` field and
 /// the total (file, line, rule, symbol, message) sort order; 3 added the
 /// per-diagnostic `witness` array (source→…→sink provenance for the KL-T
-/// taint-flow and KL-C scope-order families; empty for other rules).
-pub const SCHEMA_VERSION: u32 = 3;
+/// taint-flow and KL-C scope-order families; empty for other rules); 4
+/// added the KL-X concurrency-protocol family (same shape — new `rule`
+/// values only, witness chains populated like KL-T/KL-C).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Renders diagnostics as a byte-stable JSON document:
-/// `{"schema_version":3,"diagnostics":[{"rule":…,"file":…,"line":…,
+/// `{"schema_version":4,"diagnostics":[{"rule":…,"file":…,"line":…,
 /// "symbol":…,"message":…,"witness":[{"what":…,"file":…,"line":…},…]}],
 /// "count":N,"files_scanned":M}`.
 pub fn json(diags: &[Diagnostic], files_scanned: usize) -> String {
@@ -102,7 +104,7 @@ mod tests {
             witness: Vec::new(),
         }];
         let doc = json(&diags, 3);
-        assert!(doc.starts_with("{\"schema_version\":3,"));
+        assert!(doc.starts_with("{\"schema_version\":4,"));
         assert!(doc.contains("\"a\\\"b.rs\""));
         assert!(doc.contains("\"symbol\":\"core::f\""));
         assert!(doc.contains("\"x\\ny\""));

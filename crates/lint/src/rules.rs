@@ -42,9 +42,13 @@
 //! | KL-C01 | scope-order  | order-sensitive fold (`push`/`insert`/`extend`/compound assign) on a `Mutex`-gathered collector inside a `thread::scope` worker without an index-keyed or sort rendezvous |
 //! | KL-C02 | scope-order  | shared capture bound outside a `thread::scope` region mutated inside a spawned worker without `Mutex`/atomic routing |
 //! | KL-C03 | scope-order  | `Ordering::Relaxed` atomic op inside a spawned worker whose value is used, with no index-keyed rendezvous |
+//! | KL-X01 | concurrency  | cross-thread channel results consumed without an index-keyed or sort rendezvous (fn-wide generalization of C01/C03 to `thread::spawn` pools) |
+//! | KL-X02 | concurrency  | interprocedural lock-order cycle over held `Mutex` guards, or re-acquisition of a held (non-reentrant) lock |
+//! | KL-X03 | concurrency  | `Ordering::Relaxed` value escapes opaque work-partitioning inside a spawned worker (order-sensitive fold, struct field, accumulator) |
+//! | KL-X04 | concurrency  | `thread::spawn` handle discarded, or a `JoinHandle`-holding pool struct whose `Drop` never reaches `.join()` |
 //!
-//! The KL-R/KL-S/KL-T/KL-C families need the whole workspace (call graph,
-//! goldens, dataflow summaries) and only fire from
+//! The KL-R/KL-S/KL-T/KL-C/KL-X families need the whole workspace (call
+//! graph, goldens, dataflow summaries) and only fire from
 //! [`crate::lint_workspace`]; the rest, including KL-F, also fire from the
 //! single-file [`lint_source`] entry point.
 
@@ -93,10 +97,11 @@ pub struct Diagnostic {
 }
 
 /// Every rule ID the engine can emit, in catalog order.
-pub const ALL_RULES: [&str; 26] = [
+pub const ALL_RULES: [&str; 30] = [
     "KL-D01", "KL-D02", "KL-D03", "KL-D04", "KL-P01", "KL-P02", "KL-P03", "KL-H01", "KL-H02",
     "KL-H03", "KL-H04", "KL-H05", "KL-R01", "KL-R02", "KL-R03", "KL-F01", "KL-F02", "KL-F03",
-    "KL-S01", "KL-S02", "KL-T01", "KL-T02", "KL-T03", "KL-C01", "KL-C02", "KL-C03",
+    "KL-S01", "KL-S02", "KL-T01", "KL-T02", "KL-T03", "KL-C01", "KL-C02", "KL-C03", "KL-X01",
+    "KL-X02", "KL-X03", "KL-X04",
 ];
 
 /// An inline suppression parsed from a comment.

@@ -5,6 +5,11 @@
 //! mutation test proving the retired `Runner::run_batch` scope region is
 //! analyzed (its index rendezvous is exactly what keeps it silent).
 //!
+//! The retired-fixture mutation below covers the *old* scope-based runner
+//! only; the live persistent pool in today's `runner.rs` is covered by the
+//! KL-X mutation tests in `lint_v4.rs` (`live_pool_*_fires_kl_x*`), so
+//! runner.rs being scope-free no longer means "unanalyzed".
+//!
 //! Fixtures live under `crates/lint/fixtures/` (a `fixtures` path component
 //! keeps them out of `scan::classify`).
 

@@ -16,11 +16,16 @@ echo "== kelp-lint --deny --baseline lint-baseline.json =="
 # Static analysis (crates/lint): token-level determinism / panic-safety /
 # hygiene rules plus the v2 AST passes (KL-R panic reachability over the
 # workspace call graph, KL-F float determinism, KL-S serde schema drift
-# against results/*.json) and the v3 dataflow passes (KL-T nondeterminism
-# taint, KL-C parallel order sensitivity). Accepted pre-existing findings
-# are pinned in lint-baseline.json (regenerate with --write-baseline, drop
-# stale pins with --prune-stale); any NEW finding not covered by a
-# justified inline allow fails the gate.
+# against results/*.json), the v3 dataflow passes (KL-T nondeterminism
+# taint, KL-C parallel order sensitivity), and the v4 concurrency-protocol
+# pass (KL-X channel rendezvous / lock ordering / Relaxed discipline /
+# join contracts). Accepted pre-existing findings are pinned in
+# lint-baseline.json (regenerate with --write-baseline); any NEW finding
+# not covered by a justified inline allow fails the gate. Under --deny a
+# STALE pin (an entry matching nothing) is also a hard failure, not a
+# note — the fix is `cargo run -p kelp-lint -- --baseline
+# lint-baseline.json --prune-stale`, which rewrites the file with only
+# the pins that still bite.
 #
 # The scan is also held to a wall-clock budget (lint-budget.json): the
 # interprocedural fixed point must stay effectively linear in workspace
